@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: one trained detector reused by every bench.
+
+The detector trains once per session (cached to ``.cache/`` so repeated
+benchmark runs skip training).  Scale is configurable through the
+``REPRO_BENCH_SCALE`` environment variable (tiny | small | medium).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.runner import SCALES
+
+SCALE_NAME = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext.get(SCALES[SCALE_NAME], cache_dir=".cache")
+
+
+@pytest.fixture(scope="session")
+def detector(context):
+    return context.detector

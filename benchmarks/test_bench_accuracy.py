@@ -1,0 +1,60 @@
+"""Benchmarks: §III-E detector accuracy (test sets 1–3 + regular check).
+
+Paper values: level 1 class accuracy 99.41% (98.65/99.81/99.71), level 1
+transformed 99.69%, level 2 exact-match 86.95%, Top-1 99.63%; mixed
+transformed 99.99%; packer transformed 99.52%; regular corpus 98.65%.
+At bench scale we assert the same *bands*, not the exact numbers.
+"""
+
+from repro.experiments import accuracy
+
+
+def test_level1_and_level2_accuracy(benchmark, context):
+    result = benchmark.pedantic(
+        accuracy.run_test_set_1, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    class_acc = result["level1_class_accuracy"]
+    print(f"level1 regular={class_acc['regular']:.2%} minified={class_acc['minified']:.2%} "
+          f"obfuscated={class_acc['obfuscated']:.2%}")
+    print(f"level1 transformed={result['level1_transformed_accuracy']:.2%}")
+    print(f"level2 exact={result['level2_exact_match']:.2%} top-k={result['level2_top_k']}")
+    assert class_acc["regular"] >= 0.80
+    assert class_acc["minified"] >= 0.85
+    assert class_acc["obfuscated"] >= 0.85
+    assert result["level1_transformed_accuracy"] >= 0.90
+    assert result["level2_exact_match"] >= 0.55
+    assert result["level2_top_k"][1] >= 0.85
+
+
+def test_mixed_samples_accuracy(benchmark, context):
+    result = benchmark.pedantic(
+        accuracy.run_test_set_2, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(f"mixed transformed accuracy: {result['level1_transformed_accuracy']:.2%}")
+    # Paper: mixing techniques makes level 1 *more* confident (99.99%).
+    assert result["level1_transformed_accuracy"] >= 0.95
+
+
+def test_packer_generalization(benchmark, context):
+    result = benchmark.pedantic(
+        accuracy.run_test_set_3, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(f"packer transformed: {result['level1_transformed_accuracy']:.2%}")
+    print(f"packer top-4: {result['top4_techniques']}")
+    assert result["level1_transformed_accuracy"] >= 0.75
+    reported = {name for name, _p in result["top4_techniques"]}
+    # Paper §III-E3: the packer reads as minification + identifier/string
+    # obfuscation; at least one minification label must appear.
+    assert reported & {"minification_simple", "minification_advanced"}
+
+
+def test_regular_corpus_accuracy(benchmark, context):
+    result = benchmark.pedantic(
+        accuracy.run_regular_corpus_check, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(f"regular corpus accuracy: {result['regular_accuracy']:.2%}")
+    assert result["regular_accuracy"] >= 0.80

@@ -1,0 +1,40 @@
+"""Benchmark: Figure 1 — Top-k curves on mixed-technique samples."""
+
+from repro.experiments import accuracy, fig1
+
+
+def test_fig1_topk_curves(benchmark, context):
+    ts2 = accuracy.run_test_set_2(context)
+
+    def run():
+        return (
+            fig1.run_topk_curves(ts2["proba"], ts2["Y"]),
+            fig1.run_thresholded_curves(ts2["proba"], ts2["Y"]),
+            fig1.run_detectable_techniques(ts2["proba"], ts2["Y"]),
+        )
+
+    fig1a, fig1b, fig1c = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig1.report(fig1a, fig1b, fig1c))
+
+    # Fig 1a: wrong labels grow with k; missing labels shrink with k.
+    wrongs = [row["avg_wrong"] for row in fig1a["rows"]]
+    missings = [row["avg_missing"] for row in fig1a["rows"]]
+    assert wrongs[-1] >= wrongs[0]
+    assert missings[-1] <= missings[0]
+    # Fig 1a: ground truths have at most ~4 labels, so accuracy collapses
+    # for large k ("artificial fast decline", §III-E2).
+    assert fig1a["rows"][-1]["accuracy"] <= fig1a["rows"][0]["accuracy"]
+
+    # Fig 1b: with the 10% threshold, wrong labels stay low (paper: <0.32
+    # average at the operating point, small-scale band here).
+    k4 = next(row for row in fig1b["rows"] if row["k"] == 4)
+    assert k4["avg_wrong"] <= 1.5
+
+    # Fig 1c: raising the threshold never increases detectable techniques.
+    detectable = [row["detectable"] for row in fig1c["rows"]]
+    assert all(a >= b for a, b in zip(detectable, detectable[1:]))
+    at_010 = next(r for r in fig1c["rows"] if abs(r["threshold"] - 0.10) < 1e-9)
+    at_090 = next(r for r in fig1c["rows"] if abs(r["threshold"] - 0.90) < 1e-9)
+    assert at_010["detectable"] >= 7  # threshold 10% keeps most techniques
+    assert at_090["detectable"] <= at_010["detectable"]

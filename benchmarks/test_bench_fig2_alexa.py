@@ -1,0 +1,32 @@
+"""Benchmark: Figure 2 / §IV-B1 — code transformations on Alexa Top 10k."""
+
+from repro.experiments import fig2_3
+
+
+def test_fig2_alexa(benchmark, context):
+    result = benchmark.pedantic(
+        fig2_3.run_alexa, args=(context,), kwargs={"n_scripts": 120}, rounds=1, iterations=1
+    )
+    print()
+    print(fig2_3.report(result, "alexa"))
+    measurement = result["measurement"]
+
+    # Paper: 68.60% of Alexa scripts transformed; our planted rate is the
+    # calibrated population, and the detector must recover it closely.
+    assert 0.55 <= measurement.transformed_rate <= 0.95
+    assert abs(measurement.transformed_rate - result["planted_transformed_rate"]) <= 0.15
+
+    # Minification dominates: most transformed files are reported minified.
+    assert measurement.minified_rate >= 0.5
+    assert measurement.minified_rate > measurement.obfuscated_rate * 3
+
+    # Technique ranking: both minification variants above every
+    # obfuscation technique; identifier obfuscation is the top obfuscation.
+    probs = measurement.technique_probability
+    top2 = sorted(probs, key=probs.get, reverse=True)[:2]
+    assert set(top2) == {"minification_simple", "minification_advanced"}
+    obf = {k: v for k, v in probs.items() if not k.startswith("minification")}
+    assert max(obf, key=obf.get) == "identifier_obfuscation"
+
+    # Most sites contain at least one transformed script (paper: 89.4%).
+    assert measurement.container_rate >= 0.7

@@ -1,0 +1,41 @@
+"""Benchmark: Figure 6 / §IV-D — transformed share over 2015–2020."""
+
+from repro.experiments import fig6_7_8
+
+
+def test_fig6_alexa_trend(benchmark, context):
+    result = benchmark.pedantic(
+        fig6_7_8.run_alexa,
+        args=(context,),
+        kwargs={"scripts_per_month": 20, "n_points": 5},
+        rounds=1,
+        iterations=1,
+    )
+    months = sorted(result["months"])
+    rates = [result["months"][m]["transformed_rate"] for m in months]
+    print(f"\nAlexa transformed share: {[round(r, 2) for r in rates]}")
+    # Paper: steady augmentation over time.
+    slope = fig6_7_8.trend_slope(result)
+    print(f"slope: {slope:+.5f}/month")
+    assert slope > 0
+    assert rates[-1] > rates[0]
+
+
+def test_fig6_npm_phases(benchmark, context):
+    result = benchmark.pedantic(
+        fig6_7_8.run_npm,
+        args=(context,),
+        kwargs={"scripts_per_month": 25, "n_points": 5},
+        rounds=1,
+        iterations=1,
+    )
+    months = sorted(result["months"])
+    rates = {m: result["months"][m]["transformed_rate"] for m in months}
+    print(f"\nnpm transformed share by month index: { {m: round(r, 2) for m, r in rates.items()} }")
+    # Paper: phase 1 (≈7.4%) below phase 2 (≈17.95%).
+    phase1 = [rates[m] for m in months if m < 12]
+    phase2 = [rates[m] for m in months if 12 <= m < 49]
+    assert phase1 and phase2
+    assert sum(phase1) / len(phase1) < sum(phase2) / len(phase2)
+    # npm stays far below Alexa throughout.
+    assert max(rates.values()) < 0.5

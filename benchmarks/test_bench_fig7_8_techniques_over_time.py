@@ -1,0 +1,52 @@
+"""Benchmarks: Figures 7 & 8 — technique mixes over time."""
+
+import numpy as np
+
+from repro.experiments import fig6_7_8
+
+
+def test_fig7_alexa_mix_over_time(benchmark, context):
+    result = benchmark.pedantic(
+        fig6_7_8.run_alexa,
+        args=(context,),
+        kwargs={"scripts_per_month": 25, "n_points": 4, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    months = sorted(result["months"])
+    for month in months:
+        probs = result["months"][month]["technique_probability"]
+        top = max(probs, key=probs.get)
+        # Paper Fig. 7: minification is the leading technique in every
+        # month of the Alexa timeline.
+        assert top in ("minification_simple", "minification_advanced"), (month, top)
+    first = result["months"][months[0]]["technique_probability"]
+    last = result["months"][months[-1]]["technique_probability"]
+    print(f"\nfirst month mix: simple={first['minification_simple']:.2%} "
+          f"adv={first['minification_advanced']:.2%} ident={first['identifier_obfuscation']:.2%}")
+    print(f"last month mix:  simple={last['minification_simple']:.2%} "
+          f"adv={last['minification_advanced']:.2%} ident={last['identifier_obfuscation']:.2%}")
+    # Identifier obfuscation stays the minor technique (8.23% → 6.21%).
+    assert last["identifier_obfuscation"] < last["minification_simple"]
+
+
+def test_fig8_npm_mix_stable(benchmark, context):
+    result = benchmark.pedantic(
+        fig6_7_8.run_npm,
+        args=(context,),
+        kwargs={"scripts_per_month": 30, "n_points": 4, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    months = sorted(result["months"])
+    simple = [
+        result["months"][m]["technique_probability"]["minification_simple"] for m in months
+    ]
+    ident = [
+        result["months"][m]["technique_probability"]["identifier_obfuscation"] for m in months
+    ]
+    print(f"\nnpm minification_simple over time: {[round(s, 2) for s in simple]}")
+    # Paper Fig. 8: simple minification leads (≈58.62%) in every month and
+    # the mix has no directional trend.
+    assert all(s > i for s, i in zip(simple, ident))
+    assert np.mean(simple) > 0.3

@@ -1,0 +1,60 @@
+"""Micro-benchmarks for the pipeline stages (true pytest-benchmark timing).
+
+These measure throughput of the substrates the paper's 800k-file study
+depends on: parsing, AST enhancement, feature extraction, transformation,
+and per-script classification.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.features import FeatureExtractor
+from repro.flows import enhance
+from repro.js.lexer import tokenize
+from repro.js.parser import parse
+from repro.transform import get_transformer
+
+
+@pytest.fixture(scope="module")
+def medium_source() -> str:
+    return "\n".join(generate_corpus(4, seed=99))
+
+
+def test_bench_tokenize(benchmark, medium_source):
+    tokens = benchmark(tokenize, medium_source)
+    assert len(tokens) > 100
+
+
+def test_bench_parse(benchmark, medium_source):
+    program = benchmark(parse, medium_source)
+    assert program.body
+
+
+def test_bench_enhance(benchmark, medium_source):
+    graph = benchmark(enhance, medium_source)
+    assert graph.control_flow
+
+
+def test_bench_feature_extraction(benchmark, medium_source):
+    extractor = FeatureExtractor(level=2)
+    vector = benchmark(extractor.extract, medium_source)
+    assert vector.shape[0] == extractor.n_features
+
+
+def test_bench_minify(benchmark, medium_source):
+    transformer = get_transformer("minification_simple")
+    out = benchmark(transformer.transform, medium_source, random.Random(0))
+    assert len(out) < len(medium_source)
+
+
+def test_bench_obfuscate(benchmark, medium_source):
+    transformer = get_transformer("identifier_obfuscation")
+    out = benchmark(transformer.transform, medium_source, random.Random(0))
+    assert "_0x" in out
+
+
+def test_bench_classify_one_script(benchmark, detector, medium_source):
+    result = benchmark(detector.classify, medium_source)
+    assert result.level1

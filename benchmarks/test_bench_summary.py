@@ -1,0 +1,20 @@
+"""Benchmark: §IV-E summary — the benign-vs-malicious headline contrast."""
+
+from repro.experiments import summary
+
+
+def test_summary_claims(benchmark, context):
+    result = benchmark.pedantic(
+        summary.run,
+        args=(context,),
+        kwargs={"n_benign": 80, "n_malicious_per_source": 25},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(summary.report(result))
+    checks = summary.check_claims(result)
+    assert checks["identifier_obf_contrast"], "identifier obfuscation must dominate malware"
+    assert checks["string_obf_contrast"], "string obfuscation must dominate malware"
+    assert checks["benign_led_by_minification"]
+    assert checks["alexa_more_minified_than_npm"]

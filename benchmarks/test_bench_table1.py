@@ -1,0 +1,19 @@
+"""Benchmark: Table I — dataset construction at scale."""
+
+from repro.experiments import table1
+
+
+def test_table1_datasets(benchmark):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"scale": 0.002, "months": 4}, rounds=1, iterations=1
+    )
+    print()
+    print(table1.report(result))
+    rows = {row["source"]: row for row in result["rows"]}
+    # All seven corpora of the paper's Table I are represented.
+    assert len(rows) == 7
+    assert rows["Alexa Top 10k"]["class"] == "Benign"
+    assert rows["BSI"]["class"] == "Malicious"
+    # Relative sizes follow the paper (npm crawl > Alexa crawl, BSI > DNC).
+    assert rows["npm Top 10k"]["n_js"] >= rows["Alexa Top 10k"]["n_js"]
+    assert rows["BSI"]["n_js"] > rows["DNC"]["n_js"]

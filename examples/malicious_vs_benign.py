@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Benign vs. malicious transformation fingerprints (§IV-C / §IV-E).
+
+Builds an Alexa-like benign corpus and three malicious corpora (DNC,
+Hynek, BSI stand-ins), measures both with the trained detectors, and
+prints the side-by-side technique-probability comparison that is the
+paper's headline result: *code transformation is no indicator of
+maliciousness, but the technique mix differs sharply.*
+
+Run:  python examples/malicious_vs_benign.py
+"""
+
+from repro.corpus.datasets import alexa_top
+from repro.corpus.malicious import MaliciousGenerator
+from repro.detector.labels import LEVEL2_LABELS
+from repro.experiments.common import measure_corpus
+from repro.experiments.fig5 import _to_scripts
+from repro import TransformationDetector
+
+
+def main() -> None:
+    print("Training detector ...")
+    detector = TransformationDetector(n_estimators=12, random_state=0)
+    detector.train(n_regular=30, seed=0)
+
+    print("Measuring corpora ...")
+    benign = measure_corpus(detector, alexa_top(80, seed=3))
+    malicious = {
+        origin: measure_corpus(
+            detector, _to_scripts(MaliciousGenerator(origin, seed=3).generate(40))
+        )
+        for origin in ("dnc", "hynek", "bsi")
+    }
+
+    print("\nTransformed share (level 1):")
+    print(f"  benign (Alexa-like): {benign.transformed_rate:.1%}")
+    for origin, measurement in malicious.items():
+        print(f"  malicious ({origin}):   {measurement.transformed_rate:.1%}")
+
+    print("\nTechnique probability on transformed scripts (level 2):")
+    header = f"{'technique':<26} {'benign':>8}" + "".join(
+        f" {origin:>8}" for origin in malicious
+    )
+    print(header)
+    for technique in LEVEL2_LABELS:
+        row = f"{technique:<26} {benign.technique_probability[technique]:>8.1%}"
+        for measurement in malicious.values():
+            row += f" {measurement.technique_probability[technique]:>8.1%}"
+        print(row)
+
+    print(
+        "\nExpected shape (paper §IV-E): benign dominated by minification;"
+        "\nmalicious led by identifier obfuscation (25-37%) and string"
+        "\nobfuscation (17-21%), with benign usage below 6.2% / 3.3%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Transformation playground: apply each monitored technique to a script.
+
+Shows what every tool of §II-B does to the same input — the ground-truth
+generation side of the paper.  Useful for understanding which syntactic
+traces each technique leaves behind (the features of §III-B).
+
+Run:  python examples/transform_playground.py
+"""
+
+import random
+
+from repro import TECHNIQUES, get_transformer, parse
+from repro.features.static_features import compute_static_features
+from repro.flows import enhance
+from repro.transform.packer import pack
+
+SOURCE = """
+// Shopping-cart helper
+var taxRate = 0.19;
+var labels = { total: "Total", tax: "Tax included" };
+
+function computeTotal(items) {
+  var sum = 0;
+  for (var i = 0; i < items.length; i++) {
+    sum += items[i].price * items[i].count;
+  }
+  return sum * (1 + taxRate);
+}
+
+function describe(items) {
+  var total = computeTotal(items);
+  return labels.total + ": " + total.toFixed(2) + " (" + labels.tax + ")";
+}
+
+console.log(describe([{ price: 10, count: 3 }, { price: 5, count: 1 }]));
+"""
+
+
+def show(name: str, code: str) -> None:
+    features = compute_static_features(enhance(code))
+    preview = code[:110].replace("\n", "↵")
+    print(f"\n=== {name} ===")
+    print(f"  size: {len(code):6d} B   avg line: {features['src_avg_line_length']:8.1f}"
+          f"   hex ids: {features['id_hex_ratio']:.0%}"
+          f"   bracket access: {features['member_bracket_ratio']:.0%}")
+    print(f"  {preview}")
+
+
+def main() -> None:
+    rng = random.Random(7)
+    show("original", SOURCE)
+    for technique in TECHNIQUES:
+        transformer = get_transformer(technique)
+        transformed = transformer.transform(SOURCE, rng)
+        parse(transformed)  # every output stays valid JavaScript
+        show(technique.value, transformed)
+    show("dean-edwards packer (held-out tool)", pack(SOURCE, rng))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — static detection of JavaScript obfuscation and minification.
+
+Reproduction of Moog, Demmel, Backes, Fass: *Statically Detecting
+JavaScript Obfuscation and Minification Techniques in the Wild* (DSN 2021).
+
+Public API
+----------
+
+Front end (replaces Esprima):
+    >>> from repro import parse, generate
+    >>> ast = parse("var x = 1;")
+
+Enhanced AST with control and data flows (JSTAP-style):
+    >>> from repro import enhance
+    >>> graph = enhance("function f(a) { return a + 1; }")
+
+Code transformation (the paper's ground-truth tools):
+    >>> from repro import transform_with
+    >>> code, labels = transform_with("var x = 1; f(x); g(x);",
+    ...                               ["minification_simple"])
+
+Detection:
+    >>> from repro import TransformationDetector
+    >>> detector = TransformationDetector().train(n_regular=40)
+    >>> detector.classify(code).transformed
+    True
+"""
+
+import sys as _sys
+
+# Machine-generated scripts (JSFuck, packers) produce expression chains
+# thousands of nodes deep; the hot traversals are iterative, but parser and
+# codegen still recurse per nesting level, so give them headroom.
+_sys.setrecursionlimit(max(_sys.getrecursionlimit(), 20_000))
+
+from repro.detector import (
+    DetectionResult,
+    Level1Detector,
+    Level2Detector,
+    TrainingData,
+    TransformationDetector,
+)
+from repro.features import FeatureExtractor
+from repro.flows import EnhancedAST, enhance
+from repro.js import generate, parse, tokenize
+from repro.transform import (
+    TECHNIQUES,
+    Technique,
+    TransformationPipeline,
+    get_transformer,
+    transform_with,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectionResult",
+    "EnhancedAST",
+    "FeatureExtractor",
+    "Level1Detector",
+    "Level2Detector",
+    "TECHNIQUES",
+    "Technique",
+    "TrainingData",
+    "TransformationDetector",
+    "TransformationPipeline",
+    "enhance",
+    "generate",
+    "get_transformer",
+    "parse",
+    "tokenize",
+    "transform_with",
+]

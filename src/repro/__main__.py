@@ -1,0 +1,120 @@
+"""Command-line interface: train, classify, transform.
+
+Usage::
+
+    python -m repro train --out detector.pkl [--n-regular 60] [--seed 0]
+    python -m repro classify --model detector.pkl file1.js [file2.js ...]
+    python -m repro transform --technique minification_simple file.js
+    python -m repro experiments [--scale small]
+
+``classify`` without ``--model`` trains a small detector on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+from repro.corpus.filters import admit
+from repro.detector.pipeline import TransformationDetector
+from repro.transform import TECHNIQUES, TransformationPipeline
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    detector = TransformationDetector(
+        n_estimators=args.estimators, random_state=args.seed
+    )
+    print(f"training on {args.n_regular} regular scripts (seed {args.seed}) ...")
+    detector.train(n_regular=args.n_regular, seed=args.seed)
+    detector.save(args.out)
+    print(f"saved detector to {args.out}")
+    return 0
+
+
+def _load_or_train(model_path: str | None) -> TransformationDetector:
+    if model_path:
+        return TransformationDetector.load(model_path)
+    print("no --model given; training a small detector (about a minute) ...")
+    detector = TransformationDetector(n_estimators=12, random_state=0)
+    detector.train(n_regular=30, seed=0)
+    return detector
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    detector = _load_or_train(args.model)
+    exit_code = 0
+    for name in args.files:
+        path = Path(name)
+        try:
+            source = path.read_text(errors="replace")
+        except OSError as error:
+            print(f"{name}: cannot read ({error})", file=sys.stderr)
+            exit_code = 1
+            continue
+        if not admit(source):
+            print(f"{name}: rejected by admission filters (size/content)")
+            continue
+        result = detector.classify(source)
+        print(f"{name}: {result}")
+    return exit_code
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text(errors="replace")
+    pipeline = TransformationPipeline(args.technique)
+    transformed = pipeline.transform(source, random.Random(args.seed))
+    labels = ", ".join(sorted(label.value for label in pipeline.labels))
+    print(f"// labels: {labels}", file=sys.stderr)
+    print(transformed)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(args.scale, cache_dir=args.cache_dir)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """argparse entry point."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="train and save a detector")
+    train.add_argument("--out", required=True)
+    train.add_argument("--n-regular", type=int, default=60)
+    train.add_argument("--estimators", type=int, default=16)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    classify = commands.add_parser("classify", help="classify JavaScript files")
+    classify.add_argument("files", nargs="+")
+    classify.add_argument("--model", default=None)
+    classify.set_defaults(func=_cmd_classify)
+
+    transform = commands.add_parser("transform", help="apply techniques to a file")
+    transform.add_argument("file")
+    transform.add_argument(
+        "--technique",
+        action="append",
+        required=True,
+        choices=[t.value for t in TECHNIQUES],
+        help="repeatable; applied in the canonical pipeline order",
+    )
+    transform.add_argument("--seed", type=int, default=0)
+    transform.set_defaults(func=_cmd_transform)
+
+    experiments = commands.add_parser("experiments", help="regenerate all tables/figures")
+    experiments.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    experiments.add_argument("--cache-dir", default=".cache")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Higher-level analyses built on the detector pipeline.
+
+- :mod:`repro.analysis.waves` — cluster syntactically identical
+  (modulo renaming) malicious variants into waves (§IV-C),
+- :mod:`repro.analysis.report` — human-readable per-file analysis reports.
+"""
+
+from repro.analysis.report import FileReport, analyze_file
+from repro.analysis.waves import WaveCluster, cluster_waves, structural_fingerprint
+
+__all__ = [
+    "FileReport",
+    "WaveCluster",
+    "analyze_file",
+    "cluster_waves",
+    "structural_fingerprint",
+]

@@ -1,0 +1,83 @@
+"""Malware-wave clustering (§IV-C).
+
+The paper observes that malicious actors broadcast *waves*: syntactically
+identical but SHA-1-unique instances produced by re-rolling identifier
+obfuscation, one unique script per victim, to defeat signature matching.
+Because renaming does not change the AST shape, such variants share an
+exact structural fingerprint; clustering by that fingerprint recovers the
+waves, which the paper uses to explain the month-to-month variance of its
+malicious corpora.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.features.ngrams import ast_unit_sequence
+from repro.js.parser import parse
+
+
+def structural_fingerprint(source: str) -> str:
+    """SHA-1 over the node-type sequence: renaming-invariant identity.
+
+    Two scripts that differ only in identifier names, string contents or
+    literal values map to the same fingerprint; any structural edit (added
+    statement, different operator nesting) changes it.
+    """
+    program = parse(source)
+    sequence = ast_unit_sequence(program)
+    digest = hashlib.sha1("\x00".join(sequence).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class WaveCluster:
+    """One group of structurally identical scripts."""
+
+    fingerprint: str
+    indices: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def is_wave(self) -> bool:
+        """A wave needs more than one unique instance."""
+        return self.size > 1
+
+
+def cluster_waves(sources: list[str], min_size: int = 2) -> list[WaveCluster]:
+    """Cluster scripts by structural fingerprint; largest clusters first.
+
+    Unparseable scripts are skipped (they cannot be fingerprinted), exactly
+    as the paper's static pipeline skips unparseable malware.
+    """
+    clusters: dict[str, WaveCluster] = {}
+    for index, source in enumerate(sources):
+        try:
+            fingerprint = structural_fingerprint(source)
+        except (SyntaxError, ValueError, RecursionError):
+            continue
+        cluster = clusters.get(fingerprint)
+        if cluster is None:
+            cluster = WaveCluster(fingerprint=fingerprint)
+            clusters[fingerprint] = cluster
+        cluster.indices.append(index)
+    waves = [cluster for cluster in clusters.values() if cluster.size >= min_size]
+    waves.sort(key=lambda cluster: -cluster.size)
+    return waves
+
+
+def wave_statistics(sources: list[str]) -> dict:
+    """Summary statistics: how much of a corpus is wave-generated."""
+    waves = cluster_waves(sources)
+    in_waves = sum(cluster.size for cluster in waves)
+    return {
+        "n_scripts": len(sources),
+        "n_waves": len(waves),
+        "scripts_in_waves": in_waves,
+        "wave_fraction": in_waves / len(sources) if sources else 0.0,
+        "largest_wave": waves[0].size if waves else 0,
+    }

@@ -1,0 +1,20 @@
+"""Dataset substrate: synthetic corpora standing in for the paper's crawls.
+
+The paper collects regular JavaScript from GitHub (§III-D1), client-side
+scripts from Alexa, library code from npm, and malware feeds from
+DNC/Hynek/BSI (§IV-A).  Offline, we substitute seeded synthetic corpora
+with the same structural diversity dimensions; see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from repro.corpus.filters import passes_content_filter, passes_size_filter
+from repro.corpus.generator import ProgramGenerator, generate_corpus
+from repro.corpus.malicious import MaliciousGenerator
+
+__all__ = [
+    "MaliciousGenerator",
+    "ProgramGenerator",
+    "generate_corpus",
+    "passes_content_filter",
+    "passes_size_filter",
+]

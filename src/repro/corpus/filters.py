@@ -1,0 +1,62 @@
+"""Corpus admission filters (§III-D1 / §IV-A).
+
+The paper keeps only scripts between 512 bytes and 2 MB that contain at
+least one conditional control-flow node, function node, or
+``CallExpression`` in their AST — this removes JSON files and
+comment-only samples.
+"""
+
+from __future__ import annotations
+
+from repro.js.ast_nodes import Node
+from repro.js.parser import parse
+from repro.js.visitor import walk
+
+MIN_BYTES = 512
+MAX_BYTES = 2 * 1024 * 1024
+
+# Footnote 2: conditional control-flow node types.
+CONDITIONAL_TYPES = frozenset(
+    {
+        "DoWhileStatement",
+        "WhileStatement",
+        "ForStatement",
+        "ForOfStatement",
+        "ForInStatement",
+        "IfStatement",
+        "ConditionalExpression",
+        "TryStatement",
+        "SwitchStatement",
+    }
+)
+
+# Footnote 3: function node types.
+FUNCTION_NODE_TYPES = frozenset(
+    {"ArrowFunctionExpression", "FunctionExpression", "FunctionDeclaration"}
+)
+
+# Footnote 4: CallExpression, including TaggedTemplateExpression.
+CALL_TYPES = frozenset({"CallExpression", "TaggedTemplateExpression"})
+
+_REQUIRED_TYPES = CONDITIONAL_TYPES | FUNCTION_NODE_TYPES | CALL_TYPES
+
+
+def passes_size_filter(source: str) -> bool:
+    """512 bytes ≤ size ≤ 2 MB (the paper's bounds)."""
+    return MIN_BYTES <= len(source.encode("utf-8", errors="replace")) <= MAX_BYTES
+
+
+def passes_content_filter(program: Node) -> bool:
+    """At least one conditional / function / call node in the AST."""
+    return any(node.type in _REQUIRED_TYPES for node in walk(program))
+
+
+def admit(source: str) -> bool:
+    """Full admission check; unparseable files are rejected."""
+    if not passes_size_filter(source):
+        return False
+    try:
+        program = parse(source)
+    except (SyntaxError, ValueError, RecursionError):
+        return False
+    return passes_content_filter(program)

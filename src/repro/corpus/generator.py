@@ -1,0 +1,425 @@
+"""Seeded synthetic generator of "regular" (non-transformed) JavaScript.
+
+Stands in for the paper's 21,000-file GitHub/library collection (§III-D1).
+The generator emits programs in several styles (browser scripts, Node
+modules, utility libraries, class-based code) with human-shaped naming,
+comments, and formatting, so every structural dimension the detector's
+features measure — identifier lengths, comment density, node-type mix,
+control-flow shapes — varies the way hand-written code does.
+
+Programs are built as ASTs (guaranteeing parseability), pretty-printed,
+then decorated with comments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.js import builder as b
+from repro.js.ast_nodes import Node
+from repro.js.codegen import generate
+
+_NOUNS = (
+    "account", "buffer", "cache", "client", "config", "counter", "data",
+    "element", "entry", "event", "field", "file", "filter", "group",
+    "handler", "index", "item", "key", "label", "list", "message", "model",
+    "node", "option", "page", "param", "payload", "point", "queue",
+    "record", "request", "response", "result", "score", "session", "state",
+    "status", "task", "template", "token", "total", "user", "value", "view",
+    "widget",
+)
+
+_VERBS = (
+    "add", "apply", "build", "check", "clear", "collect", "compute",
+    "create", "decode", "encode", "fetch", "filter", "find", "format",
+    "get", "handle", "init", "load", "make", "merge", "normalize", "parse",
+    "process", "push", "read", "remove", "render", "reset", "resolve",
+    "save", "send", "set", "sort", "split", "store", "sync", "update",
+    "validate", "write",
+)
+
+_ADJECTIVES = (
+    "active", "all", "current", "default", "empty", "extra", "final",
+    "first", "last", "local", "main", "max", "min", "new", "next", "old",
+    "pending", "prev", "raw", "ready", "remote", "safe", "selected",
+    "total", "valid",
+)
+
+_STRING_WORDS = (
+    "active", "click", "complete", "data", "default", "disabled", "done",
+    "error", "hidden", "id", "info", "init", "loading", "missing", "name",
+    "none", "ok", "pending", "ready", "select", "status", "submit", "text",
+    "title", "type", "unknown", "update", "value", "visible", "warning",
+)
+
+_COMMENT_TEXTS = (
+    "TODO: handle edge cases",
+    "update internal state",
+    "fall back to the default value",
+    "see the API documentation for details",
+    "make sure the input is valid first",
+    "cache the result for later lookups",
+    "this mirrors the server-side logic",
+    "skip entries that are not ready yet",
+    "legacy behaviour kept for compatibility",
+    "normalize before comparing",
+)
+
+_DOM_TARGETS = ("document", "window", "navigator", "location", "console")
+
+_BUILTIN_CALLS = (
+    ("Math", "floor"), ("Math", "max"), ("Math", "min"), ("Math", "round"),
+    ("Math", "abs"), ("JSON", "stringify"), ("JSON", "parse"),
+    ("Object", "keys"), ("Array", "isArray"), ("Date", "now"),
+)
+
+
+class ProgramGenerator:
+    """Generate one synthetic regular JavaScript program per call."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # -- naming ---------------------------------------------------------------
+
+    def _camel(self, *parts: str) -> str:
+        head, *tail = parts
+        return head + "".join(p.capitalize() for p in tail)
+
+    def _var_name(self) -> str:
+        rng = self.rng
+        style = rng.random()
+        if style < 0.45:
+            return rng.choice(_NOUNS)
+        if style < 0.8:
+            return self._camel(rng.choice(_ADJECTIVES), rng.choice(_NOUNS))
+        return self._camel(rng.choice(_NOUNS), rng.choice(_NOUNS))
+
+    def _fn_name(self) -> str:
+        rng = self.rng
+        if rng.random() < 0.8:
+            return self._camel(rng.choice(_VERBS), rng.choice(_NOUNS))
+        return self._camel(rng.choice(_VERBS), rng.choice(_ADJECTIVES), rng.choice(_NOUNS))
+
+    def _class_name(self) -> str:
+        return self.rng.choice(_NOUNS).capitalize() + self.rng.choice(_NOUNS).capitalize()
+
+    def _fresh(self, used: set[str], maker) -> str:
+        for _ in range(40):
+            name = maker()
+            if name not in used:
+                used.add(name)
+                return name
+        name = maker() + str(self.rng.randint(2, 99))
+        used.add(name)
+        return name
+
+    # -- expressions ------------------------------------------------------------
+
+    def _literal(self) -> Node:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.4:
+            return b.literal(rng.choice((0, 1, 2, 3, 5, 10, 16, 24, 32, 60, 100, 255, 1000)))
+        if roll < 0.75:
+            words = rng.sample(_STRING_WORDS, rng.randint(1, 3))
+            sep = rng.choice(("-", "_", " ", ""))
+            return b.string(sep.join(words))
+        if roll < 0.85:
+            return b.literal(rng.choice((True, False)), raw=rng.choice(("true", "false")))
+        if roll < 0.95:
+            return b.literal(round(rng.uniform(0, 10), 2))
+        return b.literal(None, raw="null")
+
+    def _expression(self, names: list[str], depth: int = 0) -> Node:
+        rng = self.rng
+        if depth > 2 or rng.random() < 0.3 or not names:
+            return self._literal() if (rng.random() < 0.5 or not names) else b.identifier(rng.choice(names))
+        roll = rng.random()
+        if roll < 0.3:
+            op = rng.choice(("+", "-", "*", "+", "<", ">", "===", "!==", "&&", "||"))
+            return b.binary(op, self._expression(names, depth + 1), self._expression(names, depth + 1))
+        if roll < 0.45:
+            obj, method = rng.choice(_BUILTIN_CALLS)
+            return b.call(b.member(obj, method), [self._expression(names, depth + 1)])
+        if roll < 0.6:
+            base = rng.choice(names)
+            return b.member(base, rng.choice(_NOUNS))
+        if roll < 0.7:
+            base = rng.choice(names)
+            return b.member(base, self._expression(names, depth + 1), computed=True)
+        if roll < 0.8:
+            return b.call(
+                b.member(rng.choice(names), rng.choice(("toString", "slice", "indexOf", "trim", "concat", "push"))),
+                [self._expression(names, depth + 1)] if rng.random() < 0.6 else [],
+            )
+        if roll < 0.9:
+            size = rng.randint(0, 4)
+            return b.array([self._expression(names, depth + 1) for _ in range(size)])
+        pairs = rng.randint(1, 4)
+        props = []
+        for _ in range(pairs):
+            props.append(
+                Node(
+                    "Property",
+                    key=b.identifier(rng.choice(_NOUNS)),
+                    value=self._expression(names, depth + 1),
+                    kind="init",
+                    method=False,
+                    shorthand=False,
+                    computed=False,
+                    start=0,
+                    end=0,
+                )
+            )
+        return Node("ObjectExpression", properties=props, start=0, end=0)
+
+    def _condition(self, names: list[str]) -> Node:
+        rng = self.rng
+        if not names:
+            return b.binary(">", self._literal(), self._literal())
+        left: Node = b.identifier(rng.choice(names))
+        if rng.random() < 0.4:
+            left = b.member(rng.choice(names), rng.choice(("length", "size", "count", "status")))
+        roll = rng.random()
+        if roll < 0.5:
+            return b.binary(rng.choice(("<", ">", "<=", ">=", "===", "!==")), left, self._expression(names, 2))
+        if roll < 0.7:
+            return left
+        if roll < 0.85:
+            return b.unary("!", left)
+        return b.binary("&&", left, self._condition(names))
+
+    # -- statements ----------------------------------------------------------------
+
+    def _statement(self, names: list[str], used: set[str], depth: int = 0) -> Node:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.3 or depth > 2:
+            if rng.random() < 0.55:
+                name = self._fresh(used, self._var_name)
+                statement = b.var_decl(
+                    name, self._expression(names), kind=rng.choice(("var", "var", "let", "const"))
+                )
+                names.append(name)
+                return statement
+            if names:
+                target = rng.choice(names)
+                if rng.random() < 0.3:
+                    return b.expr_statement(
+                        b.assign(target, self._expression(names), operator=rng.choice(("=", "+=", "-=")))
+                    )
+                return b.expr_statement(
+                    b.call(b.member(rng.choice(_DOM_TARGETS), rng.choice(("log", "warn", "getElementById", "querySelector")))
+                           if rng.random() < 0.3 else b.member(target, rng.choice(_VERBS)),
+                           [self._expression(names, 1)])
+                )
+            return b.var_decl(self._fresh(used, self._var_name), self._literal())
+        if roll < 0.45:
+            consequent = b.block([self._statement(list(names), used, depth + 1) for _ in range(rng.randint(1, 3))])
+            alternate = None
+            if rng.random() < 0.4:
+                alternate = b.block([self._statement(list(names), used, depth + 1) for _ in range(rng.randint(1, 2))])
+            return b.if_stmt(self._condition(names), consequent, alternate)
+        if roll < 0.6:
+            counter = self._fresh(used, lambda: rng.choice("ijkn"))
+            body_names = names + [counter]
+            body = b.block([self._statement(list(body_names), used, depth + 1) for _ in range(rng.randint(1, 3))])
+            limit = (
+                b.member(rng.choice(names), "length") if names and rng.random() < 0.6 else b.literal(rng.randint(3, 20))
+            )
+            return Node(
+                "ForStatement",
+                init=b.var_decl(counter, b.literal(0)),
+                test=b.binary("<", b.identifier(counter), limit),
+                update=b.update("++", b.identifier(counter)),
+                body=body,
+                start=0,
+                end=0,
+            )
+        if roll < 0.68:
+            body = b.block([self._statement(list(names), used, depth + 1) for _ in range(rng.randint(1, 2))])
+            return b.while_stmt(self._condition(names), body)
+        if roll < 0.76:
+            return b.try_stmt(
+                [self._statement(list(names), used, depth + 1)],
+                rng.choice(("err", "e", "error", "ex")),
+                [b.expr_statement(b.call(b.member("console", rng.choice(("error", "warn"))), [b.identifier("err") if rng.random() < 0.3 else self._literal()]))],
+            )
+        if roll < 0.84 and names:
+            cases = []
+            for _ in range(rng.randint(2, 4)):
+                cases.append(
+                    b.switch_case(self._literal(), [self._statement(list(names), used, depth + 1), b.break_stmt()])
+                )
+            if rng.random() < 0.6:
+                cases.append(b.switch_case(None, [self._statement(list(names), used, depth + 1)]))
+            return b.switch(b.identifier(rng.choice(names)), cases)
+        if roll < 0.92:
+            return b.ret(self._expression(names) if rng.random() < 0.8 else None)
+        if names:
+            iterator = self._fresh(used, self._var_name)
+            body = b.block([self._statement(names + [iterator], used, depth + 1)])
+            return Node(
+                "ForInStatement" if rng.random() < 0.5 else "ForOfStatement",
+                left=b.var_decl(iterator, None, kind=rng.choice(("var", "const"))),
+                right=b.identifier(rng.choice(names)),
+                body=body,
+                start=0,
+                end=0,
+            )
+        return b.var_decl(self._fresh(used, self._var_name), self._literal())
+
+    def _function_body(self, params: list[str], used: set[str], size: int) -> list[Node]:
+        names = list(params)
+        body: list[Node] = []
+        for _ in range(size):
+            body.append(self._statement(names, used))
+        has_return = any(s.type == "ReturnStatement" for s in body)
+        if not has_return and self.rng.random() < 0.7:
+            body.append(b.ret(self._expression(names)))
+        return body
+
+    def _function(self, used: set[str]) -> Node:
+        rng = self.rng
+        name = self._fresh(used, self._fn_name)
+        params = [self._fresh(set(), self._var_name) for _ in range(rng.randint(0, 3))]
+        body = self._function_body(params, used, rng.randint(1, 4))
+        return b.function_decl(name, params, body)
+
+    def _class(self, used: set[str]) -> Node:
+        rng = self.rng
+        name = self._fresh(used, self._class_name)
+        members = []
+        ctor_params = [self._var_name() for _ in range(rng.randint(1, 3))]
+        ctor_body = [
+            b.expr_statement(
+                b.assign(b.member(Node("ThisExpression", start=0, end=0), param), b.identifier(param))
+            )
+            for param in ctor_params
+        ]
+        members.append(
+            Node(
+                "MethodDefinition",
+                key=b.identifier("constructor"),
+                value=b.function_expr(ctor_params, ctor_body),
+                kind="constructor",
+                static=False,
+                computed=False,
+                start=0,
+                end=0,
+            )
+        )
+        for _ in range(rng.randint(1, 3)):
+            method_name = self._fn_name()
+            params = [self._var_name() for _ in range(rng.randint(0, 2))]
+            body = self._function_body(params + ctor_params, set(), rng.randint(1, 4))
+            members.append(
+                Node(
+                    "MethodDefinition",
+                    key=b.identifier(method_name),
+                    value=b.function_expr(params, body),
+                    kind="method",
+                    static=rng.random() < 0.2,
+                    computed=False,
+                    start=0,
+                    end=0,
+                )
+            )
+        return Node(
+            "ClassDeclaration",
+            id=b.identifier(name),
+            superClass=None,
+            body=Node("ClassBody", body=members, start=0, end=0),
+            start=0,
+            end=0,
+        )
+
+    # -- whole programs ----------------------------------------------------------
+
+    def generate_program(self) -> str:
+        """One regular script: AST-built, pretty-printed, comment-decorated."""
+        rng = self.rng
+        used: set[str] = set()
+        top: list[Node] = []
+        style = rng.random()
+        n_functions = rng.randint(1, 4)
+        for _ in range(n_functions):
+            top.append(self._function(used))
+        if style < 0.35:
+            top.append(self._class(used))
+        names: list[str] = [
+            s.id.name for s in top if s.type in ("FunctionDeclaration", "ClassDeclaration")
+        ]
+        for _ in range(rng.randint(1, 3)):
+            name = self._fresh(used, self._var_name)
+            top.append(b.var_decl(name, self._expression(names), kind=rng.choice(("var", "let", "const"))))
+            names.append(name)
+        for _ in range(rng.randint(1, 4)):
+            top.append(self._statement(names, used))
+        if style >= 0.7:
+            # Node-module flavour: module.exports assignment.
+            exported = rng.sample(names, min(len(names), rng.randint(1, 3)))
+            props = [
+                Node(
+                    "Property",
+                    key=b.identifier(n),
+                    value=b.identifier(n),
+                    kind="init",
+                    method=False,
+                    shorthand=False,
+                    computed=False,
+                    start=0,
+                    end=0,
+                )
+                for n in exported
+            ]
+            top.append(
+                b.expr_statement(
+                    b.assign(
+                        b.member("module", "exports"),
+                        Node("ObjectExpression", properties=props, start=0, end=0),
+                    )
+                )
+            )
+        elif style < 0.3:
+            # Browser flavour: an event-handler registration.
+            handler_body = self._function_body([], used, rng.randint(1, 3))
+            top.append(
+                b.expr_statement(
+                    b.call(
+                        b.member("document", "addEventListener"),
+                        [b.string(rng.choice(("click", "load", "change", "submit"))), b.function_expr([], handler_body)],
+                    )
+                )
+            )
+        program = b.program(top)
+        source = generate(program)
+        return self._decorate_with_comments(source)
+
+    def _decorate_with_comments(self, source: str) -> str:
+        rng = self.rng
+        lines = source.split("\n")
+        out: list[str] = []
+        if rng.random() < 0.7:
+            out.append("/*")
+            out.append(" * " + rng.choice(_COMMENT_TEXTS))
+            out.append(" */")
+        if rng.random() < 0.3:
+            out.append('"use strict";')
+        for line in lines:
+            if line and not line[0].isspace() and rng.random() < 0.25:
+                out.append("// " + rng.choice(_COMMENT_TEXTS))
+            out.append(line)
+        return "\n".join(out)
+
+
+def generate_corpus(count: int, seed: int = 0, min_bytes: int = 512) -> list[str]:
+    """``count`` regular scripts, each at least ``min_bytes`` long."""
+    generator = ProgramGenerator(seed)
+    corpus: list[str] = []
+    while len(corpus) < count:
+        source = generator.generate_program()
+        if len(source) >= min_bytes:
+            corpus.append(source)
+    return corpus

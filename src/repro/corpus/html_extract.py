@@ -1,0 +1,93 @@
+"""Extraction of JavaScript from HTML pages (the crawling substrate).
+
+The paper statically scraped the start pages of Alexa sites "also
+including external scripts" (§IV-A).  This module implements the
+page-processing half of that crawler: given HTML text, return every inline
+``<script>`` body plus the ``src`` URLs of external scripts, skipping
+non-JavaScript script types (JSON data blocks, templates).
+
+A small state machine is used rather than a full HTML parser: script
+element extraction only needs tag boundaries, and real-world pages are too
+broken for strict parsing anyway.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_SCRIPT_OPEN_RE = re.compile(r"<script\b([^>]*)>", re.IGNORECASE | re.DOTALL)
+_SCRIPT_CLOSE_RE = re.compile(r"</script\s*>", re.IGNORECASE)
+_ATTR_RE = re.compile(
+    r"""([a-zA-Z-]+)\s*=\s*("([^"]*)"|'([^']*)'|([^\s>]+))""", re.DOTALL
+)
+
+#: script types that contain executable JavaScript (or no type at all).
+_JS_TYPES = frozenset(
+    {
+        "",
+        "text/javascript",
+        "application/javascript",
+        "application/x-javascript",
+        "module",
+        "text/ecmascript",
+    }
+)
+
+
+def _parse_attributes(raw: str) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    for match in _ATTR_RE.finditer(raw):
+        name = match.group(1).lower()
+        value = match.group(3) or match.group(4) or match.group(5) or ""
+        attributes[name] = value
+    # Bare boolean attributes (async, defer, nomodule).
+    for token in raw.split():
+        bare = token.strip().lower()
+        if bare.isalpha() and bare not in attributes:
+            attributes[bare] = ""
+    return attributes
+
+
+@dataclass
+class ExtractedScripts:
+    """Result of scanning one HTML document."""
+
+    inline: list[str] = field(default_factory=list)
+    external: list[str] = field(default_factory=list)
+    skipped_types: list[str] = field(default_factory=list)
+
+    @property
+    def script_count(self) -> int:
+        return len(self.inline) + len(self.external)
+
+
+def extract_scripts(html: str) -> ExtractedScripts:
+    """All JavaScript of an HTML page: inline bodies + external src URLs."""
+    result = ExtractedScripts()
+    position = 0
+    while True:
+        open_match = _SCRIPT_OPEN_RE.search(html, position)
+        if open_match is None:
+            break
+        attributes = _parse_attributes(open_match.group(1))
+        close_match = _SCRIPT_CLOSE_RE.search(html, open_match.end())
+        body_end = close_match.start() if close_match else len(html)
+        body = html[open_match.end() : body_end]
+        position = close_match.end() if close_match else len(html)
+
+        script_type = attributes.get("type", "").strip().lower()
+        if script_type not in _JS_TYPES:
+            result.skipped_types.append(script_type)
+            continue
+        src = attributes.get("src", "").strip()
+        if src:
+            result.external.append(src)
+        elif body.strip():
+            result.inline.append(body.strip())
+    return result
+
+
+def extract_inline_javascript(html: str) -> list[str]:
+    """Just the inline script bodies (convenience wrapper)."""
+    return extract_scripts(html).inline

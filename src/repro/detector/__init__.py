@@ -1,0 +1,34 @@
+"""The paper's two-level detection pipeline (§III).
+
+- :class:`~repro.detector.level1.Level1Detector` — regular / minified /
+  obfuscated multi-task classification (pre-filtering layer),
+- :class:`~repro.detector.level2.Level2Detector` — the ten monitored
+  transformation techniques with thresholded Top-k prediction,
+- :class:`~repro.detector.pipeline.TransformationDetector` — the combined
+  facade including §III-D training-set construction.
+"""
+
+from repro.detector.labels import (
+    LEVEL1_LABELS,
+    LEVEL2_LABELS,
+    level1_labels_for,
+    level1_vector,
+    level2_vector,
+)
+from repro.detector.level1 import Level1Detector
+from repro.detector.level2 import Level2Detector
+from repro.detector.pipeline import DetectionResult, TransformationDetector
+from repro.detector.training import TrainingData
+
+__all__ = [
+    "LEVEL1_LABELS",
+    "LEVEL2_LABELS",
+    "DetectionResult",
+    "Level1Detector",
+    "Level2Detector",
+    "TrainingData",
+    "TransformationDetector",
+    "level1_labels_for",
+    "level1_vector",
+    "level2_vector",
+]

@@ -1,0 +1,44 @@
+"""Label vocabularies for both detector levels (§III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transform.base import (
+    MINIFICATION_TECHNIQUES,
+    OBFUSCATION_TECHNIQUES,
+    TECHNIQUES,
+    Technique,
+)
+
+#: Level-1 classes: a file can be regular, minified, obfuscated — or both
+#: minified and obfuscated (multi-label).
+LEVEL1_LABELS: tuple[str, ...] = ("regular", "minified", "obfuscated")
+
+#: Level-2 classes: the ten monitored techniques, in a fixed order that
+#: defines the classifier-chain positions.
+LEVEL2_LABELS: tuple[str, ...] = tuple(t.value for t in TECHNIQUES)
+
+
+def level1_labels_for(techniques: frozenset | set) -> set[str]:
+    """Ground-truth level-1 label set for a technique combination."""
+    labels: set[str] = set()
+    techs = {Technique(t) if isinstance(t, str) else t for t in techniques}
+    if techs & MINIFICATION_TECHNIQUES:
+        labels.add("minified")
+    if techs & OBFUSCATION_TECHNIQUES:
+        labels.add("obfuscated")
+    if not labels:
+        labels.add("regular")
+    return labels
+
+
+def level1_vector(labels: set[str]) -> np.ndarray:
+    """Multi-hot vector over :data:`LEVEL1_LABELS`."""
+    return np.array([1 if name in labels else 0 for name in LEVEL1_LABELS], dtype=np.int64)
+
+
+def level2_vector(techniques: frozenset | set) -> np.ndarray:
+    """Multi-hot vector over :data:`LEVEL2_LABELS`."""
+    names = {Technique(t).value if isinstance(t, str) else t.value for t in techniques}
+    return np.array([1 if name in names else 0 for name in LEVEL2_LABELS], dtype=np.int64)

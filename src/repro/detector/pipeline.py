@@ -1,0 +1,123 @@
+"""The combined two-level detection pipeline (facade).
+
+``TransformationDetector.train()`` reproduces the full §III-D protocol —
+regular collection, per-technique transformation, balanced sampling — and
+fits both levels.  ``classify()`` then runs a script through level 1 and,
+if transformed, level 2.  Models pickle cleanly for reuse.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.detector.level1 import Level1Detector
+from repro.detector.level2 import Level2Detector
+from repro.detector.training import TrainingData
+
+
+@dataclass
+class DetectionResult:
+    """Classification outcome for one script."""
+
+    level1: set[str]
+    transformed: bool
+    techniques: list[tuple[str, float]] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        if not self.transformed:
+            return "regular"
+        tech = ", ".join(f"{name} ({p:.0%})" for name, p in self.techniques)
+        return f"{'/'.join(sorted(self.level1))}: {tech or 'unknown technique'}"
+
+
+class TransformationDetector:
+    """Train-once, classify-many facade over both detector levels."""
+
+    def __init__(
+        self,
+        n_estimators: int = 24,
+        max_depth: int = 16,
+        random_state: int = 0,
+        ngram_dims: int = 256,
+        use_chain: bool = True,
+        data_flow_timeout: float = 120.0,
+    ) -> None:
+        self.level1 = Level1Detector(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            random_state=random_state,
+            ngram_dims=ngram_dims,
+            use_chain=use_chain,
+            data_flow_timeout=data_flow_timeout,
+        )
+        self.level2 = Level2Detector(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            random_state=random_state,
+            ngram_dims=ngram_dims,
+            use_chain=use_chain,
+            data_flow_timeout=data_flow_timeout,
+        )
+
+    # -- training ------------------------------------------------------------
+
+    def train(
+        self,
+        n_regular: int = 120,
+        seed: int = 0,
+        level1_per_class: int | None = None,
+        level2_per_technique: int | None = None,
+        training_data: TrainingData | None = None,
+    ) -> "TransformationDetector":
+        """Full §III-D protocol at a configurable scale."""
+        data = training_data or TrainingData.build(n_regular=n_regular, seed=seed)
+        rng = random.Random(seed + 17)
+        per_class = level1_per_class or max(8, len(data.regular) // 2)
+        per_technique = level2_per_technique or max(8, len(data.regular) // 2)
+        level1_set = data.level1_set(per_class, rng)
+        self.level1.fit(level1_set.sources, level1_set.Y)
+        level2_set = data.level2_set(per_technique, rng)
+        self.level2.fit(level2_set.sources, level2_set.Y)
+        return self
+
+    # -- inference -------------------------------------------------------------
+
+    def classify(self, source: str, k: int = 4, threshold: float = 0.10) -> DetectionResult:
+        """Two-stage classification of one script."""
+        return self.classify_many([source], k=k, threshold=threshold)[0]
+
+    def classify_many(
+        self, sources: list[str], k: int = 4, threshold: float = 0.10
+    ) -> list[DetectionResult]:
+        """Classify a batch; level 2 runs only on level-1-flagged files."""
+        level1_labels = self.level1.predict_labels(sources)
+        transformed_mask = [bool(ls & {"minified", "obfuscated"}) for ls in level1_labels]
+        transformed_sources = [s for s, t in zip(sources, transformed_mask) if t]
+        techniques_iter = iter(
+            self.level2.predict_techniques(transformed_sources, k=k, threshold=threshold)
+            if transformed_sources
+            else []
+        )
+        results: list[DetectionResult] = []
+        for labels, transformed in zip(level1_labels, transformed_mask):
+            techniques = next(techniques_iter) if transformed else []
+            results.append(DetectionResult(labels, transformed, techniques))
+        return results
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Pickle the trained detector to ``path``."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @staticmethod
+    def load(path: str | Path) -> "TransformationDetector":
+        with open(path, "rb") as handle:
+            detector = pickle.load(handle)
+        if not isinstance(detector, TransformationDetector):
+            raise TypeError(f"{path} does not contain a TransformationDetector")
+        return detector

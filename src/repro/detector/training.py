@@ -1,0 +1,122 @@
+"""Training-set construction following §III-D.
+
+The paper collects 21,000 regular scripts, transforms each with all ten
+techniques (stored separately), then samples balanced training sets:
+
+- level 1: equal thirds regular / minified / obfuscated, the minified
+  third split equally over the 2 minification techniques and the
+  obfuscated third over the 8 obfuscation techniques;
+- level 2: an equal number of samples per technique.
+
+:class:`TrainingData` reproduces that protocol at a configurable scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.generator import generate_corpus
+from repro.detector.labels import level1_vector, level1_labels_for, level2_vector
+from repro.transform.base import (
+    MINIFICATION_TECHNIQUES,
+    OBFUSCATION_TECHNIQUES,
+    TECHNIQUES,
+    Technique,
+    get_transformer,
+)
+
+
+@dataclass
+class LabeledSet:
+    """Sources with aligned multi-hot label matrix."""
+
+    sources: list[str]
+    Y: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+
+@dataclass
+class TrainingData:
+    """The §III-D pools: regular scripts and their 10 transformed variants."""
+
+    regular: list[str]
+    variants: dict[Technique, list[tuple[str, frozenset]]] = field(default_factory=dict)
+    seed: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        n_regular: int = 120,
+        seed: int = 0,
+        regular_sources: list[str] | None = None,
+    ) -> "TrainingData":
+        """Generate the regular pool and transform it with every technique."""
+        regular = (
+            list(regular_sources)
+            if regular_sources is not None
+            else generate_corpus(n_regular, seed=seed)
+        )
+        rng = random.Random(seed + 1)
+        variants: dict[Technique, list[tuple[str, frozenset]]] = {}
+        for technique in TECHNIQUES:
+            transformer = get_transformer(technique)
+            pool: list[tuple[str, frozenset]] = []
+            for source in regular:
+                transformed = transformer.transform(source, rng)
+                pool.append((transformed, transformer.labels))
+            variants[technique] = pool
+        return cls(regular=regular, variants=variants, seed=seed)
+
+    # -- balanced samples ------------------------------------------------------
+
+    def level1_set(
+        self,
+        per_class: int,
+        rng: random.Random,
+        exclude: set[int] | None = None,
+    ) -> LabeledSet:
+        """Equal thirds regular/minified/obfuscated (§III-D2)."""
+        indices = [i for i in range(len(self.regular)) if not exclude or i not in exclude]
+        sources: list[str] = []
+        rows: list[np.ndarray] = []
+        chosen = rng.sample(indices, min(per_class, len(indices)))
+        for index in chosen:
+            sources.append(self.regular[index])
+            rows.append(level1_vector({"regular"}))
+        minification = sorted(MINIFICATION_TECHNIQUES, key=lambda t: t.value)
+        per_min = max(1, per_class // len(minification))
+        for technique in minification:
+            for index in rng.sample(indices, min(per_min, len(indices))):
+                transformed, labels = self.variants[technique][index]
+                sources.append(transformed)
+                rows.append(level1_vector(level1_labels_for(labels)))
+        obfuscation = sorted(OBFUSCATION_TECHNIQUES, key=lambda t: t.value)
+        per_obf = max(1, per_class // len(obfuscation))
+        for technique in obfuscation:
+            for index in rng.sample(indices, min(per_obf, len(indices))):
+                transformed, labels = self.variants[technique][index]
+                sources.append(transformed)
+                rows.append(level1_vector(level1_labels_for(labels)))
+        return LabeledSet(sources, np.vstack(rows))
+
+    def level2_set(
+        self,
+        per_technique: int,
+        rng: random.Random,
+        exclude: set[int] | None = None,
+    ) -> LabeledSet:
+        """Equal samples per technique (§III-D2, level 2)."""
+        indices = [i for i in range(len(self.regular)) if not exclude or i not in exclude]
+        sources: list[str] = []
+        rows: list[np.ndarray] = []
+        for technique in TECHNIQUES:
+            for index in rng.sample(indices, min(per_technique, len(indices))):
+                transformed, labels = self.variants[technique][index]
+                sources.append(transformed)
+                rows.append(level2_vector(labels))
+        return LabeledSet(sources, np.vstack(rows))

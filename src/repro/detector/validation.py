@@ -1,0 +1,109 @@
+"""Model selection on a validation set (§III-D3).
+
+The paper compares two off-the-shelf multi-task strategies — classifier
+chain [41] and independence assumption [43] — on validation data disjoint
+from the training set, for both levels, and selects the random-forest
+classifier chain.  This module reproduces that selection experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detector.labels import LEVEL1_LABELS, LEVEL2_LABELS
+from repro.detector.training import TrainingData
+from repro.features.extractor import FeatureExtractor
+from repro.ml.forest import ForestSpec
+from repro.ml.metrics import exact_match_accuracy, label_accuracy
+from repro.ml.multilabel import BinaryRelevance, ClassifierChain
+
+
+@dataclass
+class StrategyScore:
+    """Validation result of one multi-task strategy."""
+
+    strategy: str
+    exact_match: float
+    mean_label_accuracy: float
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of the §III-D3 comparison for one detector level."""
+
+    level: int
+    scores: list[StrategyScore]
+
+    @property
+    def winner(self) -> str:
+        return max(self.scores, key=lambda s: (s.exact_match, s.mean_label_accuracy)).strategy
+
+
+def _split_indices(n: int, validation_fraction: float, rng: random.Random):
+    indices = list(range(n))
+    rng.shuffle(indices)
+    cut = max(1, int(n * validation_fraction))
+    return set(indices[cut:]), set(indices[:cut])
+
+
+def compare_strategies(
+    data: TrainingData,
+    level: int,
+    per_class: int = 12,
+    n_estimators: int = 10,
+    validation_fraction: float = 0.3,
+    seed: int = 0,
+) -> ValidationResult:
+    """Train chain and independent models on disjoint splits; score both."""
+    rng = random.Random(seed)
+    train_pool, validation_pool = _split_indices(
+        len(data.regular), validation_fraction, rng
+    )
+    if level == 1:
+        train = data.level1_set(per_class, rng, exclude=validation_pool)
+        validation = data.level1_set(per_class, rng, exclude=train_pool)
+        n_labels = len(LEVEL1_LABELS)
+    else:
+        train = data.level2_set(per_class, rng, exclude=validation_pool)
+        validation = data.level2_set(per_class, rng, exclude=train_pool)
+        n_labels = len(LEVEL2_LABELS)
+
+    extractor = FeatureExtractor(level=level)
+    X_train = extractor.extract_matrix(train.sources)
+    X_validation = extractor.extract_matrix(validation.sources)
+
+    scores: list[StrategyScore] = []
+    for strategy, model_cls in (("chain", ClassifierChain), ("independent", BinaryRelevance)):
+        model = model_cls(
+            n_labels=n_labels,
+            factory=ForestSpec(n_estimators=n_estimators, random_state=seed),
+        )
+        model.fit(X_train, train.Y)
+        prediction = (model.predict_proba(X_validation) >= 0.5).astype(np.int64)
+        scores.append(
+            StrategyScore(
+                strategy=strategy,
+                exact_match=exact_match_accuracy(validation.Y, prediction),
+                mean_label_accuracy=float(label_accuracy(validation.Y, prediction).mean()),
+            )
+        )
+    return ValidationResult(level=level, scores=scores)
+
+
+def select_strategy(
+    data: TrainingData,
+    per_class: int = 12,
+    n_estimators: int = 10,
+    seed: int = 0,
+) -> dict:
+    """Run the §III-D3 selection for both levels; returns the verdicts."""
+    level1 = compare_strategies(data, level=1, per_class=per_class, n_estimators=n_estimators, seed=seed)
+    level2 = compare_strategies(data, level=2, per_class=per_class, n_estimators=n_estimators, seed=seed)
+    return {
+        "level1": level1,
+        "level2": level2,
+        "use_chain": level1.winner == "chain" or level2.winner == "chain",
+    }

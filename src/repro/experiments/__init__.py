@@ -1,0 +1,11 @@
+"""Per-table / per-figure experiment harness.
+
+Every module reproduces one table or figure from the paper's evaluation
+(see DESIGN.md §4 for the full index).  Each exposes a ``run(...)``
+function returning a plain-dict result and a ``report(result)`` function
+printing the same rows/series the paper reports.
+"""
+
+from repro.experiments.common import ExperimentContext, measure_corpus
+
+__all__ = ["ExperimentContext", "measure_corpus"]

@@ -1,0 +1,86 @@
+"""Figures 2 & 3 — transformation techniques in the wild (§IV-B).
+
+Figure 2: Alexa Top 10k — 68.60% of scripts transformed (68.20% minified,
+0.40% obfuscated), 89.4% of sites with ≥1 transformed script; technique
+mix led by minification simple (45.96%) and advanced (40.24%), identifier
+obfuscation at 5.72%, everything else under 1.94%.
+
+Figure 3: npm Top 10k — 8.7% transformed (8.46% minified, 0.25%
+obfuscated), 15.14% of packages; mix led by minification simple (58.34%)
+and advanced (36.57%).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.datasets import alexa_top, npm_top
+from repro.experiments.common import ExperimentContext, measure_corpus
+
+PAPER_ALEXA = {
+    "transformed_rate": 0.6860,
+    "minified_rate": 0.6820,
+    "obfuscated_rate": 0.0040,
+    "container_rate": 0.894,
+    "minification_simple": 0.4596,
+    "minification_advanced": 0.4024,
+    "identifier_obfuscation": 0.0572,
+}
+
+PAPER_NPM = {
+    "transformed_rate": 0.087,
+    "minified_rate": 0.0846,
+    "obfuscated_rate": 0.0025,
+    "container_rate": 0.1514,
+    "minification_simple": 0.5834,
+    "minification_advanced": 0.3657,
+}
+
+
+def run_alexa(context: ExperimentContext, n_scripts: int = 150, seed: int = 0) -> dict:
+    """Run the Alexa variant of the experiment; returns a result dict."""
+    scripts = alexa_top(n_scripts, seed=seed)
+    measurement = measure_corpus(context.detector, scripts)
+    planted = sum(1 for s in scripts if s.transformed) / len(scripts)
+    return {
+        "measurement": measurement,
+        "planted_transformed_rate": planted,
+        "paper": PAPER_ALEXA,
+    }
+
+
+def run_npm(context: ExperimentContext, n_scripts: int = 150, seed: int = 0) -> dict:
+    """Run the npm variant of the experiment; returns a result dict."""
+    scripts = npm_top(n_scripts, seed=seed)
+    measurement = measure_corpus(context.detector, scripts)
+    planted = sum(1 for s in scripts if s.transformed) / len(scripts)
+    return {
+        "measurement": measurement,
+        "planted_transformed_rate": planted,
+        "paper": PAPER_NPM,
+    }
+
+
+def report(result: dict, name: str) -> str:
+    """Render the experiment result as the paper-style text block."""
+    m = result["measurement"]
+    paper = result["paper"]
+    lines = [
+        f"Figure {'2 (Alexa Top 10k)' if name == 'alexa' else '3 (npm Top 10k)'}:",
+        f"  scripts analysed: {m.n_scripts}",
+        f"  transformed: paper {paper['transformed_rate']:.2%} -> measured "
+        f"{m.transformed_rate:.2%} (planted {result['planted_transformed_rate']:.2%})",
+        f"  minified:    paper {paper['minified_rate']:.2%} -> measured {m.minified_rate:.2%}",
+        f"  obfuscated:  paper {paper['obfuscated_rate']:.2%} -> measured {m.obfuscated_rate:.2%}",
+        f"  containers with >=1 transformed: paper {paper['container_rate']:.1%} -> "
+        f"measured {m.container_rate:.1%}",
+        "  technique probability (mean level-2 confidence on transformed scripts):",
+    ]
+    ranked = sorted(m.technique_probability.items(), key=lambda kv: -kv[1])
+    for technique, probability in ranked:
+        paper_value = paper.get(technique)
+        suffix = f" (paper {paper_value:.2%})" if paper_value is not None else ""
+        lines.append(f"    {technique:<26} {probability:.2%}{suffix}")
+    from repro.experiments.plotting import technique_mix_chart
+
+    lines.append("")
+    lines.append(technique_mix_chart(m.technique_probability))
+    return "\n".join(lines)

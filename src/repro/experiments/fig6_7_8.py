@@ -1,0 +1,115 @@
+"""Figures 6–8 — longitudinal analysis 2015-05 … 2020-09 (§IV-D).
+
+- Fig. 6: the share of transformed scripts per month — Alexa rising
+  steadily; npm in three phases (≈7.4% noisy, ≈17.95%, ≈15.17%).
+- Fig. 7: Alexa technique mix over time — minification simple
+  38.74%→47.02%, advanced 43.77%→40%, identifier obfuscation 8.23%→6.21%.
+- Fig. 8: npm technique mix over time — stable around 58.62% simple /
+  34.28% advanced / 9.71% identifier obfuscation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.datasets import (
+    N_MONTHS,
+    Script,
+    longitudinal_alexa,
+    longitudinal_npm,
+    month_label,
+)
+from repro.experiments.common import ExperimentContext, measure_corpus
+
+
+def _sample_months(n_points: int) -> list[int]:
+    return [int(i * (N_MONTHS - 1) / max(1, n_points - 1)) for i in range(n_points)]
+
+
+def _measure_months(
+    context: ExperimentContext, scripts: list[Script]
+) -> dict[int, dict]:
+    by_month: dict[int, list[Script]] = {}
+    for script in scripts:
+        by_month.setdefault(script.month, []).append(script)
+    results = {}
+    for month, month_scripts in sorted(by_month.items()):
+        measurement = measure_corpus(context.detector, month_scripts)
+        results[month] = {
+            "label": month_label(month),
+            "transformed_rate": measurement.transformed_rate,
+            "technique_probability": measurement.technique_probability,
+            "planted_rate": float(np.mean([s.transformed for s in month_scripts])),
+        }
+    return results
+
+
+def run_alexa(
+    context: ExperimentContext,
+    scripts_per_month: int = 25,
+    n_points: int = 6,
+    seed: int = 0,
+) -> dict:
+    """Run the Alexa variant of the experiment; returns a result dict."""
+    months = _sample_months(n_points)
+    scripts = longitudinal_alexa(scripts_per_month, seed=seed, months=months)
+    return {"months": _measure_months(context, scripts)}
+
+
+def run_npm(
+    context: ExperimentContext,
+    scripts_per_month: int = 25,
+    n_points: int = 6,
+    seed: int = 0,
+) -> dict:
+    """Run the npm variant of the experiment; returns a result dict."""
+    months = _sample_months(n_points)
+    scripts = longitudinal_npm(scripts_per_month, seed=seed, months=months)
+    return {"months": _measure_months(context, scripts)}
+
+
+def trend_slope(result: dict) -> float:
+    """Least-squares slope of the transformed rate over the month index."""
+    months = sorted(result["months"])
+    rates = [result["months"][m]["transformed_rate"] for m in months]
+    if len(months) < 2:
+        return 0.0
+    return float(np.polyfit(months, rates, 1)[0])
+
+
+def report(alexa: dict, npm: dict) -> str:
+    """Render the experiment result as the paper-style text block."""
+    lines = ["Figure 6: transformed share over time"]
+    lines.append("  Alexa Top 2k:")
+    for month in sorted(alexa["months"]):
+        row = alexa["months"][month]
+        lines.append(
+            f"    {row['label']}: measured {row['transformed_rate']:.2%} "
+            f"(planted {row['planted_rate']:.2%})"
+        )
+    from repro.experiments.plotting import monthly_series
+
+    lines.append(monthly_series(alexa["months"]))
+    lines.append(f"  Alexa trend slope: {trend_slope(alexa):+.5f}/month (paper: rising)")
+    lines.append("  npm Top 2k:")
+    for month in sorted(npm["months"]):
+        row = npm["months"][month]
+        lines.append(
+            f"    {row['label']}: measured {row['transformed_rate']:.2%} "
+            f"(planted {row['planted_rate']:.2%})"
+        )
+    lines.append("Figure 7: Alexa technique mix (first vs last sampled month)")
+    months = sorted(alexa["months"])
+    for technique in ("minification_simple", "minification_advanced", "identifier_obfuscation"):
+        first = alexa["months"][months[0]]["technique_probability"].get(technique, 0.0)
+        last = alexa["months"][months[-1]]["technique_probability"].get(technique, 0.0)
+        lines.append(f"  {technique:<26} {first:.2%} -> {last:.2%}")
+    lines.append("Figure 8: npm technique mix (average over sampled months)")
+    npm_months = sorted(npm["months"])
+    for technique in ("minification_simple", "minification_advanced", "identifier_obfuscation"):
+        values = [
+            npm["months"][m]["technique_probability"].get(technique, 0.0)
+            for m in npm_months
+        ]
+        lines.append(f"  {technique:<26} avg {float(np.mean(values)):.2%}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Text rendering of the paper's figures (line series and bar charts).
+
+The original figures are matplotlib plots; offline we render the same
+series as unicode-free ASCII so every figure is regenerable straight into
+a terminal or a log file.  Each helper takes the data produced by the
+corresponding ``repro.experiments`` module.
+"""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    items: list[tuple[str, float]],
+    width: int = 40,
+    max_value: float | None = None,
+    percent: bool = True,
+) -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    if not items:
+        return "(no data)"
+    top = max_value if max_value is not None else max(value for _l, value in items)
+    top = max(top, 1e-9)
+    label_width = max(len(label) for label, _v in items)
+    rows = []
+    for label, value in items:
+        filled = int(round(min(value / top, 1.0) * width))
+        bar = "#" * filled + "." * (width - filled)
+        shown = f"{value:.1%}" if percent else f"{value:.3g}"
+        rows.append(f"{label:<{label_width}} |{bar}| {shown}")
+    return "\n".join(rows)
+
+
+def line_series(
+    points: list[tuple[str, float]],
+    height: int = 10,
+    percent: bool = True,
+) -> str:
+    """Simple column chart over ordered (x-label, value) points."""
+    if not points:
+        return "(no data)"
+    values = [value for _x, value in points]
+    top = max(max(values), 1e-9)
+    rows: list[str] = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        cells = ["█" if value >= threshold else " " for value in values]
+        axis = f"{threshold:>6.1%} |" if percent else f"{threshold:>8.3g} |"
+        rows.append(axis + " " + "  ".join(cells))
+    rows.append(" " * 8 + "+" + "-" * (3 * len(values)))
+    labels = [x[-5:] for x, _v in points]
+    rows.append(" " * 9 + " ".join(f"{label:<2}"[:2] for label in labels))
+    rows.append(" " * 9 + "x: " + ", ".join(x for x, _v in points))
+    return "\n".join(rows)
+
+
+def technique_mix_chart(probabilities: dict[str, float], width: int = 40) -> str:
+    """Figure 2/3/5-style chart of technique probabilities, sorted."""
+    items = sorted(probabilities.items(), key=lambda kv: -kv[1])
+    return bar_chart(items, width=width)
+
+
+def topk_table(rows: list[dict]) -> str:
+    """Figure 1-style table of k / accuracy / wrong / missing."""
+    lines = [f"{'k':>3} {'accuracy':>9} {'wrong':>6} {'missing':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['k']:>3} {row['accuracy']:>9.1%} "
+            f"{row['avg_wrong']:>6.2f} {row['avg_missing']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def monthly_series(months: dict[int, dict], key: str = "transformed_rate") -> str:
+    """Figure 6-style series over the longitudinal month dict."""
+    points = [
+        (months[m]["label"], months[m][key]) for m in sorted(months)
+    ]
+    return line_series(points)

@@ -1,0 +1,96 @@
+"""End-to-end experiment runner.
+
+``python -m repro.experiments.runner [--scale small|medium]`` trains the
+detectors once and regenerates every table and figure, printing the paper
+value next to each measured value.  The benchmark suite runs the same
+functions with assertions on the shape of the results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import accuracy, fig1, fig2_3, fig4, fig5, fig6_7_8, summary, table1
+from repro.experiments.common import ExperimentContext, Scale
+
+SCALES = {
+    "tiny": Scale(n_regular=24, level1_per_class=12, level2_per_technique=12, n_estimators=12),
+    "small": Scale(n_regular=60, level1_per_class=30, level2_per_technique=30, n_estimators=16),
+    "medium": Scale(n_regular=150, level1_per_class=75, level2_per_technique=75, n_estimators=24),
+}
+
+
+def run_all(scale_name: str = "small", cache_dir: str | None = None, out=sys.stdout) -> dict:
+    """Train once, then regenerate every table and figure."""
+    scale = SCALES[scale_name]
+    t0 = time.time()
+    print(f"[runner] training detectors at scale {scale_name!r} …", file=out)
+    context = ExperimentContext.get(scale, cache_dir=cache_dir)
+    print(f"[runner] trained in {time.time() - t0:.0f}s", file=out)
+
+    results: dict = {}
+
+    results["table1"] = table1.run()
+    print(table1.report(results["table1"]), file=out)
+    print(file=out)
+
+    ts1 = accuracy.run_test_set_1(context)
+    ts2 = accuracy.run_test_set_2(context)
+    ts3 = accuracy.run_test_set_3(context)
+    regular = accuracy.run_regular_corpus_check(context)
+    results["accuracy"] = {"ts1": ts1, "ts2": ts2, "ts3": ts3, "regular": regular}
+    print(accuracy.report(ts1, ts2, ts3, regular), file=out)
+    print(file=out)
+
+    fig1a = fig1.run_topk_curves(ts2["proba"], ts2["Y"])
+    fig1b = fig1.run_thresholded_curves(ts2["proba"], ts2["Y"])
+    fig1c = fig1.run_detectable_techniques(ts2["proba"], ts2["Y"])
+    results["fig1"] = {"a": fig1a, "b": fig1b, "c": fig1c}
+    print(fig1.report(fig1a, fig1b, fig1c), file=out)
+    print(file=out)
+
+    alexa = fig2_3.run_alexa(context)
+    npm = fig2_3.run_npm(context)
+    results["fig2"] = alexa
+    results["fig3"] = npm
+    print(fig2_3.report(alexa, "alexa"), file=out)
+    print(fig2_3.report(npm, "npm"), file=out)
+    print(file=out)
+
+    alexa_ranks = fig4.run_alexa_ranks(context)
+    npm_ranks = fig4.run_npm_ranks(context)
+    results["fig4"] = {"alexa": alexa_ranks, "npm": npm_ranks}
+    print(fig4.report(alexa_ranks, npm_ranks), file=out)
+    print(file=out)
+
+    malicious = fig5.run(context)
+    results["fig5"] = malicious
+    print(fig5.report(malicious), file=out)
+    print(file=out)
+
+    alexa_time = fig6_7_8.run_alexa(context)
+    npm_time = fig6_7_8.run_npm(context)
+    results["fig6_7_8"] = {"alexa": alexa_time, "npm": npm_time}
+    print(fig6_7_8.report(alexa_time, npm_time), file=out)
+    print(file=out)
+
+    results["summary"] = summary.run(context)
+    print(summary.report(results["summary"]), file=out)
+
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """argparse entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--cache-dir", default=".cache")
+    args = parser.parse_args(argv)
+    run_all(args.scale, cache_dir=args.cache_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

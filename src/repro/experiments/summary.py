@@ -1,0 +1,119 @@
+"""§IV-E — summary of code transformations (benign vs. malicious).
+
+The paper's closing measurement: one table contrasting the technique
+probabilities of benign client-side (Alexa), benign library (npm) and
+malicious JavaScript, supporting its headline claims —
+
+- minification dominates benign code (68.20% of Alexa scripts minified vs
+  8.46% for npm),
+- identifier obfuscation: 25–37% in malware vs < 6.2% benign,
+- string obfuscation: 17–21% in malware vs < 3.3% benign,
+- more than half of the monitored obfuscation techniques sit at 5–10%
+  usage in malware but mostly ≤ 3% in benign code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.datasets import alexa_top, npm_top
+from repro.corpus.malicious import MaliciousGenerator
+from repro.detector.labels import LEVEL2_LABELS
+from repro.experiments.common import ExperimentContext, measure_corpus
+from repro.experiments.fig5 import _to_scripts
+
+PAPER_CLAIMS = {
+    "identifier_obfuscation": {"malicious_min": 0.25, "benign_max": 0.062},
+    "string_obfuscation": {"malicious_min": 0.17, "benign_max": 0.033},
+}
+
+
+def run(
+    context: ExperimentContext,
+    n_benign: int = 100,
+    n_malicious_per_source: int = 30,
+    seed: int = 0,
+) -> dict:
+    """Measure all corpora and assemble the §IV-E comparison."""
+    alexa = measure_corpus(context.detector, alexa_top(n_benign, seed=seed))
+    npm = measure_corpus(context.detector, npm_top(n_benign, seed=seed))
+    malicious = [
+        measure_corpus(
+            context.detector,
+            _to_scripts(MaliciousGenerator(origin, seed=seed).generate(n_malicious_per_source)),
+        )
+        for origin in ("dnc", "hynek", "bsi")
+    ]
+
+    table: dict[str, dict[str, float]] = {}
+    for technique in LEVEL2_LABELS:
+        table[technique] = {
+            "alexa": alexa.technique_probability[technique],
+            "npm": npm.technique_probability[technique],
+            "malicious": float(
+                np.mean([m.technique_probability[technique] for m in malicious])
+            ),
+        }
+    return {
+        "technique_table": table,
+        "transformed_rates": {
+            "alexa": alexa.transformed_rate,
+            "npm": npm.transformed_rate,
+            "malicious": float(np.mean([m.transformed_rate for m in malicious])),
+        },
+        "minified_rates": {
+            "alexa": alexa.minified_rate,
+            "npm": npm.minified_rate,
+        },
+    }
+
+
+def check_claims(result: dict) -> dict[str, bool]:
+    """Evaluate the paper's §IV-E claims on the measured table.
+
+    Absolute numbers differ at reproduction scale, so each claim is checked
+    as the *contrast direction* with a margin: malicious ≥ 2× benign for
+    the obfuscation techniques, benign led by minification, Alexa minified
+    far more than npm.
+    """
+    table = result["technique_table"]
+    benign_max = {
+        technique: max(values["alexa"], values["npm"])
+        for technique, values in table.items()
+    }
+    checks = {
+        "identifier_obf_contrast": table["identifier_obfuscation"]["malicious"]
+        >= 2 * benign_max["identifier_obfuscation"],
+        "string_obf_contrast": table["string_obfuscation"]["malicious"]
+        >= 2 * benign_max["string_obfuscation"],
+        "benign_led_by_minification": max(
+            table, key=lambda t: table[t]["alexa"]
+        ).startswith("minification"),
+        "alexa_more_minified_than_npm": result["minified_rates"]["alexa"]
+        > 3 * result["minified_rates"]["npm"],
+    }
+    return checks
+
+
+def report(result: dict) -> str:
+    """Render the experiment result as the paper-style text block."""
+    lines = [
+        "§IV-E summary: technique probability (benign vs malicious)",
+        f"{'technique':<26} {'Alexa':>8} {'npm':>8} {'malicious':>10}",
+    ]
+    for technique, values in sorted(
+        result["technique_table"].items(), key=lambda kv: -kv[1]["malicious"]
+    ):
+        lines.append(
+            f"{technique:<26} {values['alexa']:>8.1%} {values['npm']:>8.1%} "
+            f"{values['malicious']:>10.1%}"
+        )
+    rates = result["transformed_rates"]
+    lines.append(
+        f"transformed share: Alexa {rates['alexa']:.1%}, npm {rates['npm']:.1%}, "
+        f"malicious {rates['malicious']:.1%}"
+    )
+    checks = check_claims(result)
+    for name, ok in checks.items():
+        lines.append(f"  claim {name}: {'HOLDS' if ok else 'VIOLATED'}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""AST enhancement with control and data flows (JSTAP-style, per §III-A)."""
+
+from repro.flows.cfg import CONTROL_FLOW_TYPES, build_control_flow
+from repro.flows.dfg import build_data_flow
+from repro.flows.graph import EnhancedAST, enhance
+
+__all__ = [
+    "CONTROL_FLOW_TYPES",
+    "EnhancedAST",
+    "build_control_flow",
+    "build_data_flow",
+    "enhance",
+]

@@ -1,0 +1,193 @@
+"""Control-flow edges over the AST.
+
+Following the paper (§III-A), control flow is restricted to nodes that
+influence execution paths: *statement* nodes, ``CatchClause`` and
+``ConditionalExpression``.  The pass produces directed edges
+``(source, target, label)`` between such nodes:
+
+- sequential edges between consecutive statements of a block,
+- branch edges from conditionals to their arms (``true`` / ``false``),
+- loop edges including the back edge,
+- ``switch`` discrimination edges to each case,
+- exception edges from a ``try`` block to its handler and finalizer.
+"""
+
+from __future__ import annotations
+
+from repro.js.ast_nodes import Node, iter_child_nodes
+
+# Statement-level node types (ESTree); these participate in control flow.
+STATEMENT_TYPES = frozenset(
+    {
+        "Program",
+        "ExpressionStatement",
+        "BlockStatement",
+        "EmptyStatement",
+        "DebuggerStatement",
+        "WithStatement",
+        "ReturnStatement",
+        "LabeledStatement",
+        "BreakStatement",
+        "ContinueStatement",
+        "IfStatement",
+        "SwitchStatement",
+        "SwitchCase",
+        "ThrowStatement",
+        "TryStatement",
+        "WhileStatement",
+        "DoWhileStatement",
+        "ForStatement",
+        "ForInStatement",
+        "ForOfStatement",
+        "VariableDeclaration",
+        "FunctionDeclaration",
+        "ClassDeclaration",
+        "ImportDeclaration",
+        "ExportNamedDeclaration",
+        "ExportDefaultDeclaration",
+        "ExportAllDeclaration",
+    }
+)
+
+CONTROL_FLOW_TYPES = STATEMENT_TYPES | {"CatchClause", "ConditionalExpression"}
+
+
+class ControlFlowEdge:
+    """One directed control-flow edge."""
+
+    __slots__ = ("source", "target", "label")
+
+    def __init__(self, source: Node, target: Node, label: str) -> None:
+        self.source = source
+        self.target = target
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CF({self.source.type} -{self.label}-> {self.target.type})"
+
+
+def build_control_flow(program: Node) -> list[ControlFlowEdge]:
+    """Build the control-flow edge list for a parsed program.
+
+    Edges are also attached to nodes as ``flow_out`` / ``flow_in`` lists so
+    graph traversals can run without the global edge list.
+    """
+    edges: list[ControlFlowEdge] = []
+
+    def add(source: Node, target: Node | None, label: str) -> None:
+        if target is None:
+            return
+        edge = ControlFlowEdge(source, target, label)
+        edges.append(edge)
+        source.__dict__.setdefault("flow_out", []).append(edge)
+        target.__dict__.setdefault("flow_in", []).append(edge)
+
+    def sequence(statements: list[Node]) -> None:
+        for first, second in zip(statements, statements[1:]):
+            add(first, second, "next")
+        for statement in statements:
+            visit(statement)
+
+    def visit(node: Node | None) -> None:
+        if node is None:
+            return
+        kind = node.type
+        if kind in ("Program", "BlockStatement"):
+            if node.body:
+                add(node, node.body[0], "enter")
+                sequence(node.body)
+            return
+        if kind == "IfStatement":
+            add(node, node.consequent, "true")
+            visit(node.consequent)
+            if node.alternate is not None:
+                add(node, node.alternate, "false")
+                visit(node.alternate)
+            return
+        if kind in ("WhileStatement", "DoWhileStatement"):
+            add(node, node.body, "true")
+            add(node.body, node, "loop")
+            visit(node.body)
+            return
+        if kind in ("ForStatement", "ForInStatement", "ForOfStatement"):
+            add(node, node.body, "true")
+            add(node.body, node, "loop")
+            if kind == "ForStatement" and node.init is not None and node.init.type == "VariableDeclaration":
+                add(node, node.init, "init")
+            visit(node.body)
+            return
+        if kind == "SwitchStatement":
+            for case in node.cases:
+                add(node, case, "case")
+                if case.consequent:
+                    add(case, case.consequent[0], "enter")
+                    sequence(case.consequent)
+            return
+        if kind == "TryStatement":
+            add(node, node.block, "try")
+            visit(node.block)
+            if node.handler is not None:
+                add(node, node.handler, "catch")
+                add(node.handler, node.handler.body, "enter")
+                visit(node.handler.body)
+            if node.finalizer is not None:
+                add(node, node.finalizer, "finally")
+                visit(node.finalizer)
+            return
+        if kind == "LabeledStatement":
+            add(node, node.body, "label")
+            visit(node.body)
+            return
+        if kind == "WithStatement":
+            add(node, node.body, "with")
+            visit(node.body)
+            return
+        if kind in ("FunctionDeclaration",):
+            add(node, node.body, "function")
+            visit(node.body)
+            return
+        # Expression-bearing statements: descend to find nested functions,
+        # conditional expressions, and function expressions.
+        for child in _nested_flow_roots(node):
+            if child.type == "ConditionalExpression":
+                add(node, child, "test")
+                _conditional_edges(child, add)
+            else:
+                add(node, child.body, "function")
+                visit(child.body)
+        return
+
+    def _conditional_edges(cond: Node, adder) -> None:
+        for arm, label in ((cond.consequent, "true"), (cond.alternate, "false")):
+            target = arm if arm.type == "ConditionalExpression" else None
+            if target is not None:
+                adder(cond, target, label)
+                _conditional_edges(target, adder)
+
+    visit(program)
+    return edges
+
+
+def _nested_flow_roots(statement: Node) -> list[Node]:
+    """Find flow-relevant nodes nested inside an expression statement.
+
+    Returns function-like nodes with block bodies and top conditional
+    expressions, without descending into nested functions (they are visited
+    when reached).
+    """
+    roots: list[Node] = []
+    stack = [statement]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first:
+            if node.type in ("FunctionExpression", "ArrowFunctionExpression", "FunctionDeclaration"):
+                if node.body.type == "BlockStatement":
+                    roots.append(node)
+                    continue
+            if node.type == "ConditionalExpression":
+                roots.append(node)
+                continue
+        first = False
+        stack.extend(iter_child_nodes(node))
+    return roots

@@ -1,0 +1,78 @@
+"""Data-flow edges between ``Identifier`` nodes.
+
+Per the paper (§III-A): *"we only consider data flows on Identifier nodes,
+i.e., there is a data flow between two Identifier nodes if and only if a
+variable is defined at the source node and used at the destination node."*
+
+Definition sites are declaration identifiers and assignment targets (from
+the scope analysis); use sites are value references of the same binding.
+A configurable timeout mirrors the paper's two-minute limit: when exceeded,
+the enhanced AST keeps control flow only.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.js.ast_nodes import Node
+from repro.js.scope import Scope, analyze_scopes
+
+
+class DataFlowEdge:
+    """One def→use edge between two Identifier nodes of the same binding."""
+
+    __slots__ = ("source", "target", "name")
+
+    def __init__(self, source: Node, target: Node, name: str) -> None:
+        self.source = source
+        self.target = target
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DF({self.name}: {self.source.start}->{self.target.start})"
+
+
+class DataFlowTimeout(Exception):
+    """Raised internally when edge construction exceeds the time budget."""
+
+
+def build_data_flow(
+    program: Node,
+    scope: Scope | None = None,
+    timeout: float = 120.0,
+    max_edges_per_binding: int = 4096,
+) -> list[DataFlowEdge] | None:
+    """Build def→use edges; returns ``None`` on timeout (CF-only fallback).
+
+    ``max_edges_per_binding`` bounds the quadratic blow-up for bindings with
+    thousands of definitions and uses (seen in machine-generated code).
+    """
+    if scope is None:
+        scope = analyze_scopes(program)
+    deadline = time.monotonic() + timeout
+    edges: list[DataFlowEdge] = []
+    try:
+        for binding in scope.iter_all_bindings():
+            if not binding.assignments or not binding.references:
+                continue
+            if time.monotonic() > deadline:
+                raise DataFlowTimeout
+            count = 0
+            ref_set = {id(ref) for ref in binding.references}
+            for definition in binding.assignments:
+                for use in binding.references:
+                    if use is definition:
+                        continue
+                    edge = DataFlowEdge(definition, use, binding.name)
+                    edges.append(edge)
+                    definition.__dict__.setdefault("data_out", []).append(edge)
+                    use.__dict__.setdefault("data_in", []).append(edge)
+                    count += 1
+                    if count >= max_edges_per_binding:
+                        break
+                if count >= max_edges_per_binding:
+                    break
+            del ref_set
+    except DataFlowTimeout:
+        return None
+    return edges

@@ -1,0 +1,63 @@
+"""The enhanced AST: parse tree + tokens + control flow + data flow.
+
+:func:`enhance` is the single entry point the detector pipeline uses to
+abstract a JavaScript file (paper §III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flows.cfg import ControlFlowEdge, build_control_flow
+from repro.flows.dfg import DataFlowEdge, build_data_flow
+from repro.js.ast_nodes import Node
+from repro.js.parser import Parser
+from repro.js.scope import Scope, analyze_scopes
+from repro.js.tokens import Token
+
+
+@dataclass
+class EnhancedAST:
+    """A JavaScript file abstracted per the paper: AST + CF + DF + tokens."""
+
+    source: str
+    program: Node
+    tokens: list[Token]
+    comments: list[Token]
+    scope: Scope
+    control_flow: list[ControlFlowEdge] = field(default_factory=list)
+    data_flow: list[DataFlowEdge] | None = None
+
+    @property
+    def data_flow_available(self) -> bool:
+        """False when the data-flow pass hit its timeout (CF-only fallback)."""
+        return self.data_flow is not None
+
+    @property
+    def node_count(self) -> int:
+        from repro.js.visitor import count_nodes
+
+        return count_nodes(self.program)
+
+
+def enhance(source: str, data_flow_timeout: float = 120.0) -> EnhancedAST:
+    """Parse and enhance a script with control and data flows.
+
+    Raises :class:`repro.js.parser.ParseError` (or ``LexerError``) on
+    syntactically invalid input — callers that scan corpora catch these and
+    count the file as unparseable, as a real Esprima pipeline would.
+    """
+    parser = Parser(source)
+    program = parser.parse_program()
+    scope = analyze_scopes(program)
+    control_flow = build_control_flow(program)
+    data_flow = build_data_flow(program, scope=scope, timeout=data_flow_timeout)
+    return EnhancedAST(
+        source=source,
+        program=program,
+        tokens=parser.tokens,
+        comments=parser.comments,
+        scope=scope,
+        control_flow=control_flow,
+        data_flow=data_flow,
+    )

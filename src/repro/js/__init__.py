@@ -1,0 +1,27 @@
+"""JavaScript front-end substrate: lexer, parser, AST, code generation.
+
+This package replaces Esprima (which the paper uses) with a from-scratch
+implementation producing ESTree-compatible ASTs.  The public entry points are
+
+- :func:`tokenize` -- source text to a list of tokens,
+- :func:`parse`    -- source text to an ESTree ``Program`` node,
+- :func:`generate` -- AST back to JavaScript source.
+"""
+
+from repro.js.ast_nodes import Node
+from repro.js.codegen import generate
+from repro.js.lexer import Lexer, LexerError, tokenize
+from repro.js.parser import ParseError, parse
+from repro.js.tokens import Token, TokenType
+
+__all__ = [
+    "Lexer",
+    "LexerError",
+    "Node",
+    "ParseError",
+    "Token",
+    "TokenType",
+    "generate",
+    "parse",
+    "tokenize",
+]

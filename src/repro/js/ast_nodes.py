@@ -1,0 +1,165 @@
+"""ESTree-compatible AST node representation.
+
+Nodes are lightweight attribute bags with a ``type`` string matching the
+ESTree vocabulary (``Program``, ``FunctionDeclaration``, ...).  Child nodes
+live in regular attributes, which keeps construction and transformation
+code readable; :func:`iter_child_nodes` discovers children generically so
+traversal never needs per-type logic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+# Attributes that never contain child nodes; skipping them speeds traversal.
+_NON_CHILD_FIELDS = frozenset(
+    {
+        "type",
+        "start",
+        "end",
+        "loc",
+        "name",
+        "value",
+        "raw",
+        "operator",
+        "kind",
+        "computed",
+        "prefix",
+        "generator",
+        "async",
+        "static",
+        "delegate",
+        "regex",
+        "sourceType",
+        "method",
+        "shorthand",
+        "tail",
+        "cooked",
+        "optional",
+        "flow_out",
+        "flow_in",
+        "data_out",
+        "data_in",
+        "parent",
+        "scope",
+    }
+)
+
+
+class Node:
+    """One AST node.
+
+    >>> Node("Identifier", name="x").type
+    'Identifier'
+    """
+
+    __slots__ = ("__dict__",)
+
+    def __init__(self, type: str, **fields: Any) -> None:
+        self.type = type
+        for key, value in fields.items():
+            setattr(self, key, value)
+
+    def __repr__(self) -> str:
+        parts = []
+        for key, value in self.__dict__.items():
+            if key == "type" or isinstance(value, Node):
+                continue
+            if isinstance(value, list) and value and isinstance(value[0], Node):
+                continue
+            if key in ("start", "end", "parent"):
+                continue
+            parts.append(f"{key}={value!r}")
+        inner = ", ".join(parts)
+        return f"{self.type}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return to_dict(self) == to_dict(other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def get(self, field: str, default: Any = None) -> Any:
+        return self.__dict__.get(field, default)
+
+    def fields(self) -> dict[str, Any]:
+        """All attributes of this node as a dict (shared, do not mutate)."""
+        return self.__dict__
+
+
+_ANALYSIS_FIELDS = frozenset(
+    {"parent", "scope", "binding", "flow_out", "flow_in", "data_out", "data_in"}
+)
+
+
+def iter_fields(node: Node) -> Iterator[tuple[str, Any]]:
+    """Yield ``(field_name, value)`` for fields that hold child nodes.
+
+    Dispatches on the value type, not the field name: ``Property.value``
+    holds a child node while ``Literal.value`` holds a plain scalar, so a
+    name-based skip list would hide real children.  Only analysis
+    annotations (``parent``, ``scope``, flow edges) are excluded by name.
+    """
+    for key, value in node.__dict__.items():
+        if key in _ANALYSIS_FIELDS:
+            continue
+        if isinstance(value, (Node, list)):
+            yield key, value
+
+
+def iter_child_nodes(node: Node) -> Iterator[Node]:
+    """Yield direct child nodes in source order.
+
+    Hot path: dispatch on value type directly instead of field names — the
+    only Node-valued field that is *not* a child is ``parent`` (set by
+    ``attach_parents``), which is skipped explicitly.
+    """
+    for key, value in node.__dict__.items():
+        cls = value.__class__
+        if cls is Node:
+            if key != "parent":
+                yield value
+        elif cls is list:
+            for item in value:
+                if item.__class__ is Node:
+                    yield item
+
+
+def to_dict(node: Node | list | Any) -> Any:
+    """Convert a node tree to plain dicts (JSON-serializable, ESTree shape)."""
+    if isinstance(node, Node):
+        result: dict[str, Any] = {}
+        for key, value in node.__dict__.items():
+            if key in ("parent", "scope", "flow_out", "flow_in", "data_out", "data_in"):
+                continue
+            result[key] = to_dict(value)
+        return result
+    if isinstance(node, list):
+        return [to_dict(item) for item in node]
+    return node
+
+
+def from_dict(data: Any) -> Any:
+    """Inverse of :func:`to_dict` for dicts that carry a ``type`` key."""
+    if isinstance(data, dict) and "type" in data:
+        fields = {key: from_dict(value) for key, value in data.items() if key != "type"}
+        return Node(data["type"], **fields)
+    if isinstance(data, list):
+        return [from_dict(item) for item in data]
+    return data
+
+
+def clone(node: Any) -> Any:
+    """Deep-copy an AST subtree (drops parent/flow annotations)."""
+    if isinstance(node, Node):
+        fields = {}
+        for key, value in node.__dict__.items():
+            if key in ("type", "parent", "scope", "flow_out", "flow_in", "data_out", "data_in"):
+                continue
+            fields[key] = clone(value)
+        return Node(node.type, **fields)
+    if isinstance(node, list):
+        return [clone(item) for item in node]
+    return node

@@ -1,0 +1,1651 @@
+"""Recursive-descent JavaScript parser producing ESTree-compatible ASTs.
+
+Covers ES5 plus the ES2015 feature set prevalent in real-world scripts:
+``let``/``const``, arrow functions, classes, template literals, spread and
+rest elements, destructuring, ``for-of``, computed properties, shorthand
+object members, default parameters, generators, and ``async``/``await``.
+
+Automatic semicolon insertion follows the standard rules: a statement may be
+terminated by an explicit ``;``, a closing ``}``, end-of-input, or a line
+break before the offending token.  Restricted productions (``return``,
+``throw``, ``break``, ``continue`` and postfix ``++``/``--``) respect line
+breaks.
+"""
+
+from __future__ import annotations
+
+from repro.js.ast_nodes import Node
+from repro.js.lexer import Lexer
+from repro.js.tokens import Token, TokenType
+
+
+class ParseError(SyntaxError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token | None = None) -> None:
+        if token is not None:
+            message = f"{message} at line {token.line}, column {token.column}"
+        super().__init__(message)
+        self.token = token
+
+
+# Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "??": 1,
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7,
+    "!=": 7,
+    "===": 7,
+    "!==": 7,
+    "<": 8,
+    ">": 8,
+    "<=": 8,
+    ">=": 8,
+    "instanceof": 8,
+    "in": 8,
+    "<<": 9,
+    ">>": 9,
+    ">>>": 9,
+    "+": 10,
+    "-": 10,
+    "*": 11,
+    "/": 11,
+    "%": 11,
+    "**": 12,
+}
+
+_ASSIGNMENT_OPERATORS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", ">>>=", "&=", "|=", "^=", "**=", "&&=", "||=", "??="}
+)
+
+_UNARY_OPERATORS = frozenset({"+", "-", "~", "!", "typeof", "void", "delete"})
+
+
+class Parser:
+    """Parser over a pre-tokenized stream (enables cheap lookahead)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        lexer = Lexer(source)
+        self.tokens = lexer.scan_all()
+        self.comments = lexer.comments
+        self.index = 0
+        self.in_function = 0
+        self.in_loop = 0
+        self.in_switch = 0
+        self._paren_match = self._match_brackets()
+
+    def _match_brackets(self) -> dict[int, int]:
+        """Token index of the closer for every opening bracket token."""
+        matches: dict[int, int] = {}
+        stack: list[int] = []
+        for idx, token in enumerate(self.tokens):
+            if token.type is not TokenType.PUNCTUATOR:
+                continue
+            if token.value in ("(", "[", "{"):
+                stack.append(idx)
+            elif token.value in (")", "]", "}") and stack:
+                matches[stack.pop()] = idx
+        return matches
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def token(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        idx = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _at(self, type_: TokenType, value: str | None = None) -> bool:
+        token = self.token
+        if token.type is not type_:
+            return False
+        return value is None or token.value == value
+
+    def _at_punct(self, value: str) -> bool:
+        return self._at(TokenType.PUNCTUATOR, value)
+
+    def _at_keyword(self, value: str) -> bool:
+        return self._at(TokenType.KEYWORD, value)
+
+    def _eat_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _eat_keyword(self, value: str) -> bool:
+        if self._at_keyword(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> Token:
+        if not self._at_punct(value):
+            raise ParseError(f"Expected {value!r}, got {self.token.value!r}", self.token)
+        return self._advance()
+
+    def _expect_keyword(self, value: str) -> Token:
+        if not self._at_keyword(value):
+            raise ParseError(f"Expected keyword {value!r}, got {self.token.value!r}", self.token)
+        return self._advance()
+
+    def _newline_before(self) -> bool:
+        if self.index == 0:
+            return False
+        return self.token.line > self.tokens[self.index - 1].line
+
+    def _consume_semicolon(self) -> None:
+        """Apply automatic semicolon insertion."""
+        if self._eat_punct(";"):
+            return
+        if self._at_punct("}") or self.token.type is TokenType.EOF:
+            return
+        if self._newline_before():
+            return
+        raise ParseError(f"Expected ';', got {self.token.value!r}", self.token)
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse_program(self) -> Node:
+        body: list[Node] = []
+        while self.token.type is not TokenType.EOF:
+            body.append(self._parse_statement_list_item())
+        return Node(
+            "Program",
+            body=body,
+            sourceType="script",
+            start=0,
+            end=len(self.source),
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_statement_list_item(self) -> Node:
+        if self._at_keyword("import"):
+            # Dynamic import() and import.meta are expressions.
+            nxt = self._peek()
+            if not (nxt.type is TokenType.PUNCTUATOR and nxt.value in ("(", ".")):
+                return self._parse_import_declaration()
+        if self._at_keyword("export"):
+            return self._parse_export_declaration()
+        return self._parse_statement()
+
+    def _parse_statement(self) -> Node:
+        token = self.token
+        if token.type is TokenType.PUNCTUATOR:
+            if token.value == "{":
+                return self._parse_block()
+            if token.value == ";":
+                start = self._advance()
+                return Node("EmptyStatement", start=start.start, end=start.end)
+        if token.type is TokenType.KEYWORD:
+            handler = {
+                "var": self._parse_variable_statement,
+                "let": self._parse_variable_statement,
+                "const": self._parse_variable_statement,
+                "function": self._parse_function_declaration,
+                "class": self._parse_class_declaration,
+                "if": self._parse_if,
+                "for": self._parse_for,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "switch": self._parse_switch,
+                "return": self._parse_return,
+                "break": self._parse_break_continue,
+                "continue": self._parse_break_continue,
+                "throw": self._parse_throw,
+                "try": self._parse_try,
+                "debugger": self._parse_debugger,
+                "with": self._parse_with,
+            }.get(token.value)
+            if handler is not None:
+                if token.value in ("let", "const"):
+                    # `let` as identifier in sloppy mode: let[x] / let.y etc.
+                    nxt = self._peek()
+                    if token.value == "let" and not (
+                        nxt.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+                        or (nxt.type is TokenType.PUNCTUATOR and nxt.value in ("[", "{"))
+                    ):
+                        return self._parse_expression_statement()
+                return handler()
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and self._peek().type is TokenType.KEYWORD
+            and self._peek().value == "function"
+            and self._peek().line == token.line
+        ):
+            return self._parse_function_declaration()
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek().type is TokenType.PUNCTUATOR
+            and self._peek().value == ":"
+        ):
+            return self._parse_labeled_statement()
+        return self._parse_expression_statement()
+
+    def _parse_block(self) -> Node:
+        start = self._expect_punct("{")
+        body: list[Node] = []
+        while not self._at_punct("}"):
+            if self.token.type is TokenType.EOF:
+                raise ParseError("Unexpected end of input in block", self.token)
+            body.append(self._parse_statement_list_item())
+        end = self._expect_punct("}")
+        return Node("BlockStatement", body=body, start=start.start, end=end.end)
+
+    def _parse_variable_statement(self) -> Node:
+        declaration = self._parse_variable_declaration()
+        self._consume_semicolon()
+        return declaration
+
+    def _parse_variable_declaration(self, in_for: bool = False) -> Node:
+        kind_token = self._advance()
+        declarations = [self._parse_variable_declarator(in_for)]
+        while self._eat_punct(","):
+            declarations.append(self._parse_variable_declarator(in_for))
+        return Node(
+            "VariableDeclaration",
+            declarations=declarations,
+            kind=kind_token.value,
+            start=kind_token.start,
+            end=declarations[-1].end,
+        )
+
+    def _parse_variable_declarator(self, in_for: bool = False) -> Node:
+        ident = self._parse_binding_target()
+        init = None
+        if self._eat_punct("="):
+            init = self._parse_assignment_expression(no_in=in_for)
+        end = init.end if init is not None else ident.end
+        return Node("VariableDeclarator", id=ident, init=init, start=ident.start, end=end)
+
+    def _parse_binding_target(self) -> Node:
+        if self._at_punct("["):
+            return self._reinterpret_as_pattern(self._parse_array_literal())
+        if self._at_punct("{"):
+            return self._reinterpret_as_pattern(self._parse_object_literal())
+        return self._parse_identifier_name()
+
+    def _parse_identifier_name(self) -> Node:
+        token = self.token
+        if token.type is TokenType.IDENTIFIER or (
+            token.type is TokenType.KEYWORD
+            and token.value in ("let", "yield", "await", "of")
+        ):
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        raise ParseError(f"Expected identifier, got {token.value!r}", token)
+
+    def _parse_function_declaration(self, allow_anonymous: bool = False) -> Node:
+        return self._parse_function(declaration=True, allow_anonymous=allow_anonymous)
+
+    def _parse_function(self, declaration: bool, allow_anonymous: bool = False) -> Node:
+        start = self.token
+        is_async = False
+        if self.token.type is TokenType.IDENTIFIER and self.token.value == "async":
+            is_async = True
+            self._advance()
+        self._expect_keyword("function")
+        generator = self._eat_punct("*")
+        ident = None
+        if not self._at_punct("("):
+            ident = self._parse_identifier_name()
+        elif declaration and not allow_anonymous:
+            raise ParseError("Function declarations require a name", self.token)
+        params = self._parse_function_params()
+        self.in_function += 1
+        body = self._parse_block()
+        self.in_function -= 1
+        return Node(
+            "FunctionDeclaration" if declaration else "FunctionExpression",
+            id=ident,
+            params=params,
+            body=body,
+            generator=generator,
+            # `async` is a reserved attribute name in Python only via keyword
+            # use; fine as a plain attribute.
+            start=start.start,
+            end=body.end,
+            **{"async": is_async},
+        )
+
+    def _parse_function_params(self) -> list[Node]:
+        self._expect_punct("(")
+        params: list[Node] = []
+        while not self._at_punct(")"):
+            if self._at_punct("..."):
+                rest_start = self._advance()
+                argument = self._parse_binding_target()
+                params.append(
+                    Node("RestElement", argument=argument, start=rest_start.start, end=argument.end)
+                )
+            else:
+                target = self._parse_binding_target()
+                if self._eat_punct("="):
+                    default = self._parse_assignment_expression()
+                    target = Node(
+                        "AssignmentPattern",
+                        left=target,
+                        right=default,
+                        start=target.start,
+                        end=default.end,
+                    )
+                params.append(target)
+            if not self._at_punct(")"):
+                self._expect_punct(",")
+        self._expect_punct(")")
+        return params
+
+    def _parse_class_declaration(self, allow_anonymous: bool = False) -> Node:
+        return self._parse_class(declaration=True, allow_anonymous=allow_anonymous)
+
+    def _parse_class(self, declaration: bool, allow_anonymous: bool = False) -> Node:
+        start = self._expect_keyword("class")
+        ident = None
+        if self.token.type is TokenType.IDENTIFIER:
+            ident = self._parse_identifier_name()
+        elif declaration and not allow_anonymous:
+            raise ParseError("Class declarations require a name", self.token)
+        super_class = None
+        if self._eat_keyword("extends"):
+            super_class = self._parse_left_hand_side_expression()
+        body = self._parse_class_body()
+        return Node(
+            "ClassDeclaration" if declaration else "ClassExpression",
+            id=ident,
+            superClass=super_class,
+            body=body,
+            start=start.start,
+            end=body.end,
+        )
+
+    def _parse_class_body(self) -> Node:
+        start = self._expect_punct("{")
+        members: list[Node] = []
+        while not self._at_punct("}"):
+            if self._eat_punct(";"):
+                continue
+            members.append(self._parse_class_member())
+        end = self._expect_punct("}")
+        return Node("ClassBody", body=members, start=start.start, end=end.end)
+
+    def _parse_class_member(self) -> Node:
+        start = self.token
+        is_static = False
+        if (
+            self.token.type is TokenType.IDENTIFIER
+            and self.token.value == "static"
+            and not (self._peek().type is TokenType.PUNCTUATOR and self._peek().value in ("(", "="))
+        ):
+            is_static = True
+            self._advance()
+        kind = "method"
+        is_async = False
+        generator = False
+        if (
+            self.token.type is TokenType.IDENTIFIER
+            and self.token.value in ("get", "set")
+            and not (self._peek().type is TokenType.PUNCTUATOR and self._peek().value in ("(", "=", ";", "}"))
+        ):
+            kind = self.token.value
+            self._advance()
+        elif (
+            self.token.type is TokenType.IDENTIFIER
+            and self.token.value == "async"
+            and not (self._peek().type is TokenType.PUNCTUATOR and self._peek().value in ("(", "=", ";", "}"))
+        ):
+            is_async = True
+            self._advance()
+        if self._eat_punct("*"):
+            generator = True
+        key, computed = self._parse_property_key()
+        if self._at_punct("(") :
+            params = self._parse_function_params()
+            self.in_function += 1
+            body = self._parse_block()
+            self.in_function -= 1
+            value = Node(
+                "FunctionExpression",
+                id=None,
+                params=params,
+                body=body,
+                generator=generator,
+                start=key.start,
+                end=body.end,
+                **{"async": is_async},
+            )
+            if kind == "method" and not computed and key.type == "Identifier" and key.name == "constructor":
+                kind = "constructor"
+            return Node(
+                "MethodDefinition",
+                key=key,
+                value=value,
+                kind=kind,
+                static=is_static,
+                computed=computed,
+                start=start.start,
+                end=body.end,
+            )
+        # Class field (ES2022); common enough in the wild to support.
+        value = None
+        if self._eat_punct("="):
+            value = self._parse_assignment_expression()
+        self._consume_semicolon()
+        return Node(
+            "PropertyDefinition",
+            key=key,
+            value=value,
+            static=is_static,
+            computed=computed,
+            start=start.start,
+            end=value.end if value is not None else key.end,
+        )
+
+    def _parse_property_key(self) -> tuple[Node, bool]:
+        token = self.token
+        if self._eat_punct("["):
+            key = self._parse_assignment_expression()
+            self._expect_punct("]")
+            return key, True
+        if token.type in (TokenType.STRING, TokenType.NUMERIC):
+            self._advance()
+            return self._literal_from_token(token), False
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.BOOLEAN, TokenType.NULL):
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end), False
+        raise ParseError(f"Invalid property key {token.value!r}", token)
+
+    def _parse_if(self) -> Node:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        consequent = self._parse_statement()
+        alternate = None
+        if self._eat_keyword("else"):
+            alternate = self._parse_statement()
+        end = alternate.end if alternate is not None else consequent.end
+        return Node(
+            "IfStatement",
+            test=test,
+            consequent=consequent,
+            alternate=alternate,
+            start=start.start,
+            end=end,
+        )
+
+    def _parse_for(self) -> Node:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Node | None = None
+        if self._at_punct(";"):
+            self._advance()
+        else:
+            if self._at_keyword("var") or self._at_keyword("let") or self._at_keyword("const"):
+                init = self._parse_variable_declaration(in_for=True)
+            else:
+                init = self._parse_expression(no_in=True)
+            if self._at_keyword("in") or (
+                self.token.type is TokenType.IDENTIFIER and self.token.value == "of"
+            ):
+                return self._parse_for_in_of(start, init)
+            self._expect_punct(";")
+        test = None if self._at_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        update = None if self._at_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        return Node(
+            "ForStatement",
+            init=init,
+            test=test,
+            update=update,
+            body=body,
+            start=start.start,
+            end=body.end,
+        )
+
+    def _parse_for_in_of(self, start: Token, left: Node) -> Node:
+        is_of = self.token.value == "of"
+        self._advance()
+        if left.type not in ("VariableDeclaration",):
+            left = self._reinterpret_as_pattern(left)
+        right = self._parse_assignment_expression() if is_of else self._parse_expression()
+        self._expect_punct(")")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        return Node(
+            "ForOfStatement" if is_of else "ForInStatement",
+            left=left,
+            right=right,
+            body=body,
+            start=start.start,
+            end=body.end,
+        )
+
+    def _parse_while(self) -> Node:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        return Node("WhileStatement", test=test, body=body, start=start.start, end=body.end)
+
+    def _parse_do_while(self) -> Node:
+        start = self._expect_keyword("do")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        end = self._expect_punct(")")
+        self._eat_punct(";")
+        return Node("DoWhileStatement", body=body, test=test, start=start.start, end=end.end)
+
+    def _parse_switch(self) -> Node:
+        start = self._expect_keyword("switch")
+        self._expect_punct("(")
+        discriminant = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: list[Node] = []
+        self.in_switch += 1
+        while not self._at_punct("}"):
+            cases.append(self._parse_switch_case())
+        self.in_switch -= 1
+        end = self._expect_punct("}")
+        return Node(
+            "SwitchStatement",
+            discriminant=discriminant,
+            cases=cases,
+            start=start.start,
+            end=end.end,
+        )
+
+    def _parse_switch_case(self) -> Node:
+        start = self.token
+        test = None
+        if self._eat_keyword("case"):
+            test = self._parse_expression()
+        else:
+            self._expect_keyword("default")
+        self._expect_punct(":")
+        consequent: list[Node] = []
+        while not (
+            self._at_punct("}") or self._at_keyword("case") or self._at_keyword("default")
+        ):
+            consequent.append(self._parse_statement_list_item())
+        end = consequent[-1].end if consequent else start.end
+        return Node("SwitchCase", test=test, consequent=consequent, start=start.start, end=end)
+
+    def _parse_return(self) -> Node:
+        start = self._expect_keyword("return")
+        argument = None
+        if (
+            not self._at_punct(";")
+            and not self._at_punct("}")
+            and self.token.type is not TokenType.EOF
+            and not self._newline_before()
+        ):
+            argument = self._parse_expression()
+        self._consume_semicolon()
+        end = argument.end if argument is not None else start.end
+        return Node("ReturnStatement", argument=argument, start=start.start, end=end)
+
+    def _parse_break_continue(self) -> Node:
+        start = self._advance()
+        label = None
+        if self.token.type is TokenType.IDENTIFIER and not self._newline_before():
+            label = self._parse_identifier_name()
+        self._consume_semicolon()
+        kind = "BreakStatement" if start.value == "break" else "ContinueStatement"
+        end = label.end if label is not None else start.end
+        return Node(kind, label=label, start=start.start, end=end)
+
+    def _parse_throw(self) -> Node:
+        start = self._expect_keyword("throw")
+        if self._newline_before():
+            raise ParseError("Illegal newline after throw", self.token)
+        argument = self._parse_expression()
+        self._consume_semicolon()
+        return Node("ThrowStatement", argument=argument, start=start.start, end=argument.end)
+
+    def _parse_try(self) -> Node:
+        start = self._expect_keyword("try")
+        block = self._parse_block()
+        handler = None
+        finalizer = None
+        if self._at_keyword("catch"):
+            catch_start = self._advance()
+            param = None
+            if self._eat_punct("("):
+                param = self._parse_binding_target()
+                self._expect_punct(")")
+            body = self._parse_block()
+            handler = Node(
+                "CatchClause", param=param, body=body, start=catch_start.start, end=body.end
+            )
+        if self._eat_keyword("finally"):
+            finalizer = self._parse_block()
+        if handler is None and finalizer is None:
+            raise ParseError("Missing catch or finally after try", self.token)
+        end = (finalizer or handler).end
+        return Node(
+            "TryStatement",
+            block=block,
+            handler=handler,
+            finalizer=finalizer,
+            start=start.start,
+            end=end,
+        )
+
+    def _parse_debugger(self) -> Node:
+        start = self._expect_keyword("debugger")
+        self._consume_semicolon()
+        return Node("DebuggerStatement", start=start.start, end=start.end)
+
+    def _parse_with(self) -> Node:
+        start = self._expect_keyword("with")
+        self._expect_punct("(")
+        obj = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return Node("WithStatement", object=obj, body=body, start=start.start, end=body.end)
+
+    def _parse_labeled_statement(self) -> Node:
+        label = self._parse_identifier_name()
+        self._expect_punct(":")
+        body = self._parse_statement()
+        return Node("LabeledStatement", label=label, body=body, start=label.start, end=body.end)
+
+    def _parse_expression_statement(self) -> Node:
+        expression = self._parse_expression()
+        self._consume_semicolon()
+        return Node(
+            "ExpressionStatement",
+            expression=expression,
+            start=expression.start,
+            end=expression.end,
+        )
+
+    # -- modules -------------------------------------------------------------
+
+    def _parse_import_declaration(self) -> Node:
+        start = self._expect_keyword("import")
+        specifiers: list[Node] = []
+        if self.token.type is TokenType.STRING:
+            source_token = self._advance()
+            self._consume_semicolon()
+            return Node(
+                "ImportDeclaration",
+                specifiers=specifiers,
+                source=self._literal_from_token(source_token),
+                start=start.start,
+                end=source_token.end,
+            )
+        if self.token.type is TokenType.IDENTIFIER:
+            local = self._parse_identifier_name()
+            specifiers.append(
+                Node("ImportDefaultSpecifier", local=local, start=local.start, end=local.end)
+            )
+            if self._eat_punct(","):
+                self._parse_import_rest(specifiers)
+        else:
+            self._parse_import_rest(specifiers)
+        if not (self.token.type is TokenType.IDENTIFIER and self.token.value == "from"):
+            raise ParseError("Expected 'from' in import declaration", self.token)
+        self._advance()
+        if self.token.type is not TokenType.STRING:
+            raise ParseError("Expected module source string", self.token)
+        source_token = self._advance()
+        self._consume_semicolon()
+        return Node(
+            "ImportDeclaration",
+            specifiers=specifiers,
+            source=self._literal_from_token(source_token),
+            start=start.start,
+            end=source_token.end,
+        )
+
+    def _parse_import_rest(self, specifiers: list[Node]) -> None:
+        if self._eat_punct("*"):
+            if not (self.token.type is TokenType.IDENTIFIER and self.token.value == "as"):
+                raise ParseError("Expected 'as' in namespace import", self.token)
+            self._advance()
+            local = self._parse_identifier_name()
+            specifiers.append(
+                Node("ImportNamespaceSpecifier", local=local, start=local.start, end=local.end)
+            )
+            return
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            imported = self._parse_identifier_name()
+            local = imported
+            if self.token.type is TokenType.IDENTIFIER and self.token.value == "as":
+                self._advance()
+                local = self._parse_identifier_name()
+            specifiers.append(
+                Node(
+                    "ImportSpecifier",
+                    imported=imported,
+                    local=local,
+                    start=imported.start,
+                    end=local.end,
+                )
+            )
+            if not self._at_punct("}"):
+                self._expect_punct(",")
+        self._expect_punct("}")
+
+    def _parse_export_declaration(self) -> Node:
+        start = self._expect_keyword("export")
+        if self._eat_keyword("default"):
+            if self._at_keyword("function") or (
+                self.token.type is TokenType.IDENTIFIER
+                and self.token.value == "async"
+                and self._peek().value == "function"
+            ):
+                declaration = self._parse_function_declaration(allow_anonymous=True)
+            elif self._at_keyword("class"):
+                declaration = self._parse_class_declaration(allow_anonymous=True)
+            else:
+                declaration = self._parse_assignment_expression()
+                self._consume_semicolon()
+            return Node(
+                "ExportDefaultDeclaration",
+                declaration=declaration,
+                start=start.start,
+                end=declaration.end,
+            )
+        if self._at_punct("*"):
+            self._advance()
+            if self.token.type is TokenType.IDENTIFIER and self.token.value == "from":
+                self._advance()
+            source_token = self._advance()
+            self._consume_semicolon()
+            return Node(
+                "ExportAllDeclaration",
+                source=self._literal_from_token(source_token),
+                start=start.start,
+                end=source_token.end,
+            )
+        if self._at_punct("{"):
+            self._expect_punct("{")
+            specifiers = []
+            while not self._at_punct("}"):
+                local = self._parse_identifier_name()
+                exported = local
+                if self.token.type is TokenType.IDENTIFIER and self.token.value == "as":
+                    self._advance()
+                    exported = self._parse_identifier_name()
+                specifiers.append(
+                    Node(
+                        "ExportSpecifier",
+                        local=local,
+                        exported=exported,
+                        start=local.start,
+                        end=exported.end,
+                    )
+                )
+                if not self._at_punct("}"):
+                    self._expect_punct(",")
+            end = self._expect_punct("}")
+            source = None
+            if self.token.type is TokenType.IDENTIFIER and self.token.value == "from":
+                self._advance()
+                source = self._literal_from_token(self._advance())
+            self._consume_semicolon()
+            return Node(
+                "ExportNamedDeclaration",
+                declaration=None,
+                specifiers=specifiers,
+                source=source,
+                start=start.start,
+                end=end.end,
+            )
+        declaration = self._parse_statement_list_item()
+        return Node(
+            "ExportNamedDeclaration",
+            declaration=declaration,
+            specifiers=[],
+            source=None,
+            start=start.start,
+            end=declaration.end,
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self, no_in: bool = False) -> Node:
+        expression = self._parse_assignment_expression(no_in=no_in)
+        if self._at_punct(","):
+            expressions = [expression]
+            while self._eat_punct(","):
+                expressions.append(self._parse_assignment_expression(no_in=no_in))
+            return Node(
+                "SequenceExpression",
+                expressions=expressions,
+                start=expressions[0].start,
+                end=expressions[-1].end,
+            )
+        return expression
+
+    def _parse_assignment_expression(self, no_in: bool = False) -> Node:
+        arrow = self._try_parse_arrow_function()
+        if arrow is not None:
+            return arrow
+        if self._at_keyword("yield") and self.in_function:
+            return self._parse_yield()
+        left = self._parse_conditional_expression(no_in=no_in)
+        if self.token.type is TokenType.PUNCTUATOR and self.token.value in _ASSIGNMENT_OPERATORS:
+            operator = self._advance().value
+            if operator == "=":
+                left = self._reinterpret_as_pattern(left, assignment=True)
+            right = self._parse_assignment_expression(no_in=no_in)
+            return Node(
+                "AssignmentExpression",
+                operator=operator,
+                left=left,
+                right=right,
+                start=left.start,
+                end=right.end,
+            )
+        return left
+
+    def _parse_yield(self) -> Node:
+        start = self._expect_keyword("yield")
+        delegate = self._eat_punct("*")
+        argument = None
+        if (
+            not self._newline_before()
+            and not self._at_punct(")")
+            and not self._at_punct("]")
+            and not self._at_punct("}")
+            and not self._at_punct(",")
+            and not self._at_punct(";")
+            and self.token.type is not TokenType.EOF
+        ):
+            argument = self._parse_assignment_expression()
+        end = argument.end if argument is not None else start.end
+        return Node(
+            "YieldExpression", argument=argument, delegate=delegate, start=start.start, end=end
+        )
+
+    def _try_parse_arrow_function(self) -> Node | None:
+        """Detect `x => ...`, `(a, b) => ...` and `async (...) => ...`."""
+        token = self.token
+        is_async = False
+        offset = 0
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and self._peek().line == token.line
+            and (
+                self._peek().type is TokenType.IDENTIFIER
+                or (self._peek().type is TokenType.PUNCTUATOR and self._peek().value == "(")
+            )
+        ):
+            # Only treat as async-arrow if the parameter list is followed by =>.
+            is_async = True
+            offset = 1
+        probe = self._peek(offset) if offset else token
+        if probe.type is TokenType.IDENTIFIER:
+            after = self._peek(offset + 1)
+            if after.type is TokenType.PUNCTUATOR and after.value == "=>":
+                if is_async:
+                    self._advance()
+                param = self._parse_identifier_name()
+                return self._finish_arrow([param], is_async)
+            return None
+        if probe.type is TokenType.PUNCTUATOR and probe.value == "(":
+            close = self._find_matching_paren(self.index + offset)
+            if close is None:
+                return None
+            after = self.tokens[min(close + 1, len(self.tokens) - 1)]
+            if not (after.type is TokenType.PUNCTUATOR and after.value == "=>"):
+                return None
+            if is_async:
+                self._advance()
+            params = self._parse_function_params()
+            return self._finish_arrow(params, is_async)
+        return None
+
+    def _find_matching_paren(self, open_index: int) -> int | None:
+        return self._paren_match.get(open_index)
+
+    def _finish_arrow(self, params: list[Node], is_async: bool) -> Node:
+        self._expect_punct("=>")
+        if self._at_punct("{"):
+            self.in_function += 1
+            body = self._parse_block()
+            self.in_function -= 1
+            expression = False
+        else:
+            self.in_function += 1
+            body = self._parse_assignment_expression()
+            self.in_function -= 1
+            expression = True
+        start = params[0].start if params else body.start
+        return Node(
+            "ArrowFunctionExpression",
+            id=None,
+            params=params,
+            body=body,
+            expression=expression,
+            generator=False,
+            start=start,
+            end=body.end,
+            **{"async": is_async},
+        )
+
+    def _parse_conditional_expression(self, no_in: bool = False) -> Node:
+        test = self._parse_binary_expression(0, no_in=no_in)
+        if self._eat_punct("?"):
+            consequent = self._parse_assignment_expression()
+            self._expect_punct(":")
+            alternate = self._parse_assignment_expression(no_in=no_in)
+            return Node(
+                "ConditionalExpression",
+                test=test,
+                consequent=consequent,
+                alternate=alternate,
+                start=test.start,
+                end=alternate.end,
+            )
+        return test
+
+    def _binary_op_precedence(self, no_in: bool) -> tuple[str, int] | None:
+        token = self.token
+        if token.type is TokenType.PUNCTUATOR and token.value in _BINARY_PRECEDENCE:
+            return token.value, _BINARY_PRECEDENCE[token.value]
+        if token.type is TokenType.KEYWORD and token.value in ("instanceof", "in"):
+            if token.value == "in" and no_in:
+                return None
+            return token.value, _BINARY_PRECEDENCE[token.value]
+        return None
+
+    def _parse_binary_expression(self, min_precedence: int, no_in: bool = False) -> Node:
+        left = self._parse_unary_expression()
+        while True:
+            op_info = self._binary_op_precedence(no_in)
+            if op_info is None:
+                break
+            operator, precedence = op_info
+            if precedence < min_precedence:
+                break
+            self._advance()
+            # ** is right-associative; everything else left-associative.
+            next_min = precedence if operator == "**" else precedence + 1
+            right = self._parse_binary_expression(next_min, no_in=no_in)
+            node_type = "LogicalExpression" if operator in ("&&", "||", "??") else "BinaryExpression"
+            left = Node(
+                node_type,
+                operator=operator,
+                left=left,
+                right=right,
+                start=left.start,
+                end=right.end,
+            )
+        return left
+
+    def _parse_unary_expression(self) -> Node:
+        token = self.token
+        if (
+            token.type is TokenType.PUNCTUATOR and token.value in ("+", "-", "~", "!")
+        ) or (
+            token.type is TokenType.KEYWORD and token.value in ("typeof", "void", "delete")
+        ):
+            self._advance()
+            argument = self._parse_unary_expression()
+            return Node(
+                "UnaryExpression",
+                operator=token.value,
+                argument=argument,
+                prefix=True,
+                start=token.start,
+                end=argument.end,
+            )
+        if token.type is TokenType.PUNCTUATOR and token.value in ("++", "--"):
+            self._advance()
+            argument = self._parse_unary_expression()
+            return Node(
+                "UpdateExpression",
+                operator=token.value,
+                argument=argument,
+                prefix=True,
+                start=token.start,
+                end=argument.end,
+            )
+        if token.type is TokenType.KEYWORD and token.value == "await" and self.in_function:
+            self._advance()
+            argument = self._parse_unary_expression()
+            return Node(
+                "AwaitExpression", argument=argument, start=token.start, end=argument.end
+            )
+        expression = self._parse_postfix_expression()
+        return expression
+
+    def _parse_postfix_expression(self) -> Node:
+        expression = self._parse_left_hand_side_expression(allow_call=True)
+        if (
+            self.token.type is TokenType.PUNCTUATOR
+            and self.token.value in ("++", "--")
+            and not self._newline_before()
+        ):
+            operator = self._advance()
+            expression = Node(
+                "UpdateExpression",
+                operator=operator.value,
+                argument=expression,
+                prefix=False,
+                start=expression.start,
+                end=operator.end,
+            )
+        return expression
+
+    def _parse_left_hand_side_expression(self, allow_call: bool = True) -> Node:
+        if self._at_keyword("new"):
+            expression = self._parse_new_expression()
+        else:
+            expression = self._parse_primary_expression()
+        while True:
+            if self._at_punct("."):
+                self._advance()
+                prop = self._parse_member_property_name()
+                expression = Node(
+                    "MemberExpression",
+                    object=expression,
+                    property=prop,
+                    computed=False,
+                    start=expression.start,
+                    end=prop.end,
+                )
+            elif self._at_punct("?."):
+                self._advance()
+                if self._at_punct("("):
+                    arguments = self._parse_arguments()
+                    expression = Node(
+                        "CallExpression",
+                        callee=expression,
+                        arguments=arguments,
+                        optional=True,
+                        start=expression.start,
+                        end=self.tokens[self.index - 1].end,
+                    )
+                elif self._at_punct("["):
+                    self._advance()
+                    prop = self._parse_expression()
+                    end = self._expect_punct("]")
+                    expression = Node(
+                        "MemberExpression",
+                        object=expression,
+                        property=prop,
+                        computed=True,
+                        optional=True,
+                        start=expression.start,
+                        end=end.end,
+                    )
+                else:
+                    prop = self._parse_member_property_name()
+                    expression = Node(
+                        "MemberExpression",
+                        object=expression,
+                        property=prop,
+                        computed=False,
+                        optional=True,
+                        start=expression.start,
+                        end=prop.end,
+                    )
+            elif self._at_punct("["):
+                self._advance()
+                prop = self._parse_expression()
+                end = self._expect_punct("]")
+                expression = Node(
+                    "MemberExpression",
+                    object=expression,
+                    property=prop,
+                    computed=True,
+                    start=expression.start,
+                    end=end.end,
+                )
+            elif allow_call and self._at_punct("("):
+                arguments = self._parse_arguments()
+                expression = Node(
+                    "CallExpression",
+                    callee=expression,
+                    arguments=arguments,
+                    start=expression.start,
+                    end=self.tokens[self.index - 1].end,
+                )
+            elif self.token.type is TokenType.TEMPLATE:
+                quasi = self._parse_template_literal()
+                expression = Node(
+                    "TaggedTemplateExpression",
+                    tag=expression,
+                    quasi=quasi,
+                    start=expression.start,
+                    end=quasi.end,
+                )
+            else:
+                break
+        return expression
+
+    def _parse_member_property_name(self) -> Node:
+        token = self.token
+        if token.type in (
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.BOOLEAN,
+            TokenType.NULL,
+        ):
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        raise ParseError(f"Expected property name, got {token.value!r}", token)
+
+    def _parse_new_expression(self) -> Node:
+        start = self._expect_keyword("new")
+        if self._at_punct("."):
+            self._advance()
+            prop = self._parse_identifier_name()
+            return Node(
+                "MetaProperty",
+                meta=Node("Identifier", name="new", start=start.start, end=start.end),
+                property=prop,
+                start=start.start,
+                end=prop.end,
+            )
+        callee = self._parse_left_hand_side_expression(allow_call=False)
+        arguments: list[Node] = []
+        end = callee.end
+        if self._at_punct("("):
+            arguments = self._parse_arguments()
+            end = self.tokens[self.index - 1].end
+        return Node(
+            "NewExpression",
+            callee=callee,
+            arguments=arguments,
+            start=start.start,
+            end=end,
+        )
+
+    def _parse_arguments(self) -> list[Node]:
+        self._expect_punct("(")
+        arguments: list[Node] = []
+        while not self._at_punct(")"):
+            if self._at_punct("..."):
+                spread_start = self._advance()
+                argument = self._parse_assignment_expression()
+                arguments.append(
+                    Node(
+                        "SpreadElement",
+                        argument=argument,
+                        start=spread_start.start,
+                        end=argument.end,
+                    )
+                )
+            else:
+                arguments.append(self._parse_assignment_expression())
+            if not self._at_punct(")"):
+                self._expect_punct(",")
+        self._expect_punct(")")
+        return arguments
+
+    def _parse_primary_expression(self) -> Node:
+        token = self.token
+        if token.type is TokenType.NUMERIC or token.type is TokenType.STRING:
+            self._advance()
+            return self._literal_from_token(token)
+        if token.type is TokenType.BOOLEAN:
+            self._advance()
+            return Node(
+                "Literal",
+                value=token.value == "true",
+                raw=token.value,
+                start=token.start,
+                end=token.end,
+            )
+        if token.type is TokenType.NULL:
+            self._advance()
+            return Node("Literal", value=None, raw="null", start=token.start, end=token.end)
+        if token.type is TokenType.REGULAR_EXPRESSION:
+            self._advance()
+            return Node(
+                "Literal",
+                value=None,
+                raw=token.value,
+                regex={"pattern": token.extra["pattern"], "flags": token.extra["flags"]},
+                start=token.start,
+                end=token.end,
+            )
+        if token.type is TokenType.TEMPLATE:
+            return self._parse_template_literal()
+        if token.type is TokenType.IDENTIFIER:
+            if (
+                token.value == "async"
+                and self._peek().type is TokenType.KEYWORD
+                and self._peek().value == "function"
+                and self._peek().line == token.line
+            ):
+                return self._parse_function(declaration=False)
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        if token.type is TokenType.KEYWORD:
+            if token.value == "this":
+                self._advance()
+                return Node("ThisExpression", start=token.start, end=token.end)
+            if token.value == "super":
+                self._advance()
+                return Node("Super", start=token.start, end=token.end)
+            if token.value == "function":
+                return self._parse_function(declaration=False)
+            if token.value == "class":
+                return self._parse_class(declaration=False)
+            if token.value in ("let", "yield", "await", "import"):
+                if token.value == "import":
+                    self._advance()
+                    return Node("Import", start=token.start, end=token.end)
+                self._advance()
+                return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        if token.type is TokenType.PUNCTUATOR:
+            if token.value == "(":
+                self._advance()
+                expression = self._parse_expression()
+                self._expect_punct(")")
+                return expression
+            if token.value == "[":
+                return self._parse_array_literal()
+            if token.value == "{":
+                return self._parse_object_literal()
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and self._peek().type is TokenType.KEYWORD
+            and self._peek().value == "function"
+        ):
+            return self._parse_function(declaration=False)
+        raise ParseError(f"Unexpected token {token.value!r}", token)
+
+    def _literal_from_token(self, token: Token) -> Node:
+        if token.type is TokenType.NUMERIC:
+            raw = token.value
+            try:
+                lowered = raw.lower()
+                if lowered.startswith("0x"):
+                    value: float | int = int(raw, 16)
+                elif lowered.startswith("0o"):
+                    value = int(raw[2:], 8)
+                elif lowered.startswith("0b"):
+                    value = int(raw[2:], 2)
+                elif raw.startswith("0") and raw.isdigit() and raw != "0" and all(c in "01234567" for c in raw[1:]):
+                    value = int(raw, 8)
+                else:
+                    value = float(raw)
+                    if value.is_integer() and "e" not in lowered and "." not in raw:
+                        value = int(value)
+            except ValueError:
+                value = 0
+            return Node("Literal", value=value, raw=raw, start=token.start, end=token.end)
+        # String literal: decode escapes for `value`, keep raw.
+        return Node(
+            "Literal",
+            value=_decode_string_literal(token.value),
+            raw=token.value,
+            start=token.start,
+            end=token.end,
+        )
+
+    def _parse_array_literal(self) -> Node:
+        start = self._expect_punct("[")
+        elements: list[Node | None] = []
+        while not self._at_punct("]"):
+            if self._at_punct(","):
+                self._advance()
+                elements.append(None)
+                continue
+            if self._at_punct("..."):
+                spread_start = self._advance()
+                argument = self._parse_assignment_expression()
+                elements.append(
+                    Node(
+                        "SpreadElement",
+                        argument=argument,
+                        start=spread_start.start,
+                        end=argument.end,
+                    )
+                )
+            else:
+                elements.append(self._parse_assignment_expression())
+            if not self._at_punct("]"):
+                self._expect_punct(",")
+        end = self._expect_punct("]")
+        return Node("ArrayExpression", elements=elements, start=start.start, end=end.end)
+
+    def _parse_object_literal(self) -> Node:
+        start = self._expect_punct("{")
+        properties: list[Node] = []
+        while not self._at_punct("}"):
+            properties.append(self._parse_object_property())
+            if not self._at_punct("}"):
+                self._expect_punct(",")
+        end = self._expect_punct("}")
+        return Node("ObjectExpression", properties=properties, start=start.start, end=end.end)
+
+    def _parse_object_property(self) -> Node:
+        token = self.token
+        if self._at_punct("..."):
+            spread_start = self._advance()
+            argument = self._parse_assignment_expression()
+            return Node(
+                "SpreadElement", argument=argument, start=spread_start.start, end=argument.end
+            )
+        is_async = False
+        generator = False
+        kind = "init"
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value in ("get", "set")
+            and not (
+                self._peek().type is TokenType.PUNCTUATOR
+                and self._peek().value in (",", ":", "}", "(")
+            )
+        ):
+            kind = token.value
+            self._advance()
+        elif (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and not (
+                self._peek().type is TokenType.PUNCTUATOR
+                and self._peek().value in (",", ":", "}", "(")
+            )
+        ):
+            is_async = True
+            self._advance()
+        if self._eat_punct("*"):
+            generator = True
+        key, computed = self._parse_property_key()
+        if kind in ("get", "set") or self._at_punct("("):
+            params = self._parse_function_params()
+            self.in_function += 1
+            body = self._parse_block()
+            self.in_function -= 1
+            value = Node(
+                "FunctionExpression",
+                id=None,
+                params=params,
+                body=body,
+                generator=generator,
+                start=key.start,
+                end=body.end,
+                **{"async": is_async},
+            )
+            return Node(
+                "Property",
+                key=key,
+                value=value,
+                kind=kind if kind in ("get", "set") else "init",
+                method=kind == "init",
+                shorthand=False,
+                computed=computed,
+                start=key.start,
+                end=body.end,
+            )
+        if self._eat_punct(":"):
+            value = self._parse_assignment_expression()
+            return Node(
+                "Property",
+                key=key,
+                value=value,
+                kind="init",
+                method=False,
+                shorthand=False,
+                computed=computed,
+                start=key.start,
+                end=value.end,
+            )
+        # Shorthand { x } or shorthand-with-default { x = 1 } (pattern form).
+        value = key
+        if self._at_punct("="):
+            self._advance()
+            default = self._parse_assignment_expression()
+            value = Node(
+                "AssignmentPattern", left=key, right=default, start=key.start, end=default.end
+            )
+        return Node(
+            "Property",
+            key=key,
+            value=value,
+            kind="init",
+            method=False,
+            shorthand=True,
+            computed=computed,
+            start=key.start,
+            end=value.end,
+        )
+
+    def _parse_template_literal(self) -> Node:
+        token = self.token
+        if token.type is not TokenType.TEMPLATE:
+            raise ParseError("Expected template literal", token)
+        self._advance()
+        raw = token.value
+        quasis: list[Node] = []
+        expressions: list[Node] = []
+        # Split the raw template on top-level ${...} substitutions.
+        inner = raw[1:-1]
+        chunks: list[str] = []
+        exprs: list[str] = []
+        current: list[str] = []
+        index = 0
+        depth = 0
+        expr_start = 0
+        while index < len(inner):
+            char = inner[index]
+            if char == "\\" and depth == 0:
+                current.append(inner[index : index + 2])
+                index += 2
+                continue
+            if depth == 0 and char == "$" and index + 1 < len(inner) and inner[index + 1] == "{":
+                chunks.append("".join(current))
+                current = []
+                depth = 1
+                index += 2
+                expr_start = index
+                continue
+            if depth > 0:
+                if char == "{":
+                    depth += 1
+                elif char == "}":
+                    depth -= 1
+                    if depth == 0:
+                        exprs.append(inner[expr_start:index])
+                        index += 1
+                        continue
+            else:
+                current.append(char)
+            index += 1
+        chunks.append("".join(current))
+        for pos, chunk in enumerate(chunks):
+            quasis.append(
+                Node(
+                    "TemplateElement",
+                    value={"raw": chunk, "cooked": _decode_template_chunk(chunk)},
+                    tail=pos == len(chunks) - 1,
+                    start=token.start,
+                    end=token.end,
+                )
+            )
+        for expr_src in exprs:
+            sub = Parser(expr_src)
+            sub.in_function = self.in_function
+            expression = sub._parse_expression()
+            if sub.token.type is not TokenType.EOF:
+                raise ParseError("Trailing tokens in template substitution", sub.token)
+            # Offset positions so they stay within the outer token's range.
+            expression.start = token.start
+            expression.end = token.end
+            expressions.append(expression)
+        return Node(
+            "TemplateLiteral",
+            quasis=quasis,
+            expressions=expressions,
+            start=token.start,
+            end=token.end,
+        )
+
+    # -- patterns ------------------------------------------------------------
+
+    def _reinterpret_as_pattern(self, node: Node, assignment: bool = False) -> Node:
+        """Convert an expression parsed in a binding position into a pattern."""
+        if node.type == "ArrayExpression":
+            elements = []
+            for element in node.elements:
+                if element is None:
+                    elements.append(None)
+                elif element.type == "SpreadElement":
+                    elements.append(
+                        Node(
+                            "RestElement",
+                            argument=self._reinterpret_as_pattern(element.argument, assignment),
+                            start=element.start,
+                            end=element.end,
+                        )
+                    )
+                else:
+                    elements.append(self._reinterpret_as_pattern(element, assignment))
+            return Node("ArrayPattern", elements=elements, start=node.start, end=node.end)
+        if node.type == "ObjectExpression":
+            properties = []
+            for prop in node.properties:
+                if prop.type == "SpreadElement":
+                    properties.append(
+                        Node(
+                            "RestElement",
+                            argument=self._reinterpret_as_pattern(prop.argument, assignment),
+                            start=prop.start,
+                            end=prop.end,
+                        )
+                    )
+                else:
+                    properties.append(
+                        Node(
+                            "Property",
+                            key=prop.key,
+                            value=self._reinterpret_as_pattern(prop.value, assignment),
+                            kind="init",
+                            method=False,
+                            shorthand=prop.shorthand,
+                            computed=prop.computed,
+                            start=prop.start,
+                            end=prop.end,
+                        )
+                    )
+            return Node("ObjectPattern", properties=properties, start=node.start, end=node.end)
+        if node.type == "AssignmentExpression" and node.operator == "=":
+            return Node(
+                "AssignmentPattern",
+                left=self._reinterpret_as_pattern(node.left, assignment),
+                right=node.right,
+                start=node.start,
+                end=node.end,
+            )
+        if node.type in ("Identifier", "MemberExpression", "AssignmentPattern", "ArrayPattern", "ObjectPattern", "RestElement"):
+            return node
+        if assignment:
+            # e.g. `(a, b) = ...` is invalid but parenthesised member chains are fine.
+            return node
+        raise ParseError(f"Invalid binding target of type {node.type}")
+
+
+def _decode_string_literal(raw: str) -> str:
+    """Decode a quoted JS string literal into its runtime value."""
+    return _decode_escapes(raw[1:-1])
+
+
+def _decode_template_chunk(raw: str) -> str:
+    return _decode_escapes(raw)
+
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "`": "`",
+    "\\": "\\",
+    "\n": "",
+    "\r": "",
+}
+
+
+def _decode_escapes(text: str) -> str:
+    out: list[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        index += 1
+        if index >= length:
+            break
+        esc = text[index]
+        if esc == "x" and index + 2 < length + 1:
+            hex_digits = text[index + 1 : index + 3]
+            try:
+                out.append(chr(int(hex_digits, 16)))
+                index += 3
+                continue
+            except ValueError:
+                pass
+        if esc == "u":
+            if index + 1 < length and text[index + 1] == "{":
+                close = text.find("}", index + 1)
+                if close != -1:
+                    try:
+                        out.append(chr(int(text[index + 2 : close], 16)))
+                        index = close + 1
+                        continue
+                    except ValueError:
+                        pass
+            hex_digits = text[index + 1 : index + 5]
+            try:
+                out.append(chr(int(hex_digits, 16)))
+                index += 5
+                continue
+            except ValueError:
+                pass
+        out.append(_SIMPLE_ESCAPES.get(esc, esc))
+        index += 1
+    return "".join(out)
+
+
+def parse(source: str) -> Node:
+    """Parse JavaScript source text into an ESTree ``Program`` node."""
+    return Parser(source).parse_program()

@@ -1,0 +1,232 @@
+"""Token definitions for the JavaScript lexer.
+
+The vocabulary mirrors Esprima's token taxonomy so that downstream feature
+extraction (which the paper performs over "lexical units") sees the same
+categories a real Esprima run would produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenType(enum.Enum):
+    """Lexical unit categories, matching Esprima's token types."""
+
+    BOOLEAN = "Boolean"
+    EOF = "EOF"
+    IDENTIFIER = "Identifier"
+    KEYWORD = "Keyword"
+    NULL = "Null"
+    NUMERIC = "Numeric"
+    PUNCTUATOR = "Punctuator"
+    STRING = "String"
+    REGULAR_EXPRESSION = "RegularExpression"
+    TEMPLATE = "Template"
+    COMMENT = "Comment"
+
+
+@dataclass
+class Token:
+    """One lexical unit.
+
+    ``value`` holds the raw source slice (including quotes for strings so the
+    original escape sequences remain observable by feature extractors).
+    """
+
+    type: TokenType
+    value: str
+    start: int
+    end: int
+    line: int
+    column: int
+    # For regex literals: the pattern and flags, for diagnostics.
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r}, L{self.line})"
+
+
+# Reserved words per ES2015 (plus contextual ones handled in the parser).
+KEYWORDS = frozenset(
+    {
+        "await",
+        "break",
+        "case",
+        "catch",
+        "class",
+        "const",
+        "continue",
+        "debugger",
+        "default",
+        "delete",
+        "do",
+        "else",
+        "export",
+        "extends",
+        "finally",
+        "for",
+        "function",
+        "if",
+        "import",
+        "in",
+        "instanceof",
+        "let",
+        "new",
+        "return",
+        "super",
+        "switch",
+        "this",
+        "throw",
+        "try",
+        "typeof",
+        "var",
+        "void",
+        "while",
+        "with",
+        "yield",
+    }
+)
+
+# Punctuators ordered longest-first so the lexer can use greedy matching.
+PUNCTUATORS = sorted(
+    [
+        ">>>=",
+        "...",
+        "===",
+        "!==",
+        ">>>",
+        "<<=",
+        ">>=",
+        "**=",
+        "&&=",
+        "||=",
+        "??=",
+        "=>",
+        "==",
+        "!=",
+        "<=",
+        ">=",
+        "&&",
+        "||",
+        "??",
+        "++",
+        "--",
+        "<<",
+        ">>",
+        "+=",
+        "-=",
+        "*=",
+        "/=",
+        "%=",
+        "&=",
+        "|=",
+        "^=",
+        "**",
+        "?.",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        ";",
+        ",",
+        "<",
+        ">",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "&",
+        "|",
+        "^",
+        "!",
+        "~",
+        "?",
+        ":",
+        "=",
+        ".",
+    ],
+    key=len,
+    reverse=True,
+)
+
+# Tokens after which a `/` must start a regular expression literal rather than
+# a division operator (classic JS lexer ambiguity).
+REGEX_ALLOWED_AFTER_PUNCTUATORS = frozenset(
+    {
+        "(",
+        ",",
+        "=",
+        ":",
+        "[",
+        "!",
+        "&",
+        "|",
+        "?",
+        "{",
+        "}",
+        ";",
+        "=>",
+        "==",
+        "!=",
+        "===",
+        "!==",
+        "<",
+        ">",
+        "<=",
+        ">=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "++",
+        "--",
+        "<<",
+        ">>",
+        ">>>",
+        "&&",
+        "||",
+        "??",
+        "+=",
+        "-=",
+        "*=",
+        "/=",
+        "%=",
+        "&=",
+        "|=",
+        "^=",
+        "<<=",
+        ">>=",
+        ">>>=",
+        "**",
+        "**=",
+        "&&=",
+        "||=",
+        "??=",
+        "...",
+    }
+)
+
+REGEX_ALLOWED_AFTER_KEYWORDS = frozenset(
+    {
+        "return",
+        "typeof",
+        "instanceof",
+        "in",
+        "of",
+        "new",
+        "delete",
+        "void",
+        "throw",
+        "case",
+        "do",
+        "else",
+        "yield",
+        "await",
+    }
+)

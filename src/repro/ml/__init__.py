@@ -1,0 +1,30 @@
+"""Learning substrate: random forests and multi-task wrappers.
+
+Replaces the scikit-learn components the paper uses (§III-C/D): a CART
+random forest with per-split feature subsampling, plus the two multi-task
+strategies the paper compares — independent binary relevance [43] and the
+classifier chain [41] (which the paper's validation selects).
+"""
+
+from repro.ml.binning import Binner
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import (
+    exact_match_accuracy,
+    label_accuracy,
+    thresholded_top_k,
+    top_k_correct,
+)
+from repro.ml.multilabel import BinaryRelevance, ClassifierChain
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Binner",
+    "BinaryRelevance",
+    "ClassifierChain",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "exact_match_accuracy",
+    "label_accuracy",
+    "thresholded_top_k",
+    "top_k_correct",
+]

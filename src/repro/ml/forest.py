@@ -1,0 +1,112 @@
+"""Random forest classifier (bagging + per-split feature subsampling).
+
+Binary classification; probabilities are the mean of the member trees'
+leaf class fractions, matching scikit-learn's ``predict_proba`` semantics
+for the forests the paper trains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.binning import Binner
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class ForestSpec:
+    """Picklable factory producing identically-configured forests.
+
+    Multi-label wrappers need one fresh classifier per label; a plain
+    lambda would break model pickling, so the configuration is captured in
+    this callable instead.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self.kwargs = kwargs
+
+    def __call__(self) -> "RandomForestClassifier":
+        return RandomForestClassifier(**self.kwargs)
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of histogram CART trees over auto-binned features."""
+
+    def __init__(
+        self,
+        n_estimators: int = 24,
+        max_depth: int = 16,
+        min_samples_leaf: int = 2,
+        max_features: str | int | None = "sqrt",
+        max_bins: int = 64,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.binner_: Binner | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if set(np.unique(y)) - {0, 1}:
+            raise ValueError("RandomForestClassifier is binary: labels must be 0/1")
+        rng = np.random.default_rng(self.random_state)
+        self.binner_ = Binner(max_bins=self.max_bins)
+        X_binned = self.binner_.fit_transform(X)
+        n = len(y)
+        self.trees_ = []
+        self.constant_ = None
+        if y.sum() == 0 or y.sum() == n:
+            # Degenerate training set: remember the constant answer.
+            self.constant_ = float(y[0])
+            return self
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(X_binned[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.binner_ is None:
+            raise RuntimeError("Forest must be fitted before prediction")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(class 1) per row, averaged over trees."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if self.constant_ is not None:
+            return np.full(len(X), self.constant_)
+        X_binned = self.binner_.transform(X)
+        probabilities = np.zeros(len(X))
+        for tree in self.trees_:
+            probabilities += tree.predict_proba(X_binned)
+        return probabilities / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y)).mean())
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean gini importance over member trees (zeros for constants)."""
+        self._check_fitted()
+        if not self.trees_:
+            return np.zeros(0)
+        return np.mean([tree.feature_importances_ for tree in self.trees_], axis=0)

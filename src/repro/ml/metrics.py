@@ -1,0 +1,85 @@
+"""Evaluation metrics, including the paper's Top-k scheme (§III-E).
+
+The paper defines a Top-k prediction as correct when the k most probable
+labels are all part of the ground truth.  Level-2 production use applies a
+probability threshold (10%) so low-confidence labels are not emitted;
+:func:`thresholded_top_k` reproduces that behaviour, and
+:func:`wrong_and_missing` the "average wrong / missing labels" curves of
+Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def exact_match_accuracy(Y_true: np.ndarray, Y_pred: np.ndarray) -> float:
+    """Fraction of samples whose full predicted label set matches exactly."""
+    Y_true = np.asarray(Y_true, dtype=np.int64)
+    Y_pred = np.asarray(Y_pred, dtype=np.int64)
+    return float((Y_true == Y_pred).all(axis=1).mean())
+
+
+def label_accuracy(Y_true: np.ndarray, Y_pred: np.ndarray) -> np.ndarray:
+    """Per-label accuracy vector."""
+    Y_true = np.asarray(Y_true, dtype=np.int64)
+    Y_pred = np.asarray(Y_pred, dtype=np.int64)
+    return (Y_true == Y_pred).mean(axis=0)
+
+
+def top_k_correct(Y_true: np.ndarray, probabilities: np.ndarray, k: int) -> np.ndarray:
+    """Boolean vector: are the k most probable labels all in the ground truth?"""
+    Y_true = np.asarray(Y_true, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    top = np.argsort(-probabilities, axis=1)[:, :k]
+    rows = np.arange(len(Y_true))[:, None]
+    return Y_true[rows, top].all(axis=1)
+
+
+def top_k_accuracy(Y_true: np.ndarray, probabilities: np.ndarray, k: int) -> float:
+    return float(top_k_correct(Y_true, probabilities, k).mean())
+
+
+def thresholded_top_k(
+    probabilities: np.ndarray, k: int, threshold: float = 0.10
+) -> np.ndarray:
+    """Binary prediction matrix: the ≤k most probable labels above threshold.
+
+    This is the paper's production decision rule for level 2 — it
+    "consider[s] the first k labels if they have a probability of being
+    correct over a threshold" of 10%.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    n, n_labels = probabilities.shape
+    prediction = np.zeros((n, n_labels), dtype=np.int64)
+    order = np.argsort(-probabilities, axis=1)[:, :k]
+    rows = np.arange(n)[:, None]
+    chosen = probabilities[rows, order] >= threshold
+    prediction[rows.repeat(order.shape[1], axis=1)[chosen], order[chosen]] = 1
+    return prediction
+
+
+def wrong_and_missing(
+    Y_true: np.ndarray, Y_pred: np.ndarray
+) -> tuple[float, float]:
+    """(average wrong labels, average missing labels) per sample (Fig. 1)."""
+    Y_true = np.asarray(Y_true, dtype=np.int64)
+    Y_pred = np.asarray(Y_pred, dtype=np.int64)
+    wrong = ((Y_pred == 1) & (Y_true == 0)).sum(axis=1).mean()
+    missing = ((Y_pred == 0) & (Y_true == 1)).sum(axis=1).mean()
+    return float(wrong), float(missing)
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[float, float, float]:
+    """Binary precision, recall, F1 for the positive class."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1

@@ -1,0 +1,111 @@
+"""Multi-task (multi-label) wrappers over binary classifiers.
+
+The paper compares two strategies (§III-D3):
+
+- :class:`BinaryRelevance` — C independent binary classifiers [43],
+- :class:`ClassifierChain` — classifier at position P additionally consumes
+  the predictions of positions 0..P-1 as features [41], [38].
+
+Its validation selects the classifier chain with random forests; both are
+provided so the ablation benchmark can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+
+ForestFactory = Callable[[], RandomForestClassifier]
+
+
+def _default_factory() -> RandomForestClassifier:
+    return RandomForestClassifier()
+
+
+class BinaryRelevance:
+    """Independent one-vs-rest decomposition of a multi-label problem."""
+
+    def __init__(self, n_labels: int, factory: ForestFactory | None = None) -> None:
+        self.n_labels = n_labels
+        self.factory = factory or _default_factory
+        self.classifiers_: list[RandomForestClassifier] = []
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "BinaryRelevance":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.int64)
+        if Y.shape != (len(X), self.n_labels):
+            raise ValueError(f"Y must have shape (n, {self.n_labels})")
+        self.classifiers_ = []
+        for label in range(self.n_labels):
+            classifier = self.factory()
+            classifier.fit(X, Y[:, label])
+            self.classifiers_.append(classifier)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, n_labels) matrix of per-label probabilities."""
+        if not self.classifiers_:
+            raise RuntimeError("Model must be fitted first")
+        columns = [clf.predict_proba(X) for clf in self.classifiers_]
+        return np.stack(columns, axis=1)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+
+class ClassifierChain:
+    """Chained one-vs-rest classifiers sharing earlier predictions.
+
+    During training, classifier P sees the ground-truth labels of positions
+    0..P-1 appended to the feature vector; during inference it sees the
+    chain's own (probabilistic) predictions, the standard construction of
+    Read et al. [41].
+    """
+
+    def __init__(
+        self,
+        n_labels: int,
+        factory: ForestFactory | None = None,
+        order: list[int] | None = None,
+    ) -> None:
+        self.n_labels = n_labels
+        self.factory = factory or _default_factory
+        self.order = order if order is not None else list(range(n_labels))
+        if sorted(self.order) != list(range(n_labels)):
+            raise ValueError("order must be a permutation of range(n_labels)")
+        self.classifiers_: list[RandomForestClassifier] = []
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "ClassifierChain":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.int64)
+        if Y.shape != (len(X), self.n_labels):
+            raise ValueError(f"Y must have shape (n, {self.n_labels})")
+        self.classifiers_ = []
+        augmented = X
+        for position, label in enumerate(self.order):
+            classifier = self.factory()
+            classifier.fit(augmented, Y[:, label])
+            self.classifiers_.append(classifier)
+            if position < self.n_labels - 1:
+                augmented = np.column_stack([augmented, Y[:, label]])
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, n_labels) probabilities in the original label order."""
+        if not self.classifiers_:
+            raise RuntimeError("Model must be fitted first")
+        X = np.asarray(X, dtype=np.float64)
+        probabilities = np.zeros((len(X), self.n_labels))
+        augmented = X
+        for position, label in enumerate(self.order):
+            proba = self.classifiers_[position].predict_proba(augmented)
+            probabilities[:, label] = proba
+            if position < self.n_labels - 1:
+                augmented = np.column_stack([augmented, (proba >= 0.5).astype(np.float64)])
+        return probabilities
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(np.int64)

@@ -1,0 +1,196 @@
+"""CART decision tree with a histogram (binned) splitter.
+
+Binary classification with gini impurity.  The tree consumes pre-binned
+``uint8`` matrices (see :class:`repro.ml.binning.Binner`); split search per
+node is a vectorised ``bincount`` over candidate features, which keeps the
+pure-Python/NumPy implementation fast enough for forest training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DecisionTreeClassifier:
+    """Binary CART over binned features.
+
+    Parameters mirror the scikit-learn names the paper's pipeline would
+    have used: ``max_depth``, ``min_samples_split``, ``min_samples_leaf``,
+    ``max_features`` ('sqrt', an int, or None for all).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 16,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: str | int | None = "sqrt",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng()
+        # Flat tree arrays, filled by fit().
+        self.feature_: list[int] = []
+        self.threshold_: list[int] = []
+        self.left_: list[int] = []
+        self.right_: list[int] = []
+        self.value_: list[float] = []
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, X_binned: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X_binned = np.asarray(X_binned, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.float64)
+        if X_binned.ndim != 2 or y.ndim != 1 or len(y) != len(X_binned):
+            raise ValueError("Bad training-set shapes")
+        self.n_features_ = X_binned.shape[1]
+        self._n_candidates = self._resolve_max_features(self.n_features_)
+        self.feature_, self.threshold_ = [], []
+        self.left_, self.right_, self.value_ = [], [], []
+        self.feature_importances_ = np.zeros(self.n_features_)
+        self._n_samples = len(y)
+        indices = np.arange(len(y), dtype=np.int64)
+        self._build(X_binned, y, indices, depth=0)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"Bad max_features: {self.max_features!r}")
+
+    def _new_node(self) -> int:
+        node = len(self.feature_)
+        self.feature_.append(-1)
+        self.threshold_.append(0)
+        self.left_.append(-1)
+        self.right_.append(-1)
+        self.value_.append(0.0)
+        return node
+
+    def _build(self, X: np.ndarray, y: np.ndarray, indices: np.ndarray, depth: int) -> int:
+        node = self._new_node()
+        labels = y[indices]
+        positive = float(labels.sum())
+        total = float(len(indices))
+        self.value_[node] = positive / total
+        if (
+            depth >= self.max_depth
+            or total < self.min_samples_split
+            or positive == 0.0
+            or positive == total
+        ):
+            return node
+        split = self._best_split(X, y, indices)
+        if split is None:
+            return node
+        feature, threshold, left_mask = split
+        # Gini-importance accounting: weighted impurity decrease.
+        labels_left = y[indices[left_mask]]
+        labels_right = y[indices[~left_mask]]
+        decrease = _gini(positive, total) - (
+            len(labels_left) / total * _gini(float(labels_left.sum()), len(labels_left))
+            + len(labels_right) / total * _gini(float(labels_right.sum()), len(labels_right))
+        )
+        self.feature_importances_[feature] += (total / self._n_samples) * max(decrease, 0.0)
+        left_indices = indices[left_mask]
+        right_indices = indices[~left_mask]
+        self.feature_[node] = feature
+        self.threshold_[node] = threshold
+        self.left_[node] = self._build(X, y, left_indices, depth + 1)
+        self.right_[node] = self._build(X, y, right_indices, depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, indices: np.ndarray
+    ) -> tuple[int, int, np.ndarray] | None:
+        n = len(indices)
+        candidates = self.rng.choice(
+            self.n_features_,
+            size=min(self._n_candidates, self.n_features_),
+            replace=False,
+        )
+        labels = y[indices]
+        total_pos = labels.sum()
+        best_gain = 1e-12
+        best: tuple[int, int] | None = None
+        parent_impurity = _gini(total_pos, n)
+        sub = X[indices][:, candidates].astype(np.int64)
+        for pos, feature in enumerate(candidates):
+            column = sub[:, pos]
+            n_bins = int(column.max()) + 1
+            if n_bins < 2:
+                continue
+            count_all = np.bincount(column, minlength=n_bins).astype(np.float64)
+            count_pos = np.bincount(column, weights=labels, minlength=n_bins)
+            cum_all = np.cumsum(count_all)[:-1]  # left side sizes per threshold
+            cum_pos = np.cumsum(count_pos)[:-1]
+            right_all = n - cum_all
+            right_pos = total_pos - cum_pos
+            valid = (cum_all >= self.min_samples_leaf) & (
+                right_all >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gini_left = 1.0 - (cum_pos / cum_all) ** 2 - (1 - cum_pos / cum_all) ** 2
+                gini_right = (
+                    1.0 - (right_pos / right_all) ** 2 - (1 - right_pos / right_all) ** 2
+                )
+            weighted = (cum_all * gini_left + right_all * gini_right) / n
+            weighted[~valid] = np.inf
+            best_threshold = int(np.argmin(weighted))
+            gain = parent_impurity - weighted[best_threshold]
+            if gain > best_gain:
+                best_gain = gain
+                best = (int(feature), best_threshold, pos)
+        if best is None:
+            return None
+        feature, threshold, pos = best
+        left_mask = sub[:, pos] <= threshold
+        return feature, threshold, left_mask
+
+    # -- inference -----------------------------------------------------------
+
+    def predict_proba(self, X_binned: np.ndarray) -> np.ndarray:
+        """P(class 1) for each row."""
+        X_binned = np.asarray(X_binned, dtype=np.uint8)
+        n = len(X_binned)
+        nodes = np.zeros(n, dtype=np.int64)
+        feature = np.asarray(self.feature_)
+        threshold = np.asarray(self.threshold_)
+        left = np.asarray(self.left_)
+        right = np.asarray(self.right_)
+        value = np.asarray(self.value_)
+        active = feature[nodes] >= 0
+        while active.any():
+            idx = np.nonzero(active)[0]
+            current = nodes[idx]
+            feats = feature[current]
+            go_left = X_binned[idx, feats] <= threshold[current]
+            nodes[idx] = np.where(go_left, left[current], right[current])
+            active = feature[nodes] >= 0
+        return value[nodes]
+
+    def predict(self, X_binned: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X_binned) >= 0.5).astype(np.int64)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.feature_)
+
+
+def _gini(positive: float, total: float) -> float:
+    if total == 0:
+        return 0.0
+    p = positive / total
+    return 1.0 - p * p - (1.0 - p) * (1.0 - p)

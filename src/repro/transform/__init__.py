@@ -1,0 +1,25 @@
+"""Code-transformation tools used to build ground-truth datasets (§II-B/C).
+
+One transformer per monitored technique, plus the Dean Edwards-style packer
+used only as a held-out "new tool" for the generalization experiment
+(§III-E3) and a pipeline for combining techniques (§III-E2).
+"""
+
+from repro.transform.base import (
+    TECHNIQUES,
+    Technique,
+    Transformer,
+    get_transformer,
+    registry,
+)
+from repro.transform.pipeline import TransformationPipeline, transform_with
+
+__all__ = [
+    "TECHNIQUES",
+    "Technique",
+    "TransformationPipeline",
+    "Transformer",
+    "get_transformer",
+    "registry",
+    "transform_with",
+]

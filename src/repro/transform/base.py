@@ -1,0 +1,118 @@
+"""Transformer protocol and the monitored-technique vocabulary (§II-C)."""
+
+from __future__ import annotations
+
+import enum
+import random
+from abc import ABC, abstractmethod
+
+
+class Technique(str, enum.Enum):
+    """The ten transformation techniques the paper monitors."""
+
+    IDENTIFIER_OBFUSCATION = "identifier_obfuscation"
+    STRING_OBFUSCATION = "string_obfuscation"
+    GLOBAL_ARRAY = "global_array"
+    NO_ALPHANUMERIC = "no_alphanumeric"
+    DEAD_CODE_INJECTION = "dead_code_injection"
+    CONTROL_FLOW_FLATTENING = "control_flow_flattening"
+    SELF_DEFENDING = "self_defending"
+    DEBUG_PROTECTION = "debug_protection"
+    MINIFICATION_SIMPLE = "minification_simple"
+    MINIFICATION_ADVANCED = "minification_advanced"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.value
+
+
+TECHNIQUES: tuple[Technique, ...] = tuple(Technique)
+
+#: Techniques whose presence classifies a file as obfuscated (vs. minified).
+OBFUSCATION_TECHNIQUES = frozenset(
+    {
+        Technique.IDENTIFIER_OBFUSCATION,
+        Technique.STRING_OBFUSCATION,
+        Technique.GLOBAL_ARRAY,
+        Technique.NO_ALPHANUMERIC,
+        Technique.DEAD_CODE_INJECTION,
+        Technique.CONTROL_FLOW_FLATTENING,
+        Technique.SELF_DEFENDING,
+        Technique.DEBUG_PROTECTION,
+    }
+)
+
+MINIFICATION_TECHNIQUES = frozenset(
+    {Technique.MINIFICATION_SIMPLE, Technique.MINIFICATION_ADVANCED}
+)
+
+
+def looks_minified(source: str) -> bool:
+    """Heuristic: compact formatting (used to preserve it across chains)."""
+    lines = source.count("\n") + 1
+    return len(source) / lines > 150
+
+
+class Transformer(ABC):
+    """One code-transformation tool configuration.
+
+    ``labels`` lists every monitored technique the tool applies — some tools
+    always combine techniques (e.g. obfuscator.io renames identifiers
+    whenever it flattens control flow), which is why a single-configuration
+    sample can carry up to three ground-truth labels (§III-E1).
+    """
+
+    #: primary technique this transformer implements
+    technique: Technique
+    #: every label the transformation leaves in the output
+    labels: frozenset[Technique]
+
+    @abstractmethod
+    def transform(self, source: str, rng: random.Random) -> str:
+        """Return the transformed source for ``source``."""
+
+    @property
+    def name(self) -> str:
+        return self.technique.value
+
+
+_registry: dict[Technique, Transformer] = {}
+
+
+def register(transformer: Transformer) -> Transformer:
+    _registry[transformer.technique] = transformer
+    return transformer
+
+
+def registry() -> dict[Technique, Transformer]:
+    """All registered transformers, keyed by primary technique."""
+    _ensure_loaded()
+    return dict(_registry)
+
+
+def get_transformer(technique: Technique | str) -> Transformer:
+    """Look up the transformer for a monitored technique."""
+    _ensure_loaded()
+    if isinstance(technique, str):
+        technique = Technique(technique)
+    return _registry[technique]
+
+
+def _ensure_loaded() -> None:
+    # Partial registration happens when a transformer module is imported
+    # directly (e.g. the packer importing the simple minifier), so check
+    # for completeness rather than mere non-emptiness.
+    if len(_registry) == len(TECHNIQUES):
+        return
+    # Import for side effects: each module registers its transformer.
+    from repro.transform import (  # noqa: F401
+        control_flow_flattening,
+        dead_code,
+        debug_protection,
+        global_array,
+        identifier_rename,
+        minify_advanced,
+        minify_simple,
+        no_alphanumeric,
+        self_defending,
+        string_obfuscation,
+    )

@@ -1,0 +1,196 @@
+"""Control-flow flattening (§II-A: logic structure obfuscation).
+
+Implements the classic technique obfuscator.io popularised [23]: the
+statements of a function body (or of the top level) move into a ``switch``
+inside an infinite ``while`` loop; a shuffled order string drives the
+dispatcher, so the static statement order no longer reflects execution
+order::
+
+    var order = "2|0|1".split("|"), i = 0;
+    while (true) {
+        switch (order[i++]) {
+            case "0": …; continue;
+        }
+        break;
+    }
+
+Function declarations are hoisted out of the dispatcher (they must stay
+directly in the function body), and bodies whose statements could interact
+badly with the dispatcher (free ``break``/``continue``, lexical
+declarations used across statements) are left untouched — the same
+conservative behaviour real flatteners exhibit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.js.ast_nodes import Node
+from repro.js.builder import (
+    block,
+    break_stmt,
+    call,
+    continue_stmt,
+    identifier,
+    literal,
+    member,
+    multi_var_decl,
+    string,
+    switch,
+    switch_case,
+    update,
+    while_stmt,
+)
+from repro.js.codegen import generate
+from repro.js.parser import parse
+from repro.js.visitor import walk
+from repro.transform.base import Technique, Transformer, looks_minified, register
+from repro.transform.renaming import rename_hex
+
+_LOOP_TYPES = frozenset(
+    {"ForStatement", "ForInStatement", "ForOfStatement", "WhileStatement", "DoWhileStatement"}
+)
+
+
+def _has_free_break_or_continue(statement: Node) -> bool:
+    """True if the statement could break/continue out of an enclosing loop."""
+
+    def scan(node: Node, loop_depth: int, switch_depth: int) -> bool:
+        if node.type in _LOOP_TYPES:
+            loop_depth += 1
+        elif node.type == "SwitchStatement":
+            switch_depth += 1
+        elif node.type in ("FunctionDeclaration", "FunctionExpression", "ArrowFunctionExpression"):
+            return False  # break/continue cannot cross function boundaries
+        elif node.type == "BreakStatement":
+            if node.get("label") is not None:
+                return True
+            if loop_depth == 0 and switch_depth == 0:
+                return True
+        elif node.type == "ContinueStatement":
+            if node.get("label") is not None or loop_depth == 0:
+                return True
+        from repro.js.ast_nodes import iter_child_nodes
+
+        return any(scan(child, loop_depth, switch_depth) for child in iter_child_nodes(node))
+
+    return scan(statement, 0, 0)
+
+
+def _flattenable(statements: list[Node]) -> bool:
+    if len(statements) < 3:
+        return False
+    for statement in statements:
+        if statement.type in (
+            "ImportDeclaration",
+            "ExportNamedDeclaration",
+            "ExportDefaultDeclaration",
+            "ExportAllDeclaration",
+        ):
+            return False
+        if _has_free_break_or_continue(statement):
+            return False
+    return True
+
+
+def _demote_lexical_declarations(statements: list[Node]) -> None:
+    """``let``/``const`` at dispatcher level would not survive the switch
+    cases as separate scopes — demote them to ``var`` (function-scoped)."""
+    for statement in statements:
+        if statement.type == "VariableDeclaration" and statement.kind in ("let", "const"):
+            statement.kind = "var"
+
+
+def flatten_statement_list(
+    statements: list[Node], rng: random.Random
+) -> list[Node] | None:
+    """Flatten one statement list; ``None`` when the list is not eligible."""
+    if not _flattenable(statements):
+        return None
+    hoisted = [s for s in statements if s.type == "FunctionDeclaration"]
+    dispatchable = [s for s in statements if s.type != "FunctionDeclaration"]
+    if len(dispatchable) < 3:
+        return None
+    _demote_lexical_declarations(dispatchable)
+
+    # Statement i gets random case label labels[i]; the order string lists
+    # the labels in execution order, while the case bodies are shuffled in
+    # the switch so static order no longer matches execution order.
+    labels = list(range(len(dispatchable)))
+    rng.shuffle(labels)
+    order_string = "|".join(str(label) for label in labels)
+
+    order_name = "_0x" + "".join(rng.choice("0123456789abcdef") for _ in range(4))
+    counter_name = order_name + "i"
+
+    cases = [
+        switch_case(string(str(label)), [statement, continue_stmt()])
+        for label, statement in zip(labels, dispatchable)
+    ]
+    rng.shuffle(cases)
+
+    dispatcher = [
+        multi_var_decl(
+            [
+                (
+                    order_name,
+                    call(member(string(order_string), "split"), [string("|")]),
+                ),
+                (counter_name, literal(0)),
+            ]
+        ),
+        while_stmt(
+            literal(True, raw="true"),
+            block(
+                [
+                    switch(
+                        member(
+                            identifier(order_name),
+                            update("++", identifier(counter_name)),
+                            computed=True,
+                        ),
+                        cases,
+                    ),
+                    break_stmt(),
+                ]
+            ),
+        ),
+    ]
+    return hoisted + dispatcher
+
+
+def flatten_program(program: Node, rng: random.Random) -> int:
+    """Flatten the top level and every eligible function body; returns count."""
+    flattened = 0
+    for node in walk(program):
+        if node.type in ("FunctionDeclaration", "FunctionExpression", "ArrowFunctionExpression"):
+            body = node.body
+            if body.type != "BlockStatement":
+                continue
+            result = flatten_statement_list(body.body, rng)
+            if result is not None:
+                body.body = result
+                flattened += 1
+    result = flatten_statement_list(program.body, rng)
+    if result is not None:
+        program.body = result
+        flattened += 1
+    return flattened
+
+
+class ControlFlowFlattener(Transformer):
+    """Switch-dispatcher flattening + hex renaming (obfuscator.io style)."""
+
+    technique = Technique.CONTROL_FLOW_FLATTENING
+    labels = frozenset(
+        {Technique.CONTROL_FLOW_FLATTENING, Technique.IDENTIFIER_OBFUSCATION}
+    )
+
+    def transform(self, source: str, rng: random.Random) -> str:
+        program = parse(source)
+        flatten_program(program, rng)
+        rename_hex(program, rng)
+        return generate(program, compact=looks_minified(source))
+
+
+register(ControlFlowFlattener())

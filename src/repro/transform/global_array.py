@@ -1,0 +1,199 @@
+"""Global (string) array obfuscation (§II-A: data obfuscation).
+
+The obfuscator.io "string array" technique: every string literal moves into
+one global array; use sites index into it through an accessor function with
+an offset, so no string appears in plain text at its point of use.  As with
+obfuscator.io's default configuration, identifiers are also renamed to
+``_0x`` hex names, which is why samples built with this tool carry two
+ground-truth labels.
+"""
+
+from __future__ import annotations
+
+import base64
+import random
+
+from repro.js.ast_nodes import Node, iter_fields
+from repro.js.builder import (
+    array,
+    binary,
+    call,
+    function_decl,
+    literal,
+    member,
+    ret,
+    string,
+    var_decl,
+)
+from repro.js.codegen import generate
+from repro.js.parser import parse
+from repro.js.visitor import walk_with_parents
+from repro.transform.base import Technique, Transformer, looks_minified, register
+from repro.transform.renaming import rename_hex
+
+
+def extract_strings_to_array(
+    program: Node,
+    rng: random.Random,
+    min_length: int = 1,
+    encoding: str = "none",
+    rotate: bool = False,
+) -> tuple[int, str]:
+    """Hoist string literals into a global array; returns (count, array name).
+
+    ``encoding`` mirrors obfuscator.io's stringArrayEncoding option:
+    ``"none"`` stores plain strings, ``"base64"`` stores base64 payloads
+    decoded through ``atob`` in the accessor.  With ``rotate`` the array is
+    shuffled and a rotation loop restores it at startup (the static order
+    no longer matches the index order).
+    """
+    if encoding not in ("none", "base64"):
+        raise ValueError(f"Unknown string-array encoding {encoding!r}")
+    array_name = "_0x" + "".join(rng.choice("0123456789abcdef") for _ in range(4))
+    accessor_name = array_name + "_"
+    offset = rng.randint(0x10, 0xFF)
+
+    strings: list[str] = []
+    index_of: dict[str, int] = {}
+    replacements: list[tuple[Node, str, int | None, Node]] = []
+
+    for node, parent in walk_with_parents(program):
+        if parent is None or node.type != "Literal" or not isinstance(node.value, str):
+            continue
+        if len(node.value) < min_length:
+            continue
+        if parent.type in ("Property", "MethodDefinition", "PropertyDefinition") and parent.key is node:
+            continue
+        if parent.type in ("ImportDeclaration", "ExportNamedDeclaration", "ExportAllDeclaration"):
+            continue
+        value = node.value
+        if value not in index_of:
+            index_of[value] = len(strings)
+            strings.append(value)
+        index = index_of[value]
+        hex_index = literal(index + offset, raw=hex(index + offset))
+        access = call(accessor_name, [hex_index])
+        for field, fvalue in iter_fields(parent):
+            if fvalue is node:
+                replacements.append((parent, field, None, access))
+                break
+            if isinstance(fvalue, list):
+                found = False
+                for pos, item in enumerate(fvalue):
+                    if item is node:
+                        replacements.append((parent, field, pos, access))
+                        found = True
+                        break
+                if found:
+                    break
+
+    if not strings:
+        return 0, array_name
+
+    for parent, field, pos, replacement in replacements:
+        if pos is None:
+            setattr(parent, field, replacement)
+        else:
+            getattr(parent, field)[pos] = replacement
+
+    stored = strings
+    if encoding == "base64":
+        stored = [
+            base64.b64encode(value.encode("utf-8")).decode("ascii") for value in strings
+        ]
+
+    rotation = 0
+    if rotate and len(stored) > 1:
+        rotation = rng.randint(1, len(stored) - 1)
+        stored = stored[rotation:] + stored[:rotation]
+
+    # var _0xabcd = ["str0", "str1", ...];
+    array_decl = var_decl(array_name, array([string(s) for s in stored]))
+
+    lookup = member(
+        array_name,
+        binary("-", Node("Identifier", name="i", start=0, end=0), literal(offset, raw=hex(offset))),
+        computed=True,
+    )
+    if encoding == "base64":
+        lookup = call("atob", [lookup])
+    accessor = function_decl(accessor_name, ["i"], [ret(lookup)])
+
+    preamble = [array_decl, accessor]
+    if rotation:
+        # (function (arr, n) { while (n--) { arr.push(arr.shift()); } })(_0xabcd, k);
+        rotate_body = [
+            Node(
+                "WhileStatement",
+                test=Node(
+                    "UpdateExpression",
+                    operator="--",
+                    argument=Node("Identifier", name="n", start=0, end=0),
+                    prefix=False,
+                    start=0,
+                    end=0,
+                ),
+                body=Node(
+                    "BlockStatement",
+                    body=[
+                        Node(
+                            "ExpressionStatement",
+                            expression=call(
+                                member("arr", "push"),
+                                [call(member("arr", "shift"), [])],
+                            ),
+                            start=0,
+                            end=0,
+                        )
+                    ],
+                    start=0,
+                    end=0,
+                ),
+                start=0,
+                end=0,
+            )
+        ]
+        from repro.js.builder import function_expr
+
+        rotator = Node(
+            "ExpressionStatement",
+            expression=call(
+                function_expr(["arr", "n"], rotate_body),
+                [
+                    Node("Identifier", name=array_name, start=0, end=0),
+                    literal(len(stored) - rotation),
+                ],
+            ),
+            start=0,
+            end=0,
+        )
+        preamble.append(rotator)
+    program.body = preamble + program.body
+    return len(replacements), array_name
+
+
+class GlobalArrayObfuscator(Transformer):
+    """String-array extraction + hex identifier renaming (obfuscator.io).
+
+    ``encoding`` and ``rotate`` mirror obfuscator.io's stringArrayEncoding
+    and stringArrayRotate options; the training default randomises them so
+    the detector learns the technique, not one configuration.
+    """
+
+    technique = Technique.GLOBAL_ARRAY
+    labels = frozenset({Technique.GLOBAL_ARRAY, Technique.IDENTIFIER_OBFUSCATION})
+
+    def __init__(self, encoding: str | None = None, rotate: bool | None = None) -> None:
+        self.encoding = encoding
+        self.rotate = rotate
+
+    def transform(self, source: str, rng: random.Random) -> str:
+        program = parse(source)
+        encoding = self.encoding if self.encoding is not None else rng.choice(("none", "none", "base64"))
+        rotate = self.rotate if self.rotate is not None else rng.random() < 0.3
+        extract_strings_to_array(program, rng, encoding=encoding, rotate=rotate)
+        rename_hex(program, rng)
+        return generate(program, compact=looks_minified(source))
+
+
+register(GlobalArrayObfuscator())

@@ -1,0 +1,201 @@
+"""No-alphanumeric obfuscation (§II-A: data obfuscation, JSFuck [27], [36]).
+
+Rewrites a whole script using only the six characters ``[ ] ( ) ! +``.
+The encoding follows the classic JSFuck construction:
+
+- booleans / ``undefined`` / ``NaN`` / numbers from ``[]``, ``!`` and ``+``,
+- letters plucked out of the string forms of those values
+  (``(![]+[])[+!+[]]`` is ``"a"``), of native-function sources
+  (``[]["find"]+[]`` → ``"function find() { [native code] }"``) and of
+  ``[]["entries"]()`` (``"[object Array Iterator]"``),
+- remaining lowercase letters via ``Number.prototype.toString(36)``,
+- everything else through an ``unescape("%XX")`` bootstrap built from the
+  ``Function`` constructor reached as ``[]["flat"]["constructor"]``,
+- and finally ``Function(<encoded source>)()`` to run the payload.
+
+Indices into the native-function strings assume the V8 formatting
+(``function find() { [native code] }``), like JSFuck itself does.  The
+directly-mapped subset plus the ``toString``/``unescape`` fallbacks is
+runtime-faithful; syntactically the output is exactly the six-character
+footprint the paper's detector learns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.transform.base import Technique, Transformer, register
+from repro.transform.minify_simple import SimpleMinifier
+
+
+def _number(value: int) -> str:
+    """A JSFuck expression evaluating to the integer ``value``."""
+    if value == 0:
+        return "+[]"
+    if value <= 9:
+        return "+!+[]" if value == 1 else "+".join(["!+[]"] * value)
+    digits = str(value)
+    return "+(" + "+".join("[" + _number(int(d)) + "]" for d in digits) + ")"
+
+
+def _digit_string(digit: int) -> str:
+    """A JSFuck expression evaluating to the single-digit string."""
+    return "(" + _number(digit) + "+[])"
+
+
+class JSFuckEncoder:
+    """Character-level JSFuck encoder with memoised spelled strings."""
+
+    # String-valued atom expressions and the characters they expose.
+    _FALSE = "(![]+[])"  # "false"
+    _TRUE = "(!![]+[])"  # "true"
+    _UNDEFINED = "([][[]]+[])"  # "undefined"
+    _NAN = "(+[![]]+[])"  # "NaN"
+
+    def __init__(self) -> None:
+        self._char_cache: dict[str, str] = {}
+        self._string_cache: dict[str, str] = {}
+        self._install_base_map()
+
+    # -- base character map --------------------------------------------------
+
+    def _install_base_map(self) -> None:
+        def at(atom: str, index: int) -> str:
+            return atom + "[" + _number(index) + "]"
+
+        mapping = {
+            "f": at(self._FALSE, 0),
+            "a": at(self._FALSE, 1),
+            "l": at(self._FALSE, 2),
+            "s": at(self._FALSE, 3),
+            "e": at(self._FALSE, 4),
+            "t": at(self._TRUE, 0),
+            "r": at(self._TRUE, 1),
+            "u": at(self._TRUE, 2),
+            "n": at(self._UNDEFINED, 1),
+            "d": at(self._UNDEFINED, 2),
+            "i": at(self._UNDEFINED, 5),
+            "N": at(self._NAN, 0),
+        }
+        self._char_cache.update(mapping)
+        # "function find() { [native code] }" (V8 formatting, as JSFuck).
+        find = "([][" + self._spell_with(mapping, "find") + "]+[])"
+        native = "function find() { [native code] }"
+        for char, index in (
+            ("o", 6),
+            ("c", 3),
+            (" ", 8),
+            ("(", 13),
+            (")", 14),
+            ("{", 16),
+            ("[", 18),
+            ("v", 23),
+            ("]", 30),
+            ("}", 32),
+        ):
+            assert native[index] == char, (char, index)
+            self._char_cache.setdefault(char, find + "[" + _number(index) + "]")
+        # "[object Array Iterator]" via []["entries"]().
+        entries = "([][" + self.spell("entries") + "]()+[])"
+        iterator = "[object Array Iterator]"
+        for char, index in (("b", 2), ("j", 3), ("A", 8), ("y", 12), ("I", 14)):
+            assert iterator[index] == char, (char, index)
+            self._char_cache.setdefault(char, entries + "[" + _number(index) + "]")
+        # "function String() { [native code] }" via ([]+[])["constructor"].
+        string_ctor = "(([]+[])[" + self.spell("constructor") + "]+[])"
+        string_native = "function String() { [native code] }"
+        for char, index in (("S", 9), ("g", 14)):
+            assert string_native[index] == char, (char, index)
+            self._char_cache.setdefault(char, string_ctor + "[" + _number(index) + "]")
+
+    def _spell_with(self, mapping: dict[str, str], text: str) -> str:
+        return "+".join(mapping[char] for char in text)
+
+    # -- public encoding -------------------------------------------------------
+
+    def char(self, char: str) -> str:
+        """A JSFuck expression evaluating to the one-character string."""
+        cached = self._char_cache.get(char)
+        if cached is not None:
+            return cached
+        if char.isdigit():
+            expression = _digit_string(int(char))
+        elif "a" <= char <= "z":
+            # (<36-base value>)["toString"](36)
+            expression = (
+                "("
+                + _number(int(char, 36))
+                + ")["
+                + self.spell("toString")
+                + "]("
+                + _number(36)
+                + ")"
+            )
+        else:
+            expression = self._unescape_char(char)
+        self._char_cache[char] = expression
+        return expression
+
+    def spell(self, text: str) -> str:
+        """A JSFuck expression evaluating to the string ``text``."""
+        if not text:
+            return "([]+[])"
+        cached = self._string_cache.get(text)
+        if cached is None:
+            cached = "+".join(self.char(char) for char in text)
+            self._string_cache[text] = cached
+        return cached
+
+    def _function_constructor(self) -> str:
+        return "[][" + self.spell("flat") + "][" + self.spell("constructor") + "]"
+
+    def _unescape_char(self, char: str) -> str:
+        """``unescape("%XX")`` bootstrap for arbitrary characters."""
+        if "%" not in self._char_cache:
+            # escape("[")[0] === "%"
+            escape_fn = self._function_constructor() + "(" + self.spell("return escape") + ")()"
+            self._char_cache["%"] = (
+                escape_fn + "(" + self.char("[") + ")[" + _number(0) + "]"
+            )
+        unescape_fn = (
+            self._function_constructor() + "(" + self.spell("return unescape") + ")()"
+        )
+        code = ord(char)
+        if code <= 0xFF:
+            hex_text = f"{code:02x}"
+            percent_encoded = self.char("%") + "+" + self.spell(hex_text)
+        else:
+            hex_text = f"{code:04x}"
+            percent_encoded = (
+                self.char("%") + "+" + self.char("u") + "+" + self.spell(hex_text)
+            )
+        return unescape_fn + "(" + percent_encoded + ")"
+
+    def encode_program(self, source: str) -> str:
+        """``Function(<encoded source>)()`` over the whole script."""
+        payload = self.spell(source)
+        return self._function_constructor() + "(" + payload + ")()"
+
+
+class NoAlphanumericObfuscator(Transformer):
+    """JSFuck-style whole-script encoding into ``[]()!+``."""
+
+    technique = Technique.NO_ALPHANUMERIC
+    labels = frozenset({Technique.NO_ALPHANUMERIC})
+
+    #: Inputs are minified first (as JSFuck users do) to bound the ~100×
+    #: expansion; sources longer than this are truncated at a statement
+    #: boundary before encoding — real JSFuck use targets small payloads,
+    #: and the cap keeps encoded corpus files in the low hundreds of kB.
+    max_input_chars = 128
+
+    def transform(self, source: str, rng: random.Random) -> str:
+        minified = SimpleMinifier().transform(source, rng)
+        if len(minified) > self.max_input_chars:
+            cut = minified.rfind(";", 0, self.max_input_chars)
+            minified = minified[: cut + 1] if cut > 0 else minified[: self.max_input_chars]
+        encoder = JSFuckEncoder()
+        return encoder.encode_program(minified)
+
+
+register(NoAlphanumericObfuscator())

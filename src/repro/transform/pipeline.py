@@ -1,0 +1,80 @@
+"""Composition of several transformation techniques on one file (§III-E2).
+
+The paper's "mixed samples" test set transforms files with combined
+configuration settings; :class:`TransformationPipeline` reproduces that by
+chaining transformers in a canonical, semantically sensible order (e.g.
+string obfuscation before minification, no-alphanumeric last since it
+subsumes everything).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.transform.base import Technique, Transformer, get_transformer
+
+# Application order mirrors real tool chains: minify first, then apply
+# obfuscations (which preserve the compact formatting), JSFuck last since
+# it rewrites the whole file.
+_ORDER = [
+    Technique.MINIFICATION_ADVANCED,
+    Technique.MINIFICATION_SIMPLE,
+    Technique.DEAD_CODE_INJECTION,
+    Technique.CONTROL_FLOW_FLATTENING,
+    Technique.STRING_OBFUSCATION,
+    Technique.GLOBAL_ARRAY,
+    Technique.IDENTIFIER_OBFUSCATION,
+    Technique.DEBUG_PROTECTION,
+    Technique.SELF_DEFENDING,
+    Technique.NO_ALPHANUMERIC,
+]
+
+#: Techniques that rewrite the whole file so thoroughly that combining them
+#: with later steps would erase the earlier technique's traces entirely.
+_TERMINAL = frozenset({Technique.NO_ALPHANUMERIC})
+
+
+class TransformationPipeline:
+    """Apply several monitored techniques to one source file."""
+
+    def __init__(self, techniques: Iterable[Technique | str]) -> None:
+        chosen = [Technique(t) if isinstance(t, str) else t for t in techniques]
+        seen: set[Technique] = set()
+        self.techniques: list[Technique] = []
+        for technique in _ORDER:
+            if technique in chosen and technique not in seen:
+                self.techniques.append(technique)
+                seen.add(technique)
+        unknown = set(chosen) - seen
+        if unknown:
+            raise ValueError(f"Unknown techniques: {sorted(t.value for t in unknown)}")
+
+    @property
+    def labels(self) -> frozenset[Technique]:
+        """Ground-truth labels of the combined transformation."""
+        labels: set[Technique] = set()
+        for technique in self.techniques:
+            if technique in _TERMINAL:
+                # JSFuck last: earlier traces are destroyed.
+                labels = set(get_transformer(technique).labels)
+                continue
+            labels |= get_transformer(technique).labels
+        return frozenset(labels)
+
+    def transform(self, source: str, rng: random.Random) -> str:
+        result = source
+        for technique in self.techniques:
+            transformer: Transformer = get_transformer(technique)
+            result = transformer.transform(result, rng)
+        return result
+
+
+def transform_with(
+    source: str,
+    techniques: Iterable[Technique | str],
+    rng: random.Random | None = None,
+) -> tuple[str, frozenset[Technique]]:
+    """Transform ``source`` with the given techniques; returns (code, labels)."""
+    pipeline = TransformationPipeline(techniques)
+    return pipeline.transform(source, rng or random.Random(0)), pipeline.labels

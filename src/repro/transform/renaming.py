@@ -1,0 +1,116 @@
+"""Shared identifier-renaming machinery.
+
+Used by the minifiers (short sequential names) and the identifier
+obfuscator (``_0x``-prefixed hex names, the obfuscator.io convention).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.js.ast_nodes import Node
+from repro.js.scope import analyze_scopes
+from repro.js.tokens import KEYWORDS
+from repro.js.visitor import walk
+
+_UNSAFE_NAMES = frozenset({"arguments", "eval", "undefined", "NaN", "Infinity"})
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+_ALPHA_ALL = _ALPHA + _ALPHA.upper()
+_ALNUM = _ALPHA_ALL + "0123456789"
+
+
+def short_name_generator() -> Iterator[str]:
+    """a, b, ..., z, A, ..., Z, aa, ab, ... (skipping reserved words)."""
+    single = list(_ALPHA_ALL)
+    for name in single:
+        yield name
+    length = 2
+    while True:
+        # Enumerate names of the current length in lexicographic order.
+        def emit(prefix: str, remaining: int) -> Iterator[str]:
+            if remaining == 0:
+                if prefix not in KEYWORDS and prefix != "do":
+                    yield prefix
+                return
+            charset = _ALPHA_ALL if not prefix else _ALNUM
+            for char in charset:
+                yield from emit(prefix + char, remaining - 1)
+
+        yield from emit("", length)
+        length += 1
+
+
+def hex_name_generator(rng: random.Random) -> Iterator[str]:
+    """obfuscator.io-style names: _0x followed by 6 random hex digits."""
+    seen: set[str] = set()
+    while True:
+        name = "_0x" + "".join(rng.choice("0123456789abcdef") for _ in range(6))
+        if name in seen:
+            continue
+        seen.add(name)
+        yield name
+
+
+def expand_shorthand_properties(program: Node) -> None:
+    """Split shared key/value nodes of shorthand object properties.
+
+    After this, renaming a shorthand property's bound value cannot corrupt
+    the property key: ``{x}`` becomes ``{x: x}`` with two distinct nodes.
+    Pattern shorthands (``{x} = obj``) keep their key so destructuring still
+    reads the right property.
+    """
+    for node in walk(program):
+        if node.type != "Property" or not node.get("shorthand"):
+            continue
+        key = node.key
+        value = node.value
+        shares_key = value is key or (
+            value.type == "AssignmentPattern" and value.left is key
+        )
+        if shares_key:
+            node.key = Node("Identifier", name=key.name, start=key.start, end=key.end)
+        node.shorthand = False
+
+
+def rename_bindings(
+    program: Node,
+    make_generator: Callable[[], Iterator[str]],
+) -> int:
+    """Rename every renameable binding in ``program`` in place.
+
+    Returns the number of bindings renamed.  Globals that were never
+    declared in the file (``console``, ``window``, ...) keep their names, as
+    do ``arguments``/``eval``.
+    """
+    expand_shorthand_properties(program)
+    scope = analyze_scopes(program)
+    taken = {
+        binding.name
+        for binding in scope.iter_all_bindings()
+        if binding.kind == "global" or binding.name in _UNSAFE_NAMES
+    }
+    generator = make_generator()
+    renamed = 0
+    for binding in scope.iter_all_bindings():
+        if binding.kind == "global" or binding.name in _UNSAFE_NAMES:
+            continue
+        new_name = next(generator)
+        while new_name in taken or new_name in KEYWORDS:
+            new_name = next(generator)
+        taken.add(new_name)
+        for node in binding.declarations + binding.references + binding.assignments:
+            node.name = new_name
+        renamed += 1
+    return renamed
+
+
+def rename_short(program: Node) -> int:
+    """Minifier-style renaming to the shortest available names."""
+    return rename_bindings(program, short_name_generator)
+
+
+def rename_hex(program: Node, rng: random.Random) -> int:
+    """Obfuscator-style renaming to ``_0x…`` hex names."""
+    return rename_bindings(program, lambda: hex_name_generator(rng))

@@ -1,0 +1,84 @@
+"""Shared fixtures: sample programs and a small trained detector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.detector.pipeline import TransformationDetector
+from repro.detector.training import TrainingData
+
+SAMPLE_SOURCE = """
+// Sample application module
+var config = { retries: 3, endpoint: "https://api.example.com/v1", debug: false };
+
+function fetchData(path, callback) {
+  var url = config.endpoint + "/" + path;
+  var attempts = 0;
+  while (attempts < config.retries) {
+    try {
+      var result = httpGet(url);
+      callback(null, JSON.parse(result));
+      return;
+    } catch (err) {
+      attempts += 1;
+    }
+  }
+  callback(new Error("failed to fetch " + path), null);
+}
+
+function processItems(items) {
+  var total = 0;
+  for (var i = 0; i < items.length; i++) {
+    if (items[i].active) {
+      total += items[i].value;
+    } else {
+      total -= 1;
+    }
+  }
+  return total;
+}
+
+fetchData("items", function (err, data) {
+  if (err) { console.error("error", err.message); return; }
+  var score = processItems(data.items);
+  console.log("score: " + score);
+});
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_source() -> str:
+    return SAMPLE_SOURCE
+
+
+@pytest.fixture(scope="session")
+def regular_corpus() -> list[str]:
+    """Twelve deterministic regular scripts."""
+    return generate_corpus(12, seed=4242)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def training_data() -> TrainingData:
+    """Small §III-D training pools shared by all detector tests."""
+    return TrainingData.build(n_regular=16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_detector(training_data: TrainingData) -> TransformationDetector:
+    """A small but functional two-level detector (session-scoped)."""
+    detector = TransformationDetector(n_estimators=10, random_state=7)
+    detector.train(
+        training_data=training_data,
+        seed=7,
+        level1_per_class=10,
+        level2_per_technique=10,
+    )
+    return detector

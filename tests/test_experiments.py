@@ -1,0 +1,93 @@
+"""Tests for the experiment harness (the parts not needing training)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, table1
+from repro.experiments.common import CorpusMeasurement, Scale, measure_corpus
+from repro.experiments.runner import SCALES
+
+
+class TestScale:
+    def test_cache_key_unique(self):
+        a = Scale(n_regular=10)
+        b = Scale(n_regular=20)
+        assert a.cache_key != b.cache_key
+
+    def test_predefined_scales_ordered(self):
+        assert SCALES["tiny"].n_regular < SCALES["small"].n_regular < SCALES["medium"].n_regular
+
+
+class TestTable1:
+    def test_rows_cover_paper(self):
+        result = table1.run(scale=0.001, months=2)
+        sources = {row["source"] for row in result["rows"]}
+        assert sources == set(table1.PAPER_COUNTS)
+
+    def test_scaled_counts_positive(self):
+        result = table1.run(scale=0.001, months=2)
+        assert all(row["n_js"] >= 10 for row in result["rows"])
+
+    def test_report_renders(self):
+        result = table1.run(scale=0.001, months=2)
+        text = table1.report(result)
+        assert "Alexa Top 10k" in text
+        assert "Malicious" in text
+
+
+class TestFig1Functions:
+    @pytest.fixture()
+    def synthetic(self):
+        rng = np.random.default_rng(3)
+        Y = (rng.random((40, 10)) > 0.7).astype(int)
+        Y[:, 0] |= 1  # every sample has at least one label
+        proba = np.clip(Y * 0.8 + rng.random((40, 10)) * 0.2, 0, 1)
+        return proba, Y
+
+    def test_topk_rows(self, synthetic):
+        proba, Y = synthetic
+        result = fig1.run_topk_curves(proba, Y, max_k=5)
+        assert [row["k"] for row in result["rows"]] == [1, 2, 3, 4, 5]
+
+    def test_topk_wrong_monotone(self, synthetic):
+        proba, Y = synthetic
+        rows = fig1.run_topk_curves(proba, Y)["rows"]
+        wrongs = [row["avg_wrong"] for row in rows]
+        assert wrongs == sorted(wrongs)
+
+    def test_thresholded_reduces_wrong(self, synthetic):
+        proba, Y = synthetic
+        plain = fig1.run_topk_curves(proba, Y)["rows"][-1]["avg_wrong"]
+        thresholded = fig1.run_thresholded_curves(proba, Y, threshold=0.5)["rows"][-1]["avg_wrong"]
+        assert thresholded <= plain
+
+    def test_detectable_monotone(self, synthetic):
+        proba, Y = synthetic
+        rows = fig1.run_detectable_techniques(proba, Y)["rows"]
+        counts = [row["detectable"] for row in rows]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_report_renders(self, synthetic):
+        proba, Y = synthetic
+        text = fig1.report(
+            fig1.run_topk_curves(proba, Y),
+            fig1.run_thresholded_curves(proba, Y),
+            fig1.run_detectable_techniques(proba, Y),
+        )
+        assert "Figure 1a" in text and "Figure 1c" in text
+
+
+class TestMeasureCorpus:
+    def test_measure_with_trained_detector(self, trained_detector, regular_corpus):
+        from repro.corpus.datasets import Script
+
+        scripts = [Script(src, False, frozenset(), container=i // 3) for i, src in enumerate(regular_corpus[:6])]
+        measurement = measure_corpus(trained_detector, scripts)
+        assert isinstance(measurement, CorpusMeasurement)
+        assert measurement.n_scripts == 6
+        assert 0.0 <= measurement.transformed_rate <= 1.0
+        assert set(measurement.technique_probability) == set(
+            __import__("repro.detector.labels", fromlist=["LEVEL2_LABELS"]).LEVEL2_LABELS
+        )
+        assert measurement.transformed_mask.shape == (6,)
+        assert 0.0 <= measurement.container_rate <= 1.0

@@ -1,0 +1,178 @@
+"""Tests for n-gram and hand-picked feature extraction (§III-B)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureExtractor, ast_ngram_vector, ast_unit_sequence
+from repro.features.extractor import GENERIC_FEATURES, TECHNIQUE_FEATURES
+from repro.features.static_features import compute_static_features
+from repro.flows import enhance
+from repro.js.parser import parse
+from repro.transform import get_transformer
+
+
+def features_of(source: str) -> dict:
+    return compute_static_features(enhance(source))
+
+
+class TestUnitSequence:
+    def test_preorder_sequence(self):
+        sequence = ast_unit_sequence(parse("var x = 1;"))
+        assert sequence == ["Program", "VariableDeclaration", "VariableDeclarator", "Identifier", "Literal"]
+
+    def test_sequence_length_equals_node_count(self):
+        program = parse("f(a + b); if (c) d();")
+        from repro.js.visitor import count_nodes
+
+        assert len(ast_unit_sequence(program)) == count_nodes(program)
+
+
+class TestNgrams:
+    def test_vector_dimensions(self):
+        vector = ast_ngram_vector(parse("var x = 1;"), n_dims=64)
+        assert vector.shape == (64,)
+
+    def test_normalised_to_frequencies(self):
+        vector = ast_ngram_vector(parse("f(); g(); h(); i();"))
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_short_program_zero_vector(self):
+        vector = ast_ngram_vector(parse("x;"))  # 3 units < 4
+        assert vector.sum() == 0.0
+
+    def test_deterministic(self):
+        a = ast_ngram_vector(parse("var x = f(1);"))
+        b = ast_ngram_vector(parse("var x = f(1);"))
+        assert np.array_equal(a, b)
+
+    def test_different_structure_different_vector(self):
+        a = ast_ngram_vector(parse("if (a) { b(); } else { c(); }"))
+        b = ast_ngram_vector(parse("var x = [1, 2, 3].map(f);"))
+        assert not np.array_equal(a, b)
+
+    def test_unit_cap(self):
+        big = parse("f(" + "+".join(["1"] * 500) + ");")
+        vector = ast_ngram_vector(big, max_units=50)
+        assert vector.sum() == pytest.approx(1.0)
+
+
+class TestStaticFeatures:
+    def test_all_values_finite_floats(self, sample_source):
+        features = features_of(sample_source)
+        for name, value in features.items():
+            assert isinstance(value, float), name
+            assert np.isfinite(value), name
+
+    def test_minified_has_long_lines(self, sample_source):
+        minified = get_transformer("minification_simple").transform(
+            sample_source, random.Random(0)
+        )
+        assert features_of(minified)["src_avg_line_length"] > features_of(sample_source)["src_avg_line_length"] * 3
+
+    def test_minified_short_identifiers(self, sample_source):
+        minified = get_transformer("minification_simple").transform(
+            sample_source, random.Random(0)
+        )
+        assert features_of(minified)["id_avg_length"] < features_of(sample_source)["id_avg_length"]
+
+    def test_hex_identifier_ratio(self, sample_source):
+        obfuscated = get_transformer("identifier_obfuscation").transform(
+            sample_source, random.Random(0)
+        )
+        assert features_of(obfuscated)["id_hex_ratio"] > 0.3
+        assert features_of(sample_source)["id_hex_ratio"] == 0.0
+
+    def test_jsfuck_char_ratio(self):
+        out = get_transformer("no_alphanumeric").transform(
+            "var greeting = 'hi'; console.log(greeting);", random.Random(0)
+        )
+        assert features_of(out)["src_jsfuck_char_ratio"] > 0.95
+
+    def test_cff_dispatch_flag(self, sample_source):
+        flattened = get_transformer("control_flow_flattening").transform(
+            sample_source, random.Random(0)
+        )
+        assert features_of(flattened)["cff_dispatch_present"] == 1.0
+        assert features_of(sample_source)["cff_dispatch_present"] == 0.0
+
+    def test_debugger_feature(self):
+        features = features_of("function f() { debugger; return 1; } f();")
+        assert features["debugger_per_node"] > 0
+
+    def test_string_ops_counted(self):
+        features = features_of('var p = "a,b".split(","); var j = p.join("-"); f(p, j);')
+        assert features["op_split_per_node"] > 0
+        assert features["op_join_per_node"] > 0
+
+    def test_builtin_flags(self):
+        features = features_of("eval('x'); setInterval(f, 100); g(atob(s));")
+        assert features["builtin_eval"] == 1.0
+        assert features["builtin_setInterval"] == 1.0
+        assert features["builtin_atob"] == 1.0
+        assert features["builtin_unescape"] == 0.0
+
+    def test_comment_ratio(self):
+        commented = features_of("// one\n// two\nvar x = f(1);\n")
+        bare = features_of("var x = f(1);\n")
+        assert commented["src_comment_ratio"] > bare["src_comment_ratio"]
+
+    def test_bracket_ratio(self):
+        bracket = features_of('f(o["a"], o["b"]);')
+        dot = features_of("f(o.a, o.b);")
+        assert bracket["member_bracket_ratio"] == 1.0
+        assert dot["member_bracket_ratio"] == 0.0
+
+    def test_array_features(self):
+        features = features_of("var table = [1, 2, 3, 4, 5]; f(table);")
+        assert features["arr_max_size"] == 5.0
+        assert features["bind_array_ratio"] > 0
+
+    def test_fetched_from_array_ratio(self):
+        source = 'var store = ["a", "b"]; var first = store[0]; f(first); g(first);'
+        assert features_of(source)["df_fetched_from_array_ratio"] > 0
+
+    def test_unused_binding_ratio(self):
+        features = features_of("var used = f(); g(used); var unused1 = 1; var unused2 = 2;")
+        assert features["bind_unused_ratio"] == pytest.approx(2 / 3)
+
+    def test_empty_array_ratio_jsfuck_signal(self):
+        features = features_of("var a = [][[]] + []; f(a);")
+        assert features["arr_empty_ratio"] == 1.0
+
+    def test_ternary_feature(self):
+        with_ternary = features_of("var x = a ? b : c; f(x);")
+        without = features_of("var x = a; f(x);")
+        assert with_ternary["ternary_per_statement"] > without["ternary_per_statement"]
+
+
+class TestFeatureExtractor:
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(level=3)
+
+    def test_level1_dimensions(self):
+        extractor = FeatureExtractor(level=1, ngram_dims=64)
+        assert extractor.n_features == 64 + len(GENERIC_FEATURES)
+
+    def test_level2_has_more_features(self):
+        assert len(TECHNIQUE_FEATURES) > len(GENERIC_FEATURES)
+
+    def test_feature_names_align_with_vector(self, sample_source):
+        extractor = FeatureExtractor(level=2, ngram_dims=32)
+        vector = extractor.extract(sample_source)
+        assert vector.shape == (len(extractor.feature_names),)
+
+    def test_extract_matrix(self, regular_corpus):
+        extractor = FeatureExtractor(level=1, ngram_dims=32)
+        matrix = extractor.extract_matrix(regular_corpus[:4])
+        assert matrix.shape == (4, extractor.n_features)
+        assert np.isfinite(matrix).all()
+
+    def test_deterministic_extraction(self, sample_source):
+        extractor = FeatureExtractor(level=2)
+        assert np.array_equal(extractor.extract(sample_source), extractor.extract(sample_source))
+
+    def test_technique_features_superset_of_generic(self):
+        assert set(GENERIC_FEATURES) <= set(TECHNIQUE_FEATURES)

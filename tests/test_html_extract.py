@@ -1,0 +1,86 @@
+"""Tests for HTML script extraction (crawler substrate)."""
+
+from repro.corpus.html_extract import extract_inline_javascript, extract_scripts
+
+
+PAGE = """
+<!DOCTYPE html>
+<html>
+<head>
+  <title>Shop</title>
+  <script src="https://cdn.example.com/jquery.min.js"></script>
+  <script type="application/json">{"config": true}</script>
+  <script>
+    var inlineOne = 1;
+    boot(inlineOne);
+  </script>
+</head>
+<body>
+  <p>content</p>
+  <SCRIPT TYPE="text/javascript">trackPageView();</SCRIPT>
+  <script type="module">import { x } from './m.js'; run(x);</script>
+  <script src='/local/app.js' defer></script>
+  <script type="text/template"><div>{{name}}</div></script>
+  <script></script>
+</body>
+</html>
+"""
+
+
+class TestExtraction:
+    def test_inline_count(self):
+        result = extract_scripts(PAGE)
+        assert len(result.inline) == 3  # plain, uppercase, module
+
+    def test_external_urls(self):
+        result = extract_scripts(PAGE)
+        assert result.external == [
+            "https://cdn.example.com/jquery.min.js",
+            "/local/app.js",
+        ]
+
+    def test_non_js_types_skipped(self):
+        result = extract_scripts(PAGE)
+        assert "application/json" in result.skipped_types
+        assert "text/template" in result.skipped_types
+
+    def test_inline_bodies_parse(self):
+        from repro.js.parser import parse
+
+        for body in extract_inline_javascript(PAGE):
+            parse(body)
+
+    def test_script_count(self):
+        result = extract_scripts(PAGE)
+        assert result.script_count == 5
+
+    def test_empty_inline_ignored(self):
+        result = extract_scripts("<script>   </script>")
+        assert result.inline == []
+
+    def test_case_insensitive_tags(self):
+        result = extract_scripts("<SCRIPT>a();</SCRIPT>")
+        assert result.inline == ["a();"]
+
+    def test_unclosed_script_takes_rest(self):
+        result = extract_scripts("<p>x</p><script>tail();")
+        assert result.inline == ["tail();"]
+
+    def test_attributes_with_single_quotes(self):
+        result = extract_scripts("<script src='x.js'></script>")
+        assert result.external == ["x.js"]
+
+    def test_script_containing_lt(self):
+        body = "if (a < b) { run(); }"
+        result = extract_scripts(f"<script>{body}</script>")
+        assert result.inline == [body]
+
+    def test_no_scripts(self):
+        result = extract_scripts("<html><body>text</body></html>")
+        assert result.script_count == 0
+
+    def test_multiple_pages_independent(self):
+        first = extract_scripts("<script>one();</script>")
+        second = extract_scripts("<script>two();</script>")
+        assert first.inline == ["one();"]
+        assert second.inline == ["two();"]

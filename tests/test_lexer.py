@@ -1,0 +1,215 @@
+"""Unit tests for the JavaScript tokenizer."""
+
+import pytest
+
+from repro.js.lexer import Lexer, LexerError, tokenize
+from repro.js.tokens import Token, TokenType
+
+
+def kinds(source: str) -> list[TokenType]:
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source: str) -> list[str]:
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_input(self):
+        tokens = tokenize("   \t \n  ")
+        assert [t.type for t in tokens] == [TokenType.EOF]
+
+    def test_identifier(self):
+        assert kinds("hello") == [TokenType.IDENTIFIER]
+
+    def test_identifier_with_dollar_and_underscore(self):
+        assert values("$x _y $_z9") == ["$x", "_y", "$_z9"]
+
+    def test_unicode_identifier(self):
+        assert kinds("café") == [TokenType.IDENTIFIER]
+
+    def test_keyword(self):
+        assert kinds("var") == [TokenType.KEYWORD]
+
+    def test_boolean_literals(self):
+        assert kinds("true false") == [TokenType.BOOLEAN, TokenType.BOOLEAN]
+
+    def test_null_literal(self):
+        assert kinds("null") == [TokenType.NULL]
+
+    def test_punctuators_greedy_matching(self):
+        assert values("=== == =") == ["===", "==", "="]
+
+    def test_arrow_token(self):
+        assert "=>" in values("x => y")
+
+    def test_spread_token(self):
+        assert "..." in values("f(...args)")
+
+    def test_optional_chaining_token(self):
+        assert "?." in values("a?.b")
+
+    def test_nullish_token(self):
+        assert "??" in values("a ?? b")
+
+    def test_exponent_token(self):
+        assert "**" in values("a ** b")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "literal",
+        ["0", "1", "42", "3.14", ".5", "1e10", "1E-5", "2.5e+3", "0x1F", "0XaB",
+         "0o17", "0b1011", "0755"],
+    )
+    def test_numeric_literal(self, literal):
+        tokens = tokenize(literal)
+        assert tokens[0].type is TokenType.NUMERIC
+        assert tokens[0].value == literal
+
+    def test_number_followed_by_identifier_fails(self):
+        with pytest.raises(LexerError):
+            tokenize("3abc")
+
+    def test_number_dot_method_call(self):
+        # `1..toString()` style: 1. then .toString
+        assert values("1.5.toString()")[:2] == ["1.5", "."]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        tokens = tokenize('"hello"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == '"hello"'
+
+    def test_single_quoted(self):
+        assert tokenize("'hi'")[0].type is TokenType.STRING
+
+    def test_escaped_quote(self):
+        assert tokenize(r'"a\"b"')[0].value == r'"a\"b"'
+
+    def test_escaped_backslash_before_close(self):
+        assert tokenize(r'"a\\"')[0].value == r'"a\\"'
+
+    def test_line_continuation_in_string(self):
+        tokens = tokenize('"a\\\nb"')
+        assert tokens[0].type is TokenType.STRING
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"ab\ncd"')
+
+    def test_hex_escapes_preserved_raw(self):
+        assert tokenize(r'"\x41B"')[0].value == r'"\x41B"'
+
+
+class TestTemplates:
+    def test_simple_template(self):
+        tokens = tokenize("`hello`")
+        assert tokens[0].type is TokenType.TEMPLATE
+
+    def test_template_with_substitution(self):
+        tokens = tokenize("`a ${x + 1} b`")
+        assert tokens[0].type is TokenType.TEMPLATE
+        assert tokens[0].value == "`a ${x + 1} b`"
+
+    def test_nested_braces_in_substitution(self):
+        tokens = tokenize("`${ {a: 1}.a }`")
+        assert tokens[0].type is TokenType.TEMPLATE
+
+    def test_multiline_template(self):
+        tokens = tokenize("`line1\nline2`")
+        assert tokens[0].type is TokenType.TEMPLATE
+
+    def test_unterminated_template_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("`abc")
+
+
+class TestRegex:
+    def test_regex_at_start(self):
+        tokens = tokenize("/ab+c/gi")
+        assert tokens[0].type is TokenType.REGULAR_EXPRESSION
+        assert tokens[0].extra["pattern"] == "ab+c"
+        assert tokens[0].extra["flags"] == "gi"
+
+    def test_regex_after_assignment(self):
+        tokens = tokenize("var re = /x/;")
+        assert any(t.type is TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_division_not_regex(self):
+        tokens = tokenize("a / b / c")
+        assert all(t.type is not TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_regex_with_class_containing_slash(self):
+        tokens = tokenize("var re = /[/]/;")
+        regex = [t for t in tokens if t.type is TokenType.REGULAR_EXPRESSION]
+        assert regex and regex[0].extra["pattern"] == "[/]"
+
+    def test_regex_after_return(self):
+        tokens = tokenize("return /x/;")
+        assert any(t.type is TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_regex_escaped_slash(self):
+        tokens = tokenize(r"var re = /a\/b/;")
+        regex = [t for t in tokens if t.type is TokenType.REGULAR_EXPRESSION]
+        assert regex[0].extra["pattern"] == r"a\/b"
+
+
+class TestComments:
+    def test_line_comment_excluded_by_default(self):
+        assert kinds("// comment\nx") == [TokenType.IDENTIFIER]
+
+    def test_block_comment_excluded(self):
+        assert kinds("/* c */ x") == [TokenType.IDENTIFIER]
+
+    def test_comments_included_when_requested(self):
+        tokens = tokenize("// c\nx", include_comments=True)
+        assert tokens[0].type is TokenType.COMMENT
+
+    def test_multiline_block_comment(self):
+        tokens = tokenize("/* a\nb\nc */ x", include_comments=True)
+        assert tokens[0].type is TokenType.COMMENT
+        assert tokens[0].extra["kind"] == "Block"
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* abc")
+
+    def test_shebang_treated_as_comment(self):
+        tokens = tokenize("#!/usr/bin/env node\nvar x;", include_comments=True)
+        assert tokens[0].type is TokenType.COMMENT
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens][:3] == [1, 2, 3]
+
+    def test_column_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 0
+        assert tokens[1].column == 3
+
+    def test_crlf_counts_one_line(self):
+        tokens = tokenize("a\r\nb")
+        assert tokens[1].line == 2
+
+    def test_start_end_offsets(self):
+        tokens = tokenize("foo bar")
+        assert (tokens[0].start, tokens[0].end) == (0, 3)
+        assert (tokens[1].start, tokens[1].end) == (4, 7)
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("var x = @;")
+        assert excinfo.value.line == 1

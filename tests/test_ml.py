@@ -1,0 +1,251 @@
+"""Tests for the learning substrate: binning, trees, forests, multi-label."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Binner,
+    BinaryRelevance,
+    ClassifierChain,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.forest import ForestSpec
+from repro.ml.metrics import (
+    exact_match_accuracy,
+    label_accuracy,
+    precision_recall_f1,
+    thresholded_top_k,
+    top_k_accuracy,
+    top_k_correct,
+    wrong_and_missing,
+)
+
+
+def make_separable(n: int = 400, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 10))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestBinner:
+    def test_shape_and_dtype(self):
+        X = np.random.default_rng(0).normal(size=(50, 4))
+        binned = Binner(max_bins=16).fit_transform(X)
+        assert binned.shape == X.shape
+        assert binned.dtype == np.uint8
+
+    def test_monotonic(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        binned = Binner(max_bins=8).fit_transform(X)
+        assert (np.diff(binned[:, 0].astype(int)) >= 0).all()
+
+    def test_constant_feature_single_bin(self):
+        X = np.ones((30, 1))
+        binned = Binner().fit_transform(X)
+        assert set(binned[:, 0]) == {0}
+
+    def test_handles_nan_and_inf(self):
+        X = np.array([[0.0], [1.0], [np.nan], [np.inf]])
+        binner = Binner().fit(np.array([[0.0], [0.5], [1.0]]))
+        binned = binner.transform(X)
+        assert binned.shape == (4, 1)
+
+    def test_max_bins_validation(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Binner().transform(np.zeros((2, 2)))
+
+    def test_unseen_values_clamped(self):
+        binner = Binner(max_bins=4).fit(np.linspace(0, 1, 50).reshape(-1, 1))
+        binned = binner.transform(np.array([[-100.0], [100.0]]))
+        assert binned[0, 0] == 0
+        assert binned[1, 0] == binner.n_bins_[0] - 1
+
+
+class TestDecisionTree:
+    def test_learns_simple_split(self):
+        X, y = make_separable()
+        binned = Binner().fit_transform(X)
+        tree = DecisionTreeClassifier(max_features=None, rng=np.random.default_rng(0))
+        tree.fit(binned, y)
+        accuracy = (tree.predict(binned) == y).mean()
+        assert accuracy > 0.95
+
+    def test_pure_node_stops(self):
+        X = np.zeros((10, 2), dtype=np.uint8)
+        y = np.ones(10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(X)[0] == 1.0
+
+    def test_max_depth_limits_nodes(self):
+        X, y = make_separable(800, seed=3)
+        binned = Binner().fit_transform(X)
+        shallow = DecisionTreeClassifier(max_depth=1, max_features=None).fit(binned, y)
+        deep = DecisionTreeClassifier(max_depth=8, max_features=None).fit(binned, y)
+        assert shallow.node_count <= 3
+        assert deep.node_count > shallow.node_count
+
+    def test_min_samples_leaf(self):
+        X, y = make_separable(100)
+        binned = Binner().fit_transform(X)
+        tree = DecisionTreeClassifier(min_samples_leaf=40, max_features=None).fit(binned, y)
+        assert tree.node_count <= 7
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_probabilities_in_range(self):
+        X, y = make_separable(200, seed=5)
+        binned = Binner().fit_transform(X)
+        tree = DecisionTreeClassifier(rng=np.random.default_rng(1)).fit(binned, y)
+        proba = tree.predict_proba(binned)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+
+class TestRandomForest:
+    def test_accuracy_on_separable(self):
+        X, y = make_separable(600, seed=1)
+        forest = RandomForestClassifier(n_estimators=12, random_state=0).fit(X[:400], y[:400])
+        assert forest.score(X[400:], y[400:]) > 0.9
+
+    def test_reproducible_with_seed(self):
+        X, y = make_separable(200, seed=2)
+        p1 = RandomForestClassifier(n_estimators=6, random_state=9).fit(X, y).predict_proba(X)
+        p2 = RandomForestClassifier(n_estimators=6, random_state=9).fit(X, y).predict_proba(X)
+        assert np.array_equal(p1, p2)
+
+    def test_constant_labels(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        forest = RandomForestClassifier().fit(X, np.ones(20, dtype=int))
+        assert (forest.predict_proba(X) == 1.0).all()
+
+    def test_non_binary_labels_raise(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(X, np.array([0, 1, 2, 1]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_forest_spec_is_picklable_factory(self):
+        import pickle
+
+        spec = ForestSpec(n_estimators=3, random_state=1)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone().n_estimators == 3
+
+
+def make_multilabel(n: int = 500, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 12))
+    y0 = (X[:, 0] > 0).astype(int)
+    y1 = (X[:, 1] + y0 > 0.5).astype(int)
+    y2 = ((X[:, 2] > 0.2) & (y1 == 1)).astype(int)
+    return X, np.column_stack([y0, y1, y2])
+
+
+class TestMultiLabel:
+    def test_binary_relevance_shapes(self):
+        X, Y = make_multilabel()
+        model = BinaryRelevance(3, factory=ForestSpec(n_estimators=5, random_state=0))
+        model.fit(X, Y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 3)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_chain_shapes(self):
+        X, Y = make_multilabel()
+        model = ClassifierChain(3, factory=ForestSpec(n_estimators=5, random_state=0))
+        model.fit(X, Y)
+        assert model.predict(X).shape == Y.shape
+
+    def test_chain_learns_correlated_labels(self):
+        X, Y = make_multilabel(800, seed=4)
+        split = 600
+        chain = ClassifierChain(3, factory=ForestSpec(n_estimators=10, random_state=1))
+        chain.fit(X[:split], Y[:split])
+        accuracy = exact_match_accuracy(Y[split:], chain.predict(X[split:]))
+        assert accuracy > 0.5
+
+    def test_wrong_y_shape_raises(self):
+        X, Y = make_multilabel(50)
+        with pytest.raises(ValueError):
+            ClassifierChain(4).fit(X, Y)
+
+    def test_chain_order_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierChain(3, order=[0, 0, 1])
+
+    def test_custom_chain_order(self):
+        X, Y = make_multilabel(200, seed=6)
+        chain = ClassifierChain(
+            3, factory=ForestSpec(n_estimators=4, random_state=2), order=[2, 0, 1]
+        )
+        chain.fit(X, Y)
+        assert chain.predict_proba(X).shape == (200, 3)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ClassifierChain(2).predict_proba(np.zeros((1, 3)))
+
+
+class TestMetrics:
+    def test_exact_match(self):
+        Y = np.array([[1, 0], [0, 1]])
+        P = np.array([[1, 0], [1, 1]])
+        assert exact_match_accuracy(Y, P) == 0.5
+
+    def test_label_accuracy(self):
+        Y = np.array([[1, 0], [0, 1]])
+        P = np.array([[1, 1], [0, 1]])
+        assert label_accuracy(Y, P).tolist() == [1.0, 0.5]
+
+    def test_top_k_correct_paper_example(self):
+        # Paper §III-E1: truth {A,B,C}; Top-1={B} correct, Top-2={B,C}
+        # correct, Top-3={B,C,D} wrong, Top-4 wrong.
+        truth = np.array([[1, 1, 1, 0, 0]])
+        proba = np.array([[0.30, 0.90, 0.60, 0.40, 0.10]])
+        assert top_k_correct(truth, proba, 1)[0]
+        assert top_k_correct(truth, proba, 2)[0]
+        assert not top_k_correct(truth, proba, 3)[0]
+        assert not top_k_correct(truth, proba, 4)[0]
+
+    def test_top_k_accuracy_range(self):
+        truth = np.array([[1, 0], [0, 1]])
+        proba = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert top_k_accuracy(truth, proba, 1) == 1.0
+
+    def test_thresholded_top_k(self):
+        proba = np.array([[0.9, 0.5, 0.05]])
+        pred = thresholded_top_k(proba, k=3, threshold=0.10)
+        assert pred.tolist() == [[1, 1, 0]]
+
+    def test_thresholded_top_k_limits_k(self):
+        proba = np.array([[0.9, 0.8, 0.7]])
+        pred = thresholded_top_k(proba, k=2, threshold=0.10)
+        assert pred.sum() == 2
+
+    def test_wrong_and_missing(self):
+        Y = np.array([[1, 1, 0]])
+        P = np.array([[1, 0, 1]])
+        wrong, missing = wrong_and_missing(Y, P)
+        assert (wrong, missing) == (1.0, 1.0)
+
+    def test_precision_recall_f1(self):
+        y = np.array([1, 1, 0, 0])
+        p = np.array([1, 0, 1, 0])
+        precision, recall, f1 = precision_recall_f1(y, p)
+        assert precision == 0.5 and recall == 0.5 and f1 == 0.5
+
+    def test_f1_zero_when_no_predictions(self):
+        y = np.array([1, 1])
+        p = np.array([0, 0])
+        assert precision_recall_f1(y, p) == (0.0, 0.0, 0.0)

@@ -1,0 +1,172 @@
+"""Additional parser edge cases found in real-world JavaScript."""
+
+import pytest
+
+from repro.js.ast_nodes import to_dict
+from repro.js.codegen import generate
+from repro.js.parser import ParseError, parse
+
+
+def expr(source: str):
+    return parse(source).body[0].expression
+
+
+class TestContextualKeywords:
+    def test_of_as_identifier(self):
+        program = parse("var of = 1; use(of);")
+        assert program.body[0].declarations[0].id.name == "of"
+
+    def test_let_as_identifier_expression(self):
+        program = parse("let = 5; use(let);")
+        assert program.body[0].expression.left.name == "let"
+
+    def test_async_as_identifier(self):
+        program = parse("var async = 1; async = async + 1;")
+        assert len(program.body) == 2
+
+    def test_get_set_as_function_names(self):
+        program = parse("function get() {} function set() {} get(); set();")
+        assert program.body[0].id.name == "get"
+
+    def test_static_as_identifier(self):
+        program = parse("var static = 2; use(static);")
+        assert program.body[0].declarations[0].id.name == "static"
+
+    def test_keyword_property_access_chain(self):
+        node = expr("promise.catch(handler).finally(cleanup);")
+        assert node.callee.property.name == "finally"
+
+    def test_keyword_as_object_key(self):
+        node = expr("({ new: 1, delete: 2, class: 3, if: 4 });")
+        names = [p.key.name for p in node.properties]
+        assert names == ["new", "delete", "class", "if"]
+
+
+class TestTrickyExpressions:
+    def test_comma_in_arguments_vs_sequence(self):
+        node = expr("f((a, b), c);")
+        assert len(node.arguments) == 2
+        assert node.arguments[0].type == "SequenceExpression"
+
+    def test_assignment_in_condition(self):
+        statement = parse("while ((line = next())) { use(line); }").body[0]
+        assert statement.test.type == "AssignmentExpression"
+
+    def test_double_negation(self):
+        node = expr("!!value;")
+        assert node.argument.type == "UnaryExpression"
+
+    def test_typeof_undefined_comparison(self):
+        node = expr("typeof x === 'undefined';")
+        assert node.left.type == "UnaryExpression"
+
+    def test_new_new(self):
+        node = expr("new (new Factory())();")
+        assert node.type == "NewExpression"
+
+    def test_call_on_new_result(self):
+        node = expr("new Date().getTime();")
+        assert node.type == "CallExpression"
+        assert node.callee.object.type == "NewExpression"
+
+    def test_chained_ternaries(self):
+        node = expr("a ? 1 : b ? 2 : c ? 3 : 4;")
+        assert node.alternate.alternate.type == "ConditionalExpression"
+
+    def test_arrow_returning_arrow_call(self):
+        node = expr("(f => g => f(g))(x)(y);")
+        assert node.type == "CallExpression"
+
+    def test_object_in_arrow_body_parenthesised(self):
+        node = expr("() => ({});")
+        assert node.body.type == "ObjectExpression"
+
+    def test_regex_then_method(self):
+        node = expr("/\\d+/.test(input);")
+        assert node.callee.object.regex["pattern"] == "\\d+"
+
+    def test_string_with_script_tag(self):
+        node = expr('el.innerHTML = "<script>alert(1)<\\/script>";')
+        assert "script" in node.right.value
+
+    def test_unicode_escape_in_identifier_position(self):
+        # Common in obfuscated code: unicode chars in identifiers.
+        program = parse("var ключ = 1; use(ключ);")
+        assert program.body[0].declarations[0].id.name == "ключ"
+
+    def test_numeric_property_access(self):
+        node = expr("matrix[0][1];")
+        assert node.object.type == "MemberExpression"
+
+    def test_in_operator_inside_parens_in_for(self):
+        parse("for (var ok = ('k' in obj); ok; ok = false) {}")
+
+    def test_getter_with_computed_key(self):
+        node = expr("({ get [dynamic]() { return 1; } });")
+        assert node.properties[0].computed is True
+
+
+class TestASIEdgeCases:
+    def test_iife_after_variable_requires_semicolon_handling(self):
+        # Classic hazard: `var x = f` + `(function(){})()` merges without
+        # semicolons; with them it parses as two statements.
+        program = parse("var x = f;\n(function () {})();")
+        assert len(program.body) == 2
+
+    def test_increment_on_next_line(self):
+        program = parse("counter\n++other")
+        assert program.body[0].expression.type == "Identifier"
+        assert program.body[1].expression.type == "UpdateExpression"
+
+    def test_continue_with_newline_label(self):
+        program = parse("outer: for (;;) { continue\nouter; }")
+        loop_body = program.body[0].body.body.body
+        assert loop_body[0].label is None  # ASI before the label
+
+    def test_empty_return_before_brace(self):
+        program = parse("function f() { return }")
+        assert program.body[0].body.body[0].argument is None
+
+
+class TestCodegenEdgeCases:
+    def _roundtrip(self, source: str):
+        ast = parse(source)
+        def strip(d):
+            if isinstance(d, dict):
+                return {k: strip(v) for k, v in d.items() if k not in ("start", "end", "raw")}
+            if isinstance(d, list):
+                return [strip(x) for x in d]
+            return d
+        for mode in (False, True):
+            regenerated = generate(ast, compact=mode)
+            assert strip(to_dict(parse(regenerated))) == strip(to_dict(ast)), regenerated
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = (a, b);",
+            "f((a, b));",
+            "x = (y = 1) + 2;",
+            "(x ? f : g)();",
+            "x = !(a && b);",
+            "void (a + b);",
+            "x = (a + b) * c;",
+            "x = a * (b + c);",
+            "x = -(a + b);",
+            "x = (typeof a) + 'x';",
+            "new (f())();",
+            "new (a.b.f())();",
+            "x = (function () {})();",
+            "x = { a: (1, 2) }.a;",
+            "for (var lookup = ('k' in map); lookup;) { break; }",
+            "x = a ? (b, c) : d;",
+            "if (a) { b(); } else { (function () {})(); }",
+            "x = y ** -2;",
+            "x = (-y) ** 2;",
+            "obj.if.else = 1;",
+            "x = a[b][c](d)[e];",
+            "return0 = 5;",
+        ],
+    )
+    def test_parenthesisation_roundtrip(self, source):
+        self._roundtrip(source)

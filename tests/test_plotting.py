@@ -1,0 +1,71 @@
+"""Tests for the ASCII figure rendering."""
+
+from repro.experiments.plotting import (
+    bar_chart,
+    line_series,
+    monthly_series,
+    technique_mix_chart,
+    topk_table,
+)
+
+
+class TestBarChart:
+    def test_renders_rows(self):
+        chart = bar_chart([("alpha", 0.5), ("beta", 1.0)])
+        lines = chart.split("\n")
+        assert len(lines) == 2
+        assert "alpha" in lines[0] and "50.0%" in lines[0]
+
+    def test_scales_to_max(self):
+        chart = bar_chart([("a", 0.5), ("b", 1.0)], width=10)
+        a_bar = chart.split("\n")[0].split("|")[1]
+        b_bar = chart.split("\n")[1].split("|")[1]
+        assert b_bar.count("#") == 10
+        assert a_bar.count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_non_percent_mode(self):
+        chart = bar_chart([("x", 1234.0)], percent=False)
+        assert "%" not in chart
+
+    def test_clamps_above_max(self):
+        chart = bar_chart([("x", 2.0)], max_value=1.0, width=8)
+        assert chart.count("#") == 8
+
+
+class TestLineSeries:
+    def test_has_height_rows(self):
+        chart = line_series([("2015", 0.2), ("2020", 0.8)], height=5)
+        assert len(chart.split("\n")) == 5 + 3
+
+    def test_peak_column_tallest(self):
+        chart = line_series([("a", 0.1), ("b", 1.0)], height=4)
+        top_row = chart.split("\n")[0]
+        assert top_row.rstrip().endswith("█")
+
+    def test_empty(self):
+        assert line_series([]) == "(no data)"
+
+
+class TestDomainCharts:
+    def test_technique_mix_sorted(self):
+        chart = technique_mix_chart({"low": 0.1, "high": 0.9})
+        assert chart.index("high") < chart.index("low")
+
+    def test_topk_table(self):
+        rows = [
+            {"k": 1, "accuracy": 1.0, "avg_wrong": 0.0, "avg_missing": 2.0},
+            {"k": 2, "accuracy": 0.5, "avg_wrong": 0.5, "avg_missing": 1.0},
+        ]
+        table = topk_table(rows)
+        assert "100.0%" in table and "50.0%" in table
+
+    def test_monthly_series(self):
+        months = {
+            0: {"label": "2015-05", "transformed_rate": 0.4},
+            64: {"label": "2020-09", "transformed_rate": 0.7},
+        }
+        chart = monthly_series(months)
+        assert "2015-05" in chart and "2020-09" in chart

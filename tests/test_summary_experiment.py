@@ -1,0 +1,67 @@
+"""Tests for the §IV-E summary experiment helpers (no training needed)."""
+
+import pytest
+
+from repro.experiments import summary
+
+
+@pytest.fixture()
+def synthetic_result() -> dict:
+    technique_table = {name: {"alexa": 0.01, "npm": 0.01, "malicious": 0.05} for name in (
+        "identifier_obfuscation",
+        "string_obfuscation",
+        "global_array",
+        "no_alphanumeric",
+        "dead_code_injection",
+        "control_flow_flattening",
+        "self_defending",
+        "debug_protection",
+        "minification_simple",
+        "minification_advanced",
+    )}
+    technique_table["minification_simple"].update({"alexa": 0.5, "npm": 0.6, "malicious": 0.2})
+    technique_table["minification_advanced"].update({"alexa": 0.4, "npm": 0.35, "malicious": 0.18})
+    technique_table["identifier_obfuscation"].update({"alexa": 0.06, "npm": 0.05, "malicious": 0.30})
+    technique_table["string_obfuscation"].update({"alexa": 0.03, "npm": 0.02, "malicious": 0.19})
+    return {
+        "technique_table": technique_table,
+        "transformed_rates": {"alexa": 0.69, "npm": 0.09, "malicious": 0.56},
+        "minified_rates": {"alexa": 0.68, "npm": 0.08},
+    }
+
+
+class TestClaims:
+    def test_paper_shaped_result_passes_all(self, synthetic_result):
+        checks = summary.check_claims(synthetic_result)
+        assert all(checks.values()), checks
+
+    def test_identifier_contrast_violated(self, synthetic_result):
+        synthetic_result["technique_table"]["identifier_obfuscation"]["malicious"] = 0.05
+        checks = summary.check_claims(synthetic_result)
+        assert not checks["identifier_obf_contrast"]
+
+    def test_minification_claim_violated(self, synthetic_result):
+        synthetic_result["technique_table"]["identifier_obfuscation"]["alexa"] = 0.9
+        checks = summary.check_claims(synthetic_result)
+        assert not checks["benign_led_by_minification"]
+
+    def test_alexa_npm_minification_claim(self, synthetic_result):
+        synthetic_result["minified_rates"]["npm"] = 0.5
+        checks = summary.check_claims(synthetic_result)
+        assert not checks["alexa_more_minified_than_npm"]
+
+
+class TestReport:
+    def test_report_renders_all_techniques(self, synthetic_result):
+        text = summary.report(synthetic_result)
+        assert "identifier_obfuscation" in text
+        assert "HOLDS" in text
+
+    def test_report_marks_violations(self, synthetic_result):
+        synthetic_result["technique_table"]["string_obfuscation"]["malicious"] = 0.0
+        text = summary.report(synthetic_result)
+        assert "VIOLATED" in text
+
+    def test_paper_claims_constants(self):
+        assert summary.PAPER_CLAIMS["identifier_obfuscation"]["malicious_min"] == 0.25
+        assert summary.PAPER_CLAIMS["string_obfuscation"]["benign_max"] == 0.033

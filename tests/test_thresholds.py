@@ -1,0 +1,86 @@
+"""Tests for the §III-E2 threshold-selection procedure."""
+
+import numpy as np
+import pytest
+
+from repro.detector.thresholds import evaluate_threshold, select_threshold
+
+
+@pytest.fixture()
+def validation_data():
+    """Synthetic validation set where ~0.1 is the sweet spot.
+
+    True labels get confidences around 0.6–0.9; noise labels sit mostly
+    below 0.08 with a few around 0.3 — so tiny thresholds admit noise while
+    large thresholds lose whole techniques.
+    """
+    rng = np.random.default_rng(7)
+    n, labels = 200, 10
+    Y = np.zeros((n, labels), dtype=int)
+    for row in range(n):
+        chosen = rng.choice(labels, size=rng.integers(1, 4), replace=False)
+        Y[row, chosen] = 1
+    proba = rng.random((n, labels)) * 0.08
+    proba[Y == 1] = 0.3 + 0.6 * rng.random(int(Y.sum()))
+    # Four weak techniques whose true confidence hovers near 0.25, so a
+    # 50% threshold keeps only 6/10 techniques (the paper's complaint).
+    for weak in (6, 7, 8, 9):
+        mask = Y[:, weak] == 1
+        proba[mask, weak] = 0.2 + 0.1 * rng.random(int(mask.sum()))
+    noisy = rng.random((n, labels)) < 0.02
+    proba[noisy] = np.maximum(proba[noisy], 0.3)
+    return proba, Y
+
+
+class TestEvaluateThreshold:
+    def test_zero_threshold_emits_k_labels(self, validation_data):
+        proba, Y = validation_data
+        score = evaluate_threshold(proba, Y, threshold=0.0, k=7)
+        assert score.avg_wrong > 0
+
+    def test_high_threshold_few_wrong(self, validation_data):
+        proba, Y = validation_data
+        low = evaluate_threshold(proba, Y, threshold=0.05)
+        high = evaluate_threshold(proba, Y, threshold=0.5)
+        assert high.avg_wrong <= low.avg_wrong
+        assert high.avg_missing >= low.avg_missing
+
+    def test_detectable_counts_shrink(self, validation_data):
+        proba, Y = validation_data
+        counts = [
+            evaluate_threshold(proba, Y, threshold=t).detectable_techniques
+            for t in (0.0, 0.3, 0.95)
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+
+
+class TestSelectThreshold:
+    def test_returns_candidate(self, validation_data):
+        proba, Y = validation_data
+        chosen, scores = select_threshold(proba, Y)
+        assert chosen in {s.threshold for s in scores}
+
+    def test_respects_min_detectable(self, validation_data):
+        proba, Y = validation_data
+        chosen, scores = select_threshold(proba, Y, min_detectable=10)
+        chosen_score = next(s for s in scores if s.threshold == chosen)
+        assert chosen_score.detectable_techniques == 10
+
+    def test_sweet_spot_not_extreme(self, validation_data):
+        proba, Y = validation_data
+        chosen, _scores = select_threshold(
+            proba, Y, candidates=[0.02, 0.10, 0.50]
+        )
+        # 0.02 admits noise (more wrong labels); 0.50 drops the weak
+        # technique; the middle threshold wins.
+        assert chosen == 0.10
+
+    def test_falls_back_when_nothing_eligible(self, validation_data):
+        proba, Y = validation_data
+        chosen, _ = select_threshold(proba, Y, candidates=[0.99], min_detectable=10)
+        assert chosen == 0.99
+
+    def test_all_scores_returned_sorted(self, validation_data):
+        proba, Y = validation_data
+        _chosen, scores = select_threshold(proba, Y, candidates=[0.3, 0.1, 0.2])
+        assert [s.threshold for s in scores] == [0.1, 0.2, 0.3]
