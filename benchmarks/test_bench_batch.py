@@ -1,0 +1,82 @@
+"""Batch inference engine throughput: serial vs parallel vs cache-hit.
+
+Records files/sec for the three execution modes so future PRs can track
+the trajectory of the batch substrate (one-pass extraction, process-pool
+fan-out, LRU feature cache).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.detector.batch import BatchInferenceEngine
+from repro.transform import get_transformer
+
+N_WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+
+@pytest.fixture(scope="module")
+def batch_sources() -> list[str]:
+    base = generate_corpus(8, seed=321)
+    rng = random.Random(9)
+    minified = [
+        get_transformer("minification_simple").transform(s, rng) for s in base[:4]
+    ]
+    obfuscated = [get_transformer("global_array").transform(s, rng) for s in base[4:6]]
+    return base + minified + obfuscated
+
+
+def _record_throughput(benchmark, n_files: int) -> None:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is not None and mean.mean:
+        benchmark.extra_info["files_per_sec"] = round(n_files / mean.mean, 2)
+
+
+def test_bench_batch_serial(benchmark, detector, batch_sources):
+    def run():
+        engine = BatchInferenceEngine(detector, n_workers=1, cache_size=0)
+        return engine.classify(batch_sources)
+
+    result = benchmark(run)
+    assert len(result.results) == len(batch_sources)
+    assert result.stats.errors == 0
+    _record_throughput(benchmark, len(batch_sources))
+
+
+def test_bench_batch_parallel(benchmark, detector, batch_sources):
+    def run():
+        engine = BatchInferenceEngine(detector, n_workers=N_WORKERS, cache_size=0)
+        return engine.classify(batch_sources)
+
+    result = benchmark(run)
+    assert len(result.results) == len(batch_sources)
+    assert result.stats.n_workers == N_WORKERS
+    _record_throughput(benchmark, len(batch_sources))
+
+
+def test_bench_batch_cache_hit(benchmark, detector, batch_sources):
+    engine = BatchInferenceEngine(detector, n_workers=1)
+    engine.classify(batch_sources)  # warm the LRU feature cache
+
+    result = benchmark(lambda: engine.classify(batch_sources))
+    assert result.stats.cache_hits == len(batch_sources)
+    _record_throughput(benchmark, len(batch_sources))
+
+
+def test_bench_batch_fault_isolation_overhead(benchmark, detector, batch_sources):
+    """Faulty files must cost little: errors short-circuit before modeling."""
+    faulty = []
+    for source in batch_sources:
+        faulty.append(source)
+        faulty.append("function (((")
+
+    def run():
+        engine = BatchInferenceEngine(detector, n_workers=1, cache_size=0)
+        return engine.classify(faulty)
+
+    result = benchmark(run)
+    assert result.stats.errors == len(batch_sources)
+    assert result.stats.ok == len(batch_sources)
+    _record_throughput(benchmark, len(faulty))

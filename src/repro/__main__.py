@@ -18,6 +18,7 @@ import sys
 from pathlib import Path
 
 from repro.corpus.filters import admit
+from repro.detector.level2 import DEFAULT_K, DEFAULT_THRESHOLD
 from repro.detector.pipeline import TransformationDetector
 from repro.transform import TECHNIQUES, TransformationPipeline
 
@@ -45,6 +46,8 @@ def _load_or_train(model_path: str | None) -> TransformationDetector:
 def _cmd_classify(args: argparse.Namespace) -> int:
     detector = _load_or_train(args.model)
     exit_code = 0
+    names: list[str] = []
+    sources: list[str] = []
     for name in args.files:
         path = Path(name)
         try:
@@ -56,8 +59,20 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         if not admit(source):
             print(f"{name}: rejected by admission filters (size/content)")
             continue
-        result = detector.classify(source)
-        print(f"{name}: {result}")
+        names.append(name)
+        sources.append(source)
+    if not sources:
+        return exit_code
+    batch = detector.classify_batch(
+        sources, k=args.k, threshold=args.threshold, n_workers=args.workers
+    )
+    for name, result in zip(names, batch.results):
+        if result.error is not None:
+            print(f"{name}: classification failed ({result.error})", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"{name}: {result}")
+    print(f"[batch] {batch.stats}", file=sys.stderr)
     return exit_code
 
 
@@ -74,7 +89,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(args.scale, cache_dir=args.cache_dir)
+    run_all(args.scale, cache_dir=args.cache_dir, n_workers=args.workers)
     return 0
 
 
@@ -93,6 +108,18 @@ def main(argv: list[str] | None = None) -> int:
     classify = commands.add_parser("classify", help="classify JavaScript files")
     classify.add_argument("files", nargs="+")
     classify.add_argument("--model", default=None)
+    classify.add_argument(
+        "--workers", type=int, default=1, help="feature-extraction process count"
+    )
+    classify.add_argument(
+        "--k", type=int, default=DEFAULT_K, help="max techniques reported per file"
+    )
+    classify.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="minimum level-2 confidence for a reported technique",
+    )
     classify.set_defaults(func=_cmd_classify)
 
     transform = commands.add_parser("transform", help="apply techniques to a file")
@@ -110,6 +137,9 @@ def main(argv: list[str] | None = None) -> int:
     experiments = commands.add_parser("experiments", help="regenerate all tables/figures")
     experiments.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
     experiments.add_argument("--cache-dir", default=".cache")
+    experiments.add_argument(
+        "--workers", type=int, default=1, help="feature-extraction process count"
+    )
     experiments.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)

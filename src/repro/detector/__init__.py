@@ -8,6 +8,13 @@
   facade including §III-D training-set construction.
 """
 
+from repro.detector.batch import (
+    BatchFeatures,
+    BatchInferenceEngine,
+    BatchResult,
+    BatchStats,
+    DetectionError,
+)
 from repro.detector.labels import (
     LEVEL1_LABELS,
     LEVEL2_LABELS,
@@ -23,6 +30,11 @@ from repro.detector.training import TrainingData
 __all__ = [
     "LEVEL1_LABELS",
     "LEVEL2_LABELS",
+    "BatchFeatures",
+    "BatchInferenceEngine",
+    "BatchResult",
+    "BatchStats",
+    "DetectionError",
     "DetectionResult",
     "Level1Detector",
     "Level2Detector",

@@ -1,0 +1,331 @@
+"""Single-pass, parallel, fault-isolated batch inference engine.
+
+The paper's measurement study (§IV) classifies hundreds of thousands of
+scripts; this module provides the substrate for that scale:
+
+- **one-pass extraction** — each source is parsed and flow-enhanced exactly
+  once, then projected into both the level-1 and level-2 vector spaces via
+  :class:`~repro.features.extractor.PairedFeatureExtractor`;
+- **parallel extraction** — feature extraction (the dominant cost) fans out
+  across a ``ProcessPoolExecutor``; ``n_workers=1`` is an in-process serial
+  fallback with bit-identical output;
+- **per-file fault isolation** — parse errors, ``RecursionError``, and
+  oversize inputs become per-file :class:`DetectionError` results instead of
+  aborting the batch;
+- **LRU feature cache** — keyed by source hash, so repeated scripts (the
+  §IV-C malicious "waves" are near-duplicates) skip extraction entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from repro.corpus.filters import MAX_BYTES
+from repro.detector.level1 import Level1Detector
+from repro.detector.level2 import DEFAULT_K, DEFAULT_THRESHOLD, Level2Detector
+from repro.features.extractor import PairedFeatureExtractor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from repro.detector.pipeline import DetectionResult, TransformationDetector
+
+#: outcome tuples: ("ok", vec1, vec2, df_available) | ("err", kind, message)
+_Outcome = tuple
+
+
+@dataclass(frozen=True)
+class DetectionError:
+    """Why one file of a batch could not be classified."""
+
+    kind: str  #: "oversize" | "parse" | "recursion" | "internal"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class BatchStats:
+    """Summary counters for one batch run."""
+
+    files: int = 0
+    ok: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    df_timeouts: int = 0
+    wall_time: float = 0.0
+    n_workers: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.files} files ({self.ok} ok, {self.errors} errors, "
+            f"{self.cache_hits} cache hits, {self.df_timeouts} DF timeouts) "
+            f"in {self.wall_time:.2f}s with {self.n_workers} worker(s)"
+        )
+
+
+@dataclass
+class BatchFeatures:
+    """Both feature matrices for a batch, plus per-file error records.
+
+    ``X1``/``X2`` rows are aligned with ``ok_indices`` (positions into the
+    original source list); files that failed extraction appear in ``errors``
+    instead and have no feature rows.
+    """
+
+    X1: np.ndarray
+    X2: np.ndarray
+    ok_indices: list[int]
+    errors: dict[int, DetectionError]
+    df_available: list[bool]
+    stats: BatchStats
+
+
+@dataclass
+class BatchResult:
+    """Per-file detection results (input order) plus batch statistics."""
+
+    results: list["DetectionResult"]
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator["DetectionResult"]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> "DetectionResult":
+        return self.results[index]
+
+
+def _extract_one(
+    paired: PairedFeatureExtractor, max_bytes: int | None, source: str
+) -> _Outcome:
+    """Extract both vectors for one source; never raises (fault isolation)."""
+    if max_bytes is not None:
+        size = len(source.encode("utf-8", errors="replace"))
+        if size > max_bytes:
+            return ("err", "oversize", f"{size} bytes exceeds limit of {max_bytes}")
+    try:
+        v1, v2, df_available = paired.extract_pair(source)
+    except RecursionError:
+        return ("err", "recursion", "AST nesting exceeds the recursion limit")
+    except (SyntaxError, ValueError) as error:  # ParseError / LexerError
+        return ("err", "parse", str(error) or type(error).__name__)
+    except Exception as error:  # noqa: BLE001 - one file must not kill a batch
+        return ("err", "internal", f"{type(error).__name__}: {error}")
+    return ("ok", v1, v2, df_available)
+
+
+def _extract_chunk(
+    paired: PairedFeatureExtractor, max_bytes: int | None, chunk: list[str]
+) -> list[_Outcome]:
+    """Worker entry point: extract a chunk of sources (module-level, picklable)."""
+    return [_extract_one(paired, max_bytes, source) for source in chunk]
+
+
+class BatchInferenceEngine:
+    """Classify many scripts through both detector levels, at corpus scale.
+
+    Parameters
+    ----------
+    detector:
+        A trained :class:`~repro.detector.pipeline.TransformationDetector`.
+    n_workers:
+        Process-pool width for feature extraction.  ``1`` (the default)
+        runs serially in-process and produces bit-identical output.
+    cache_size:
+        Maximum number of per-source extraction outcomes kept in the LRU
+        cache (``0`` disables caching).
+    max_source_bytes:
+        Inputs larger than this become ``oversize`` error results instead
+        of being parsed (defaults to the paper's 2 MB admission bound);
+        ``None`` disables the check.
+    chunk_size:
+        Sources per worker dispatch; ``None`` auto-sizes to roughly four
+        chunks per worker.
+    """
+
+    def __init__(
+        self,
+        detector: "TransformationDetector",
+        n_workers: int = 1,
+        cache_size: int = 1024,
+        max_source_bytes: int | None = MAX_BYTES,
+        chunk_size: int | None = None,
+    ) -> None:
+        self.detector = detector
+        self.paired = PairedFeatureExtractor(
+            detector.level1.extractor, detector.level2.extractor
+        )
+        self.n_workers = max(1, int(n_workers))
+        self.cache_size = max(0, int(cache_size))
+        self.max_source_bytes = max_source_bytes
+        self.chunk_size = chunk_size
+        self._cache: OrderedDict[str, _Outcome] = OrderedDict()
+
+    # -- cache ---------------------------------------------------------------
+
+    @staticmethod
+    def _key(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8", errors="replace")).hexdigest()
+
+    def _cache_get(self, key: str) -> _Outcome | None:
+        outcome = self._cache.get(key)
+        if outcome is not None:
+            self._cache.move_to_end(key)
+        return outcome
+
+    def _cache_put(self, key: str, outcome: _Outcome) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = outcome
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+    # -- extraction ----------------------------------------------------------
+
+    def _run_extraction(self, sources: list[str]) -> list[_Outcome]:
+        """Extract unique cache-miss sources, serially or across workers."""
+        if self.n_workers == 1 or len(sources) < 2:
+            return [
+                _extract_one(self.paired, self.max_source_bytes, source)
+                for source in sources
+            ]
+        chunk_size = self.chunk_size or max(
+            1, -(-len(sources) // (self.n_workers * 4))
+        )
+        chunks = [
+            sources[i : i + chunk_size] for i in range(0, len(sources), chunk_size)
+        ]
+        worker = partial(_extract_chunk, self.paired, self.max_source_bytes)
+        outcomes: list[_Outcome] = []
+        with ProcessPoolExecutor(max_workers=self.n_workers) as executor:
+            for chunk_outcomes in executor.map(worker, chunks):
+                outcomes.extend(chunk_outcomes)
+        return outcomes
+
+    def extract(self, sources: list[str]) -> BatchFeatures:
+        """One-pass feature extraction for a batch (both vector spaces)."""
+        t0 = time.perf_counter()
+        stats = BatchStats(files=len(sources), n_workers=self.n_workers)
+        outcomes: list[_Outcome | None] = [None] * len(sources)
+
+        # Dedupe by source hash: each distinct script is extracted at most
+        # once per batch, and cached outcomes skip extraction entirely.
+        pending: dict[str, list[int]] = {}
+        miss_order: list[tuple[str, str]] = []
+        for index, source in enumerate(sources):
+            key = self._key(source)
+            cached = self._cache_get(key)
+            if cached is not None:
+                outcomes[index] = cached
+                stats.cache_hits += 1
+                continue
+            if key in pending:
+                stats.cache_hits += 1  # in-batch duplicate: extracted once
+            else:
+                miss_order.append((key, source))
+            pending.setdefault(key, []).append(index)
+
+        fresh = self._run_extraction([source for _key, source in miss_order])
+        for (key, _source), outcome in zip(miss_order, fresh):
+            self._cache_put(key, outcome)
+            for index in pending[key]:
+                outcomes[index] = outcome
+
+        ok_indices: list[int] = []
+        errors: dict[int, DetectionError] = {}
+        df_available: list[bool] = []
+        rows1: list[np.ndarray] = []
+        rows2: list[np.ndarray] = []
+        for index, outcome in enumerate(outcomes):
+            if outcome[0] == "ok":
+                ok_indices.append(index)
+                rows1.append(outcome[1])
+                rows2.append(outcome[2])
+                df_available.append(outcome[3])
+                if not outcome[3]:
+                    stats.df_timeouts += 1
+            else:
+                errors[index] = DetectionError(kind=outcome[1], message=outcome[2])
+        stats.ok = len(ok_indices)
+        stats.errors = len(errors)
+
+        X1 = (
+            np.vstack(rows1)
+            if rows1
+            else np.zeros((0, self.paired.level1.n_features), dtype=np.float64)
+        )
+        X2 = (
+            np.vstack(rows2)
+            if rows2
+            else np.zeros((0, self.paired.level2.n_features), dtype=np.float64)
+        )
+        stats.wall_time = time.perf_counter() - t0
+        return BatchFeatures(
+            X1=X1,
+            X2=X2,
+            ok_indices=ok_indices,
+            errors=errors,
+            df_available=df_available,
+            stats=stats,
+        )
+
+    # -- classification --------------------------------------------------------
+
+    def classify(
+        self,
+        sources: list[str],
+        k: int = DEFAULT_K,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> BatchResult:
+        """Two-level classification of a batch with per-file fault isolation."""
+        from repro.detector.pipeline import DetectionResult
+
+        t0 = time.perf_counter()
+        features = self.extract(sources)
+        results: list[Any] = [None] * len(sources)
+        for index, error in features.errors.items():
+            results[index] = DetectionResult(
+                level1=set(), transformed=False, techniques=[], error=error
+            )
+
+        if features.ok_indices:
+            proba1 = self.detector.level1.predict_proba_features(features.X1)
+            label_sets = Level1Detector.labels_from_proba(proba1)
+            transformed_mask = np.array(
+                [bool(ls & {"minified", "obfuscated"}) for ls in label_sets],
+                dtype=bool,
+            )
+            technique_lists: list[list[tuple[str, float]]] = []
+            if transformed_mask.any():
+                proba2 = self.detector.level2.predict_proba_features(
+                    features.X2[transformed_mask]
+                )
+                technique_lists = Level2Detector.techniques_from_proba(
+                    proba2, k=k, threshold=threshold
+                )
+            techniques_iter = iter(technique_lists)
+            for index, labels, transformed in zip(
+                features.ok_indices, label_sets, transformed_mask
+            ):
+                techniques = next(techniques_iter) if transformed else []
+                results[index] = DetectionResult(
+                    level1=labels, transformed=bool(transformed), techniques=techniques
+                )
+
+        stats = features.stats
+        stats.wall_time = time.perf_counter() - t0
+        return BatchResult(results=results, stats=stats)

@@ -70,6 +70,10 @@ class Level1Detector:
         proba = self.predict_proba(sources)
         return self.labels_from_proba(proba)
 
+    def predict_labels_features(self, X: np.ndarray) -> list[set[str]]:
+        """Label sets from pre-extracted feature rows (batch-engine path)."""
+        return self.labels_from_proba(self.predict_proba_features(X))
+
     @staticmethod
     def labels_from_proba(proba: np.ndarray) -> list[set[str]]:
         results: list[set[str]] = []

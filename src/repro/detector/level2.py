@@ -77,6 +77,16 @@ class Level2Detector:
         proba = self.predict_proba(sources)
         return self.techniques_from_proba(proba, k=k, threshold=threshold)
 
+    def predict_techniques_features(
+        self,
+        X: np.ndarray,
+        k: int = DEFAULT_K,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> list[list[tuple[str, float]]]:
+        """Thresholded Top-k from pre-extracted feature rows (batch-engine path)."""
+        proba = self.predict_proba_features(X)
+        return self.techniques_from_proba(proba, k=k, threshold=threshold)
+
     @staticmethod
     def techniques_from_proba(
         proba: np.ndarray, k: int = DEFAULT_K, threshold: float = DEFAULT_THRESHOLD

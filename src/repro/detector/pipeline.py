@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.detector.batch import BatchInferenceEngine, BatchResult, DetectionError
 from repro.detector.level1 import Level1Detector
 from repro.detector.level2 import Level2Detector
 from repro.detector.training import TrainingData
@@ -20,13 +21,25 @@ from repro.detector.training import TrainingData
 
 @dataclass
 class DetectionResult:
-    """Classification outcome for one script."""
+    """Classification outcome for one script.
+
+    ``error`` is set (and the other fields are empty) when the file could
+    not be classified — batch runs isolate per-file failures instead of
+    raising.
+    """
 
     level1: set[str]
     transformed: bool
     techniques: list[tuple[str, float]] = field(default_factory=list)
+    error: DetectionError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def __str__(self) -> str:  # pragma: no cover - convenience only
+        if self.error is not None:
+            return f"error ({self.error})"
         if not self.transformed:
             return "regular"
         tech = ", ".join(f"{name} ({p:.0%})" for name, p in self.techniques)
@@ -90,22 +103,39 @@ class TransformationDetector:
         return self.classify_many([source], k=k, threshold=threshold)[0]
 
     def classify_many(
-        self, sources: list[str], k: int = 4, threshold: float = 0.10
+        self,
+        sources: list[str],
+        k: int = 4,
+        threshold: float = 0.10,
+        n_workers: int = 1,
     ) -> list[DetectionResult]:
-        """Classify a batch; level 2 runs only on level-1-flagged files."""
-        level1_labels = self.level1.predict_labels(sources)
-        transformed_mask = [bool(ls & {"minified", "obfuscated"}) for ls in level1_labels]
-        transformed_sources = [s for s, t in zip(sources, transformed_mask) if t]
-        techniques_iter = iter(
-            self.level2.predict_techniques(transformed_sources, k=k, threshold=threshold)
-            if transformed_sources
-            else []
-        )
-        results: list[DetectionResult] = []
-        for labels, transformed in zip(level1_labels, transformed_mask):
-            techniques = next(techniques_iter) if transformed else []
-            results.append(DetectionResult(labels, transformed, techniques))
-        return results
+        """Classify a batch; level 2 runs only on level-1-flagged files.
+
+        Runs through the batch engine: each source is parsed exactly once
+        (both vector spaces are projected from one enhanced AST), invalid
+        files yield per-file error results instead of raising, and
+        ``n_workers > 1`` extracts features across a process pool.
+        """
+        return self.classify_batch(
+            sources, k=k, threshold=threshold, n_workers=n_workers
+        ).results
+
+    def classify_batch(
+        self,
+        sources: list[str],
+        k: int = 4,
+        threshold: float = 0.10,
+        n_workers: int = 1,
+        engine: BatchInferenceEngine | None = None,
+    ) -> BatchResult:
+        """Like :meth:`classify_many` but also returns :class:`BatchStats`."""
+        if engine is None:
+            engine = BatchInferenceEngine(self, n_workers=n_workers)
+        return engine.classify(sources, k=k, threshold=threshold)
+
+    def batch_engine(self, n_workers: int = 1, **kwargs) -> BatchInferenceEngine:
+        """A reusable engine bound to this detector (persistent LRU cache)."""
+        return BatchInferenceEngine(self, n_workers=n_workers, **kwargs)
 
     # -- persistence --------------------------------------------------------------
 

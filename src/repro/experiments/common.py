@@ -10,7 +10,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.corpus.datasets import Script
+from repro.detector.batch import BatchInferenceEngine
 from repro.detector.labels import LEVEL2_LABELS
+from repro.detector.level1 import Level1Detector
 from repro.detector.pipeline import TransformationDetector
 from repro.detector.training import TrainingData
 
@@ -44,7 +46,7 @@ class ExperimentContext:
 
     _memory: dict[str, "ExperimentContext"] = {}
 
-    def __init__(self, scale: Scale) -> None:
+    def __init__(self, scale: Scale, n_workers: int = 1) -> None:
         self.scale = scale
         self.training_data = TrainingData.build(
             n_regular=scale.n_regular, seed=scale.seed
@@ -58,12 +60,20 @@ class ExperimentContext:
             level1_per_class=scale.level1_per_class,
             level2_per_technique=scale.level2_per_technique,
         )
+        self.engine = self.detector.batch_engine(n_workers=n_workers)
 
     @classmethod
-    def get(cls, scale: Scale, cache_dir: str | Path | None = None) -> "ExperimentContext":
+    def get(
+        cls,
+        scale: Scale,
+        cache_dir: str | Path | None = None,
+        n_workers: int = 1,
+    ) -> "ExperimentContext":
         key = scale.cache_key
         if key in cls._memory:
-            return cls._memory[key]
+            context = cls._memory[key]
+            context.engine.n_workers = max(1, n_workers)
+            return context
         if cache_dir is not None:
             path = Path(cache_dir) / f"detector_{key}.pkl"
             if path.exists():
@@ -78,9 +88,10 @@ class ExperimentContext:
                         n_regular=scale.n_regular, seed=scale.seed
                     )
                     context.detector = detector
+                    context.engine = detector.batch_engine(n_workers=n_workers)
                     cls._memory[key] = context
                     return context
-        context = cls(scale)
+        context = cls(scale, n_workers=n_workers)
         cls._memory[key] = context
         if cache_dir is not None:
             Path(cache_dir).mkdir(parents=True, exist_ok=True)
@@ -102,27 +113,51 @@ class CorpusMeasurement:
     transformed_mask: np.ndarray
     #: fraction of containers (sites/packages) with ≥1 transformed script
     container_rate: float
+    #: scripts that failed extraction (counted as not transformed)
+    n_errors: int = 0
 
 
 def measure_corpus(
-    detector: TransformationDetector, scripts: list[Script]
+    detector: TransformationDetector,
+    scripts: list[Script],
+    engine: BatchInferenceEngine | None = None,
+    n_workers: int = 1,
 ) -> CorpusMeasurement:
     """Run both detector levels over a corpus, §IV-B style.
 
     Technique prevalence is "the average probability of a given technique
     being used, based on our detector confidence score" over the scripts
     reported as transformed (the paper's Figure 2/3/5 metric).
+
+    Extraction goes through the batch engine: each script is parsed once
+    and projected into both vector spaces, unparseable scripts become
+    per-file errors (counted as not transformed) instead of aborting the
+    measurement, and a shared ``engine`` carries its LRU feature cache
+    across corpora (near-duplicate "waves", longitudinal snapshots).
     """
     sources = [script.source for script in scripts]
-    level1_labels = detector.level1.predict_labels(sources)
-    minified = np.array([("minified" in ls) for ls in level1_labels])
-    obfuscated = np.array([("obfuscated" in ls) for ls in level1_labels])
+    if engine is None:
+        engine = detector.batch_engine(n_workers=n_workers)
+    features = engine.extract(sources)
+
+    n = len(sources)
+    minified = np.zeros(n, dtype=bool)
+    obfuscated = np.zeros(n, dtype=bool)
+    if features.ok_indices:
+        proba1 = detector.level1.predict_proba_features(features.X1)
+        for index, labels in zip(
+            features.ok_indices, Level1Detector.labels_from_proba(proba1)
+        ):
+            minified[index] = "minified" in labels
+            obfuscated[index] = "obfuscated" in labels
     transformed = minified | obfuscated
 
     technique_probability = {name: 0.0 for name in LEVEL2_LABELS}
-    transformed_sources = [s for s, t in zip(sources, transformed) if t]
-    if transformed_sources:
-        proba = detector.level2.predict_proba(transformed_sources)
+    transformed_rows = np.array(
+        [transformed[index] for index in features.ok_indices], dtype=bool
+    )
+    if transformed_rows.any():
+        proba = detector.level2.predict_proba_features(features.X2[transformed_rows])
         means = proba.mean(axis=0)
         technique_probability = {
             name: float(mean) for name, mean in zip(LEVEL2_LABELS, means)
@@ -140,12 +175,13 @@ def measure_corpus(
 
     return CorpusMeasurement(
         n_scripts=len(scripts),
-        transformed_rate=float(transformed.mean()),
-        minified_rate=float(minified.mean()),
-        obfuscated_rate=float(obfuscated.mean()),
+        transformed_rate=float(transformed.mean()) if n else 0.0,
+        minified_rate=float(minified.mean()) if n else 0.0,
+        obfuscated_rate=float(obfuscated.mean()) if n else 0.0,
         technique_probability=technique_probability,
         transformed_mask=transformed,
         container_rate=container_rate,
+        n_errors=features.stats.errors,
     )
 
 

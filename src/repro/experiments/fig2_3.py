@@ -38,7 +38,7 @@ PAPER_NPM = {
 def run_alexa(context: ExperimentContext, n_scripts: int = 150, seed: int = 0) -> dict:
     """Run the Alexa variant of the experiment; returns a result dict."""
     scripts = alexa_top(n_scripts, seed=seed)
-    measurement = measure_corpus(context.detector, scripts)
+    measurement = measure_corpus(context.detector, scripts, engine=context.engine)
     planted = sum(1 for s in scripts if s.transformed) / len(scripts)
     return {
         "measurement": measurement,
@@ -50,7 +50,7 @@ def run_alexa(context: ExperimentContext, n_scripts: int = 150, seed: int = 0) -
 def run_npm(context: ExperimentContext, n_scripts: int = 150, seed: int = 0) -> dict:
     """Run the npm variant of the experiment; returns a result dict."""
     scripts = npm_top(n_scripts, seed=seed)
-    measurement = measure_corpus(context.detector, scripts)
+    measurement = measure_corpus(context.detector, scripts, engine=context.engine)
     planted = sum(1 for s in scripts if s.transformed) / len(scripts)
     return {
         "measurement": measurement,

@@ -39,7 +39,7 @@ def run_npm_ranks(context: ExperimentContext, n_scripts: int = 300, seed: int = 
     rest = [s for s in scripts if s.rank_group >= 4]
     split = {}
     for name, subset in (("top_1k", top), ("top_5k_plus", rest)):
-        measurement = measure_corpus(context.detector, subset)
+        measurement = measure_corpus(context.detector, subset, engine=context.engine)
         probs = measurement.technique_probability
         simple = probs.get("minification_simple", 0.0)
         advanced = probs.get("minification_advanced", 0.0)

@@ -29,7 +29,7 @@ def run(context: ExperimentContext, n_per_source: int = 60, seed: int = 0) -> di
     results = {}
     for origin in ("dnc", "hynek", "bsi"):
         samples = MaliciousGenerator(origin, seed=seed).generate(n_per_source)
-        measurement = measure_corpus(context.detector, _to_scripts(samples))
+        measurement = measure_corpus(context.detector, _to_scripts(samples), engine=context.engine)
         planted = sum(1 for s in samples if s.transformed) / len(samples)
         results[origin] = {
             "measurement": measurement,

@@ -34,7 +34,7 @@ def _measure_months(
         by_month.setdefault(script.month, []).append(script)
     results = {}
     for month, month_scripts in sorted(by_month.items()):
-        measurement = measure_corpus(context.detector, month_scripts)
+        measurement = measure_corpus(context.detector, month_scripts, engine=context.engine)
         results[month] = {
             "label": month_label(month),
             "transformed_rate": measurement.transformed_rate,

@@ -22,12 +22,22 @@ SCALES = {
 }
 
 
-def run_all(scale_name: str = "small", cache_dir: str | None = None, out=sys.stdout) -> dict:
-    """Train once, then regenerate every table and figure."""
+def run_all(
+    scale_name: str = "small",
+    cache_dir: str | None = None,
+    out=sys.stdout,
+    n_workers: int = 1,
+) -> dict:
+    """Train once, then regenerate every table and figure.
+
+    ``n_workers > 1`` runs corpus feature extraction across a process pool
+    (the batch engine); the context's engine also carries an LRU feature
+    cache shared by all corpus measurements.
+    """
     scale = SCALES[scale_name]
     t0 = time.time()
     print(f"[runner] training detectors at scale {scale_name!r} …", file=out)
-    context = ExperimentContext.get(scale, cache_dir=cache_dir)
+    context = ExperimentContext.get(scale, cache_dir=cache_dir, n_workers=n_workers)
     print(f"[runner] trained in {time.time() - t0:.0f}s", file=out)
 
     results: dict = {}
@@ -87,8 +97,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES), default="small")
     parser.add_argument("--cache-dir", default=".cache")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="feature-extraction process count"
+    )
     args = parser.parse_args(argv)
-    run_all(args.scale, cache_dir=args.cache_dir)
+    run_all(args.scale, cache_dir=args.cache_dir, n_workers=args.workers)
     return 0
 
 

@@ -35,12 +35,13 @@ def run(
     seed: int = 0,
 ) -> dict:
     """Measure all corpora and assemble the §IV-E comparison."""
-    alexa = measure_corpus(context.detector, alexa_top(n_benign, seed=seed))
-    npm = measure_corpus(context.detector, npm_top(n_benign, seed=seed))
+    alexa = measure_corpus(context.detector, alexa_top(n_benign, seed=seed), engine=context.engine)
+    npm = measure_corpus(context.detector, npm_top(n_benign, seed=seed), engine=context.engine)
     malicious = [
         measure_corpus(
             context.detector,
             _to_scripts(MaliciousGenerator(origin, seed=seed).generate(n_malicious_per_source)),
+            engine=context.engine,
         )
         for origin in ("dnc", "hynek", "bsi")
     ]

@@ -133,20 +133,32 @@ class FeatureExtractor:
         """Dimension names: ngram buckets then static features."""
         return [f"ngram_{i}" for i in range(self.ngram_dims)] + self.static_names
 
-    def extract_from_enhanced(self, enhanced: EnhancedAST) -> np.ndarray:
-        """Feature vector from an already-enhanced AST."""
+    def ngram_block(self, enhanced: EnhancedAST) -> np.ndarray:
+        """The hashed n-gram block of the vector (first ``ngram_dims`` dims)."""
         if self.ngram_source == "tokens":
             from repro.features.ngrams import token_ngram_vector
 
-            ngrams = token_ngram_vector(enhanced.tokens, n_dims=self.ngram_dims)
-        else:
-            ngrams = ast_ngram_vector(enhanced.program, n_dims=self.ngram_dims)
-        static = compute_static_features(enhanced)
+            return token_ngram_vector(enhanced.tokens, n_dims=self.ngram_dims)
+        return ast_ngram_vector(enhanced.program, n_dims=self.ngram_dims)
+
+    def project(
+        self,
+        enhanced: EnhancedAST,
+        static: dict[str, float],
+        ngrams: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Assemble the vector from precomputed blocks (one-pass batch path)."""
+        if ngrams is None:
+            ngrams = self.ngram_block(enhanced)
         tail = np.array(
             [static.get(name, 0.0) for name in self.static_names], dtype=np.float64
         )
         vector = np.concatenate([ngrams, tail])
         return np.nan_to_num(vector, nan=0.0, posinf=1e12, neginf=-1e12)
+
+    def extract_from_enhanced(self, enhanced: EnhancedAST) -> np.ndarray:
+        """Feature vector from an already-enhanced AST."""
+        return self.project(enhanced, compute_static_features(enhanced))
 
     def extract(self, source: str) -> np.ndarray:
         """Feature vector for one script (parses + enhances internally)."""
@@ -155,4 +167,47 @@ class FeatureExtractor:
 
     def extract_matrix(self, sources: list[str]) -> np.ndarray:
         """(n, n_features) matrix for a list of scripts."""
+        if not sources:
+            return np.zeros((0, self.n_features), dtype=np.float64)
         return np.vstack([self.extract(source) for source in sources])
+
+
+class PairedFeatureExtractor:
+    """Project one parsed script into *both* detector vector spaces.
+
+    The naive pipeline parses and flow-enhances every transformed script
+    twice — once per level.  This extractor parses/enhances exactly once,
+    computes the static-feature dictionary once, shares the n-gram block
+    when both levels use the same n-gram configuration, and projects the
+    single :class:`EnhancedAST` into the level-1 and level-2 spaces.
+    """
+
+    def __init__(self, level1: FeatureExtractor, level2: FeatureExtractor) -> None:
+        self.level1 = level1
+        self.level2 = level2
+
+    @property
+    def data_flow_timeout(self) -> float:
+        return max(self.level1.data_flow_timeout, self.level2.data_flow_timeout)
+
+    def extract_pair_from_enhanced(
+        self, enhanced: EnhancedAST
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(level-1 vector, level-2 vector) from one enhanced AST."""
+        static = compute_static_features(enhanced)
+        ngrams1 = self.level1.ngram_block(enhanced)
+        shares_ngrams = (
+            self.level1.ngram_dims == self.level2.ngram_dims
+            and self.level1.ngram_source == self.level2.ngram_source
+        )
+        ngrams2 = ngrams1 if shares_ngrams else self.level2.ngram_block(enhanced)
+        return (
+            self.level1.project(enhanced, static, ngrams1),
+            self.level2.project(enhanced, static, ngrams2),
+        )
+
+    def extract_pair(self, source: str) -> tuple[np.ndarray, np.ndarray, bool]:
+        """One-pass extraction: (level-1 vector, level-2 vector, df_available)."""
+        enhanced = enhance(source, data_flow_timeout=self.data_flow_timeout)
+        v1, v2 = self.extract_pair_from_enhanced(enhanced)
+        return v1, v2, enhanced.data_flow_available

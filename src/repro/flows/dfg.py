@@ -55,24 +55,24 @@ def build_data_flow(
         for binding in scope.iter_all_bindings():
             if not binding.assignments or not binding.references:
                 continue
-            if time.monotonic() > deadline:
-                raise DataFlowTimeout
             count = 0
-            ref_set = {id(ref) for ref in binding.references}
             for definition in binding.assignments:
+                if time.monotonic() > deadline:
+                    raise DataFlowTimeout
                 for use in binding.references:
                     if use is definition:
                         continue
-                    edge = DataFlowEdge(definition, use, binding.name)
-                    edges.append(edge)
-                    definition.__dict__.setdefault("data_out", []).append(edge)
-                    use.__dict__.setdefault("data_in", []).append(edge)
+                    edges.append(DataFlowEdge(definition, use, binding.name))
                     count += 1
                     if count >= max_edges_per_binding:
                         break
                 if count >= max_edges_per_binding:
                     break
-            del ref_set
     except DataFlowTimeout:
+        # CF-only fallback: nodes must not keep partial data_in/data_out
+        # lists, so annotation happens only after a complete build.
         return None
+    for edge in edges:
+        edge.source.__dict__.setdefault("data_out", []).append(edge)
+        edge.target.__dict__.setdefault("data_in", []).append(edge)
     return edges

@@ -163,3 +163,49 @@ class TestCLI:
             cli, "_load_or_train", lambda _path: TransformationDetector()
         )
         assert cli.main(["classify", "--model", "ignored", "/nonexistent.js"]) == 1
+
+    def test_classify_unparseable_admitted_file(
+        self, tmp_path, capsys, monkeypatch, trained_detector, regular_corpus
+    ):
+        """A file that slips past admission but fails to parse must produce a
+        one-line diagnostic and exit code 1 — not a traceback — while its
+        batch neighbors still classify."""
+        from repro import __main__ as cli
+
+        monkeypatch.setattr(cli, "_load_or_train", lambda _path: trained_detector)
+        monkeypatch.setattr(cli, "admit", lambda _source: True)
+        good = tmp_path / "good.js"
+        good.write_text(regular_corpus[0])
+        bad = tmp_path / "bad.js"
+        bad.write_text("function (((")
+        code = cli.main(["classify", "--model", "ignored", str(good), str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "good.js" in captured.out
+        assert "classification failed" in captured.err
+        assert "parse" in captured.err
+
+    def test_classify_k_threshold_workers_flags(
+        self, tmp_path, capsys, monkeypatch, trained_detector, regular_corpus
+    ):
+        from repro import __main__ as cli
+
+        monkeypatch.setattr(cli, "_load_or_train", lambda _path: trained_detector)
+        target = tmp_path / "check.js"
+        target.write_text(regular_corpus[0])
+        code = cli.main(
+            [
+                "classify",
+                "--model",
+                "ignored",
+                "--k",
+                "2",
+                "--threshold",
+                "0.25",
+                "--workers",
+                "1",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert "check.js" in capsys.readouterr().out

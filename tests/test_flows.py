@@ -112,6 +112,43 @@ class TestDataFlow:
         edges = build_data_flow(program)
         assert any(e.name == "a" for e in edges)
 
+    def test_success_annotates_nodes(self):
+        program = parse("var x = 1; f(x);")
+        edges = build_data_flow(program)
+        assert edges
+        for edge in edges:
+            assert edge in edge.source.__dict__.get("data_out", [])
+            assert edge in edge.target.__dict__.get("data_in", [])
+
+    def test_timeout_leaves_no_partial_annotations(self):
+        """A timed-out build must not leave data_in/data_out on nodes."""
+        from repro.js.visitor import walk
+
+        program = parse("var x = 1; x = 2; f(x, x); var y = 3; g(y);")
+        assert build_data_flow(program, timeout=0.0) is None
+        for node in walk(program):
+            assert "data_in" not in node.__dict__
+            assert "data_out" not in node.__dict__
+
+    def test_midflight_timeout_rolls_back(self, monkeypatch):
+        """Timeout after some edges were built: no stale partial annotations."""
+        import repro.flows.dfg as dfg_mod
+        from repro.js.visitor import walk
+
+        program = parse("var a = 1; a = 2; f(a, a); var b = 3; b = 4; g(b, b);")
+        calls = {"n": 0}
+
+        def fake_monotonic():
+            calls["n"] += 1
+            return 0.0 if calls["n"] < 3 else 1e9
+
+        monkeypatch.setattr(dfg_mod.time, "monotonic", fake_monotonic)
+        assert build_data_flow(program, timeout=100.0) is None
+        assert calls["n"] >= 3  # timed out mid-build, not before the first edge
+        for node in walk(program):
+            assert "data_in" not in node.__dict__
+            assert "data_out" not in node.__dict__
+
 
 class TestEnhance:
     def test_enhanced_ast_fields(self, sample_source):
