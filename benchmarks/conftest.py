@@ -17,6 +17,12 @@ from repro.experiments.runner import SCALES
 SCALE_NAME = os.environ.get("REPRO_BENCH_SCALE", "small")
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every file in benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     return ExperimentContext.get(SCALES[SCALE_NAME], cache_dir=".cache")

@@ -1,0 +1,124 @@
+"""Training-engine throughput: serial vs parallel fit, packed inference.
+
+Records trees/sec and rows/sec for the histogram-forest training engine
+(PR 2) so the perf trajectory of the fit path is tracked alongside the
+batch-inference benches.  Matrix shapes mirror the level-2 training set
+at the small experiment scale (10 chained labels, ~335 features).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import ForestSpec, RandomForestClassifier
+from repro.ml.multilabel import ClassifierChain
+
+N_JOBS = max(2, min(4, os.cpu_count() or 1))
+N_ROWS, N_FEATURES, N_LABELS = 300, 335, 10
+N_TREES = 16
+
+
+@pytest.fixture(scope="module")
+def train_matrix():
+    rng = np.random.default_rng(1234)
+    X = rng.normal(size=(N_ROWS, N_FEATURES))
+    Y = (rng.random(size=(N_ROWS, N_LABELS)) < 0.25).astype(int)
+    # Make labels learnable so trees grow to realistic depths.
+    for label in range(N_LABELS):
+        Y[:, label] |= (X[:, label] > 0.8).astype(int)
+    return X, Y
+
+
+def _throughput(benchmark, key: str, amount: int) -> None:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is not None and mean.mean:
+        benchmark.extra_info[key] = round(amount / mean.mean, 2)
+
+
+def test_bench_forest_fit_serial(benchmark, train_matrix):
+    X, Y = train_matrix
+
+    def run():
+        return RandomForestClassifier(
+            n_estimators=N_TREES, random_state=0, n_jobs=1
+        ).fit(X, Y[:, 0])
+
+    forest = benchmark(run)
+    assert len(forest.trees_) == N_TREES
+    _throughput(benchmark, "trees_per_sec", N_TREES)
+
+
+def test_bench_forest_fit_parallel(benchmark, train_matrix):
+    X, Y = train_matrix
+
+    def run():
+        return RandomForestClassifier(
+            n_estimators=N_TREES, random_state=0, n_jobs=N_JOBS
+        ).fit(X, Y[:, 0])
+
+    forest = benchmark(run)
+    assert len(forest.trees_) == N_TREES
+    _throughput(benchmark, "trees_per_sec", N_TREES)
+
+
+def test_bench_chain_fit(benchmark, train_matrix):
+    """The DetectorPipeline training bill: a 10-label chain of forests."""
+    X, Y = train_matrix
+
+    def run():
+        return ClassifierChain(
+            N_LABELS, factory=ForestSpec(n_estimators=N_TREES, random_state=0)
+        ).fit(X, Y)
+
+    chain = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert len(chain.classifiers_) == N_LABELS
+    _throughput(benchmark, "forests_per_sec", N_LABELS)
+
+
+@pytest.fixture(scope="module")
+def fitted_forest(train_matrix):
+    X, Y = train_matrix
+    return RandomForestClassifier(n_estimators=N_TREES, random_state=0).fit(
+        X, Y[:, 0]
+    )
+
+
+def test_bench_predict_packed(benchmark, train_matrix, fitted_forest):
+    """Packed single-sweep kernel on pre-binned rows."""
+    X, _ = train_matrix
+    X_binned = fitted_forest.binner_.transform(X)
+
+    proba = benchmark(lambda: fitted_forest.predict_proba_binned(X_binned))
+    assert proba.shape == (len(X),)
+    _throughput(benchmark, "rows_per_sec", len(X))
+
+
+def test_bench_predict_tree_loop(benchmark, train_matrix, fitted_forest):
+    """Pre-packed baseline on the same pre-binned rows: one Python-level
+    traversal per member tree."""
+    X, _ = train_matrix
+    X_binned = fitted_forest.binner_.transform(X)
+
+    def run():
+        proba = np.zeros(len(X))
+        for tree in fitted_forest.trees_:
+            proba += tree.predict_proba(X_binned)
+        return proba / len(fitted_forest.trees_)
+
+    proba = benchmark(run)
+    assert np.allclose(
+        proba, fitted_forest.predict_proba_binned(X_binned), atol=1e-12
+    )
+    _throughput(benchmark, "rows_per_sec", len(X))
+
+
+def test_bench_chain_predict(benchmark, train_matrix):
+    X, Y = train_matrix
+    chain = ClassifierChain(
+        N_LABELS, factory=ForestSpec(n_estimators=N_TREES, random_state=0)
+    ).fit(X, Y)
+
+    proba = benchmark(lambda: chain.predict_proba(X))
+    assert proba.shape == (len(X), N_LABELS)
+    _throughput(benchmark, "rows_per_sec", len(X))

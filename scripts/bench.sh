@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and append one JSON record per run to
+# BENCH_train.json, building the perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh                         # full benchmarks/ directory
+#   scripts/bench.sh benchmarks/test_bench_train.py   # one suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET="${1:-benchmarks}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+RAW_JSON="$(mktemp)"
+trap 'rm -f "$RAW_JSON"' EXIT
+
+python -m pytest "$TARGET" -q -p no:cacheprovider --benchmark-json="$RAW_JSON"
+
+python - "$RAW_JSON" <<'PY'
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+raw = json.load(open(sys.argv[1]))
+commit = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip()
+record = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "commit": commit or None,
+    "benchmarks": [
+        {
+            "name": bench["name"],
+            "mean_s": round(bench["stats"]["mean"], 6),
+            "stddev_s": round(bench["stats"]["stddev"], 6),
+            "rounds": bench["stats"]["rounds"],
+            **({"extra": bench["extra_info"]} if bench.get("extra_info") else {}),
+        }
+        for bench in raw.get("benchmarks", [])
+    ],
+}
+path = pathlib.Path("BENCH_train.json")
+history = json.loads(path.read_text()) if path.exists() else []
+history.append(record)
+path.write_text(json.dumps(history, indent=2) + "\n")
+print(f"[bench] appended {len(record['benchmarks'])} entries to {path}")
+PY

@@ -25,7 +25,9 @@ from repro.transform import TECHNIQUES, TransformationPipeline
 
 def _cmd_train(args: argparse.Namespace) -> int:
     detector = TransformationDetector(
-        n_estimators=args.estimators, random_state=args.seed
+        n_estimators=args.estimators,
+        random_state=args.seed,
+        n_jobs=args.train_jobs,
     )
     print(f"training on {args.n_regular} regular scripts (seed {args.seed}) ...")
     detector.train(n_regular=args.n_regular, seed=args.seed)
@@ -89,7 +91,12 @@ def _cmd_transform(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(args.scale, cache_dir=args.cache_dir, n_workers=args.workers)
+    run_all(
+        args.scale,
+        cache_dir=args.cache_dir,
+        n_workers=args.workers,
+        train_jobs=args.train_jobs,
+    )
     return 0
 
 
@@ -103,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
     train.add_argument("--n-regular", type=int, default=60)
     train.add_argument("--estimators", type=int, default=16)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--train-jobs",
+        type=int,
+        default=1,
+        help="forest-training process count (bit-identical to serial)",
+    )
     train.set_defaults(func=_cmd_train)
 
     classify = commands.add_parser("classify", help="classify JavaScript files")
@@ -139,6 +152,9 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--cache-dir", default=".cache")
     experiments.add_argument(
         "--workers", type=int, default=1, help="feature-extraction process count"
+    )
+    experiments.add_argument(
+        "--train-jobs", type=int, default=1, help="forest-training process count"
     )
     experiments.set_defaults(func=_cmd_experiments)
 

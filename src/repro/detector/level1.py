@@ -26,12 +26,16 @@ class Level1Detector:
         ngram_dims: int = 256,
         use_chain: bool = True,
         data_flow_timeout: float = 120.0,
+        n_jobs: int = 1,
     ) -> None:
         self.extractor = FeatureExtractor(
             level=1, ngram_dims=ngram_dims, data_flow_timeout=data_flow_timeout
         )
         factory = ForestSpec(
-            n_estimators=n_estimators, max_depth=max_depth, random_state=random_state
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            random_state=random_state,
+            n_jobs=n_jobs,
         )
         model_cls = ClassifierChain if use_chain else BinaryRelevance
         self.model = model_cls(n_labels=len(LEVEL1_LABELS), factory=factory)

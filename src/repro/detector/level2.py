@@ -32,12 +32,16 @@ class Level2Detector:
         ngram_dims: int = 256,
         use_chain: bool = True,
         data_flow_timeout: float = 120.0,
+        n_jobs: int = 1,
     ) -> None:
         self.extractor = FeatureExtractor(
             level=2, ngram_dims=ngram_dims, data_flow_timeout=data_flow_timeout
         )
         factory = ForestSpec(
-            n_estimators=n_estimators, max_depth=max_depth, random_state=random_state
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            random_state=random_state,
+            n_jobs=n_jobs,
         )
         model_cls = ClassifierChain if use_chain else BinaryRelevance
         self.model = model_cls(n_labels=len(LEVEL2_LABELS), factory=factory)

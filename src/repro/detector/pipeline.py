@@ -57,6 +57,7 @@ class TransformationDetector:
         ngram_dims: int = 256,
         use_chain: bool = True,
         data_flow_timeout: float = 120.0,
+        n_jobs: int = 1,
     ) -> None:
         self.level1 = Level1Detector(
             n_estimators=n_estimators,
@@ -65,6 +66,7 @@ class TransformationDetector:
             ngram_dims=ngram_dims,
             use_chain=use_chain,
             data_flow_timeout=data_flow_timeout,
+            n_jobs=n_jobs,
         )
         self.level2 = Level2Detector(
             n_estimators=n_estimators,
@@ -73,6 +75,7 @@ class TransformationDetector:
             ngram_dims=ngram_dims,
             use_chain=use_chain,
             data_flow_timeout=data_flow_timeout,
+            n_jobs=n_jobs,
         )
 
     # -- training ------------------------------------------------------------

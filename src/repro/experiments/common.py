@@ -46,13 +46,15 @@ class ExperimentContext:
 
     _memory: dict[str, "ExperimentContext"] = {}
 
-    def __init__(self, scale: Scale, n_workers: int = 1) -> None:
+    def __init__(self, scale: Scale, n_workers: int = 1, train_jobs: int = 1) -> None:
         self.scale = scale
         self.training_data = TrainingData.build(
             n_regular=scale.n_regular, seed=scale.seed
         )
         self.detector = TransformationDetector(
-            n_estimators=scale.n_estimators, random_state=scale.seed
+            n_estimators=scale.n_estimators,
+            random_state=scale.seed,
+            n_jobs=train_jobs,
         )
         self.detector.train(
             training_data=self.training_data,
@@ -68,6 +70,7 @@ class ExperimentContext:
         scale: Scale,
         cache_dir: str | Path | None = None,
         n_workers: int = 1,
+        train_jobs: int = 1,
     ) -> "ExperimentContext":
         key = scale.cache_key
         if key in cls._memory:
@@ -91,7 +94,7 @@ class ExperimentContext:
                     context.engine = detector.batch_engine(n_workers=n_workers)
                     cls._memory[key] = context
                     return context
-        context = cls(scale, n_workers=n_workers)
+        context = cls(scale, n_workers=n_workers, train_jobs=train_jobs)
         cls._memory[key] = context
         if cache_dir is not None:
             Path(cache_dir).mkdir(parents=True, exist_ok=True)

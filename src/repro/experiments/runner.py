@@ -27,17 +27,22 @@ def run_all(
     cache_dir: str | None = None,
     out=sys.stdout,
     n_workers: int = 1,
+    train_jobs: int = 1,
 ) -> dict:
     """Train once, then regenerate every table and figure.
 
     ``n_workers > 1`` runs corpus feature extraction across a process pool
     (the batch engine); the context's engine also carries an LRU feature
-    cache shared by all corpus measurements.
+    cache shared by all corpus measurements.  ``train_jobs > 1`` fits the
+    forest trees across a process pool — bit-identical to serial training
+    thanks to per-tree ``SeedSequence`` seeds.
     """
     scale = SCALES[scale_name]
     t0 = time.time()
     print(f"[runner] training detectors at scale {scale_name!r} …", file=out)
-    context = ExperimentContext.get(scale, cache_dir=cache_dir, n_workers=n_workers)
+    context = ExperimentContext.get(
+        scale, cache_dir=cache_dir, n_workers=n_workers, train_jobs=train_jobs
+    )
     print(f"[runner] trained in {time.time() - t0:.0f}s", file=out)
 
     results: dict = {}
@@ -100,8 +105,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=1, help="feature-extraction process count"
     )
+    parser.add_argument(
+        "--train-jobs", type=int, default=1, help="forest-training process count"
+    )
     args = parser.parse_args(argv)
-    run_all(args.scale, cache_dir=args.cache_dir, n_workers=args.workers)
+    run_all(
+        args.scale,
+        cache_dir=args.cache_dir,
+        n_workers=args.workers,
+        train_jobs=args.train_jobs,
+    )
     return 0
 
 

@@ -8,6 +8,7 @@ classifier chain [41] (which the paper's validation selects).
 
 from repro.ml.binning import Binner
 from repro.ml.forest import RandomForestClassifier
+from repro.ml.packed import PackedForest
 from repro.ml.metrics import (
     exact_match_accuracy,
     label_accuracy,
@@ -22,6 +23,7 @@ __all__ = [
     "BinaryRelevance",
     "ClassifierChain",
     "DecisionTreeClassifier",
+    "PackedForest",
     "RandomForestClassifier",
     "exact_match_accuracy",
     "label_accuracy",

@@ -4,11 +4,46 @@ The tree learner works on small integer bin indices (histogram splitting,
 the LightGBM idea): each float feature is discretised into at most
 ``max_bins`` quantile bins, after which split search is a couple of
 ``bincount`` calls per node instead of a sort.
+
+``fit`` computes the quantile sweep for all columns in one
+``np.quantile(..., axis=0)`` call (``np.nanquantile`` when non-finite
+values are present); only the tiny per-column edge clean-up remains a
+loop.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+
+def column_edges(values: np.ndarray, max_bins: int) -> np.ndarray:
+    """Quantile bin edges for one column (empty for all-non-finite)."""
+    values = np.asarray(values, dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return np.empty(0)
+    quantiles = np.linspace(0, 1, max_bins + 1)[1:-1]
+    cuts = np.unique(np.quantile(finite, quantiles))
+    return _drop_degenerate(cuts, float(finite.min()))
+
+
+def bin_column(values: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+    """Map one column of floats to uint8 bin codes using ``cuts``."""
+    values = np.nan_to_num(
+        np.asarray(values, dtype=np.float64), nan=0.0, posinf=1e300, neginf=-1e300
+    )
+    if cuts.size == 0:
+        return np.zeros(len(values), dtype=np.uint8)
+    return np.searchsorted(cuts, values, side="right").astype(np.uint8)
+
+
+def _drop_degenerate(cuts: np.ndarray, column_min: float) -> np.ndarray:
+    # Drop degenerate edges (constant features get zero edges).
+    if cuts.size and cuts[0] <= column_min:
+        cuts = cuts[cuts > column_min]
+    return cuts
 
 
 class Binner:
@@ -20,23 +55,42 @@ class Binner:
         self.max_bins = max_bins
         self.edges_: list[np.ndarray] | None = None
 
+    @classmethod
+    def from_edges(cls, edges: list[np.ndarray], max_bins: int) -> "Binner":
+        """A fitted binner over a given edge list (shared-edge fast paths)."""
+        binner = cls(max_bins=max_bins)
+        binner.edges_ = list(edges)
+        return binner
+
     def fit(self, X: np.ndarray) -> "Binner":
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError("X must be 2-dimensional")
-        edges: list[np.ndarray] = []
+        n, d = X.shape
         quantiles = np.linspace(0, 1, self.max_bins + 1)[1:-1]
-        for column in range(X.shape[1]):
-            values = X[:, column]
-            finite = values[np.isfinite(values)]
-            if finite.size == 0:
+        if n == 0:
+            self.edges_ = [np.empty(0) for _ in range(d)]
+            return self
+        finite = np.isfinite(X)
+        if finite.all():
+            quants = np.quantile(X, quantiles, axis=0)
+            mins = X.min(axis=0)
+            has_finite = np.ones(d, dtype=bool)
+        else:
+            masked = np.where(finite, X, np.nan)
+            has_finite = finite.any(axis=0)
+            with warnings.catch_warnings():
+                # All-NaN columns legitimately produce empty edge sets.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                quants = np.nanquantile(masked, quantiles, axis=0)
+                mins = np.nanmin(masked, axis=0)
+        edges: list[np.ndarray] = []
+        for column in range(d):
+            if not has_finite[column]:
                 edges.append(np.empty(0))
                 continue
-            cuts = np.unique(np.quantile(finite, quantiles))
-            # Drop degenerate edges (constant features get zero edges).
-            if cuts.size and cuts[0] <= finite.min():
-                cuts = cuts[cuts > finite.min()]
-            edges.append(cuts)
+            cuts = np.unique(quants[:, column])
+            edges.append(_drop_degenerate(cuts, float(mins[column])))
         self.edges_ = edges
         return self
 
@@ -44,16 +98,20 @@ class Binner:
         if self.edges_ is None:
             raise RuntimeError("Binner must be fitted before transform")
         X = np.asarray(X, dtype=np.float64)
-        out = np.empty(X.shape, dtype=np.uint8)
+        # One whole-matrix sanitisation instead of per-column allocations,
+        # and contiguous columns so searchsorted avoids strided access.
+        columns = np.ascontiguousarray(
+            np.nan_to_num(X, nan=0.0, posinf=1e300, neginf=-1e300).T
+        )
+        out = np.empty((X.shape[1], X.shape[0]), dtype=np.uint8)
         for column, cuts in enumerate(self.edges_):
-            values = np.nan_to_num(X[:, column], nan=0.0, posinf=1e300, neginf=-1e300)
             if cuts.size == 0:
-                out[:, column] = 0
+                out[column] = 0
             else:
-                out[:, column] = np.searchsorted(cuts, values, side="right").astype(
-                    np.uint8
-                )
-        return out
+                out[column] = np.searchsorted(
+                    cuts, columns[column], side="right"
+                ).astype(np.uint8)
+        return np.ascontiguousarray(out.T)
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)

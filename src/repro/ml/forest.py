@@ -3,13 +3,29 @@
 Binary classification; probabilities are the mean of the member trees'
 leaf class fractions, matching scikit-learn's ``predict_proba`` semantics
 for the forests the paper trains.
+
+Training engine properties:
+
+- every tree derives from its own :class:`numpy.random.SeedSequence`
+  child, so ``n_jobs=N`` is bit-identical to ``n_jobs=1`` — trees are
+  independent of scheduling order;
+- the bootstrap is encoded as integer row weights (no per-tree matrix
+  copy) and trees are fitted either serially or across a
+  ``ProcessPoolExecutor``;
+- after fitting, all trees are flattened into one
+  :class:`repro.ml.packed.PackedForest`, so ``predict_proba`` traverses
+  the whole ensemble in a single vectorised sweep.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
 from repro.ml.binning import Binner
+from repro.ml.packed import PackedForest
 from repro.ml.tree import DecisionTreeClassifier
 
 
@@ -28,6 +44,26 @@ class ForestSpec:
         return RandomForestClassifier(**self.kwargs)
 
 
+def _fit_one_tree(payload) -> DecisionTreeClassifier:
+    """Fit a single member tree (module-level for process-pool pickling).
+
+    The per-tree generator drives the bootstrap draw first and the
+    per-node candidate draws after, so the result depends only on the
+    spawned seed — never on which process or order trees run in.
+    """
+    X_binned, y, params, seed, bootstrap, n_bins = payload
+    rng = np.random.default_rng(seed)
+    n = len(y)
+    if bootstrap:
+        sample = rng.integers(0, n, size=n)
+        weight = np.bincount(sample, minlength=n).astype(np.float64)
+    else:
+        weight = np.ones(n, dtype=np.float64)
+    tree = DecisionTreeClassifier(rng=rng, **params)
+    tree.fit(X_binned, y, sample_weight=weight, n_bins=n_bins)
+    return tree
+
+
 class RandomForestClassifier:
     """Bagged ensemble of histogram CART trees over auto-binned features."""
 
@@ -40,6 +76,7 @@ class RandomForestClassifier:
         max_bins: int = 64,
         bootstrap: bool = True,
         random_state: int | None = None,
+        n_jobs: int = 1,
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -48,42 +85,89 @@ class RandomForestClassifier:
         self.max_bins = max_bins
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeClassifier] = []
         self.binner_: Binner | None = None
+        self.packed_: PackedForest | None = None
+
+    # -- training ------------------------------------------------------------
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X = np.asarray(X, dtype=np.float64)
+        self.binner_ = Binner(max_bins=self.max_bins).fit(X)
+        return self._fit_binned(self.binner_.transform(X), y)
+
+    def fit_binned(
+        self, X_binned: np.ndarray, y: np.ndarray, binner: Binner
+    ) -> "RandomForestClassifier":
+        """Fit on pre-binned codes produced by ``binner``.
+
+        The multi-label wrappers bin the shared feature block once and
+        reuse it for every position instead of re-running quantile
+        binning per label.
+        """
+        self.binner_ = binner
+        return self._fit_binned(np.asarray(X_binned, dtype=np.uint8), y)
+
+    def _fit_binned(self, X_binned: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         y = np.asarray(y, dtype=np.int64)
         if set(np.unique(y)) - {0, 1}:
             raise ValueError("RandomForestClassifier is binary: labels must be 0/1")
-        rng = np.random.default_rng(self.random_state)
-        self.binner_ = Binner(max_bins=self.max_bins)
-        X_binned = self.binner_.fit_transform(X)
         n = len(y)
         self.trees_ = []
+        self.packed_ = None
         self.constant_ = None
         if y.sum() == 0 or y.sum() == n:
             # Degenerate training set: remember the constant answer.
             self.constant_ = float(y[0])
             return self
-        for _ in range(self.n_estimators):
-            if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
-            else:
-                sample = np.arange(n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=rng,
-            )
-            tree.fit(X_binned[sample], y[sample])
-            self.trees_.append(tree)
+        assert self.binner_ is not None
+        n_bins = int(self.binner_.n_bins_.max())
+        params = dict(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+        )
+        y_float = y.astype(np.float64)
+        seeds = np.random.SeedSequence(self.random_state).spawn(self.n_estimators)
+        payloads = [
+            (X_binned, y_float, params, seed, self.bootstrap, n_bins)
+            for seed in seeds
+        ]
+        jobs = self._resolve_jobs()
+        if jobs <= 1:
+            self.trees_ = [_fit_one_tree(payload) for payload in payloads]
+        else:
+            workers = min(jobs, self.n_estimators)
+            chunk = max(1, self.n_estimators // workers)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                self.trees_ = list(
+                    pool.map(_fit_one_tree, payloads, chunksize=chunk)
+                )
+        self.packed_ = PackedForest.from_trees(self.trees_)
         return self
+
+    def _resolve_jobs(self) -> int:
+        jobs = getattr(self, "n_jobs", 1)
+        if jobs is None or jobs == 0:
+            return 1
+        if jobs < 0:
+            return os.cpu_count() or 1
+        return jobs
+
+    # -- inference -------------------------------------------------------------
 
     def _check_fitted(self) -> None:
         if self.binner_ is None:
             raise RuntimeError("Forest must be fitted before prediction")
+
+    def _packed(self) -> PackedForest:
+        packed = getattr(self, "packed_", None)
+        if packed is None:
+            # Models pickled before the packed layout existed: build lazily.
+            packed = PackedForest.from_trees(self.trees_)
+            self.packed_ = packed
+        return packed
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """P(class 1) per row, averaged over trees."""
@@ -91,11 +175,14 @@ class RandomForestClassifier:
         X = np.asarray(X, dtype=np.float64)
         if self.constant_ is not None:
             return np.full(len(X), self.constant_)
-        X_binned = self.binner_.transform(X)
-        probabilities = np.zeros(len(X))
-        for tree in self.trees_:
-            probabilities += tree.predict_proba(X_binned)
-        return probabilities / len(self.trees_)
+        return self._packed().predict_proba(self.binner_.transform(X))
+
+    def predict_proba_binned(self, X_binned: np.ndarray) -> np.ndarray:
+        """P(class 1) from rows already binned with this forest's binner."""
+        self._check_fitted()
+        if self.constant_ is not None:
+            return np.full(len(X_binned), self.constant_)
+        return self._packed().predict_proba(X_binned)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return (self.predict_proba(X) >= 0.5).astype(np.int64)

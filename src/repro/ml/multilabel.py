@@ -8,6 +8,13 @@ The paper compares two strategies (§III-D3):
 
 Its validation selects the classifier chain with random forests; both are
 provided so the ablation benchmark can reproduce that comparison.
+
+Both wrappers share one :class:`~repro.ml.binning.Binner` across
+positions when the factory produces random forests: the base feature
+block is quantile-binned exactly once, and chain position *k* only bins
+the single appended label column.  Augmented matrices are preallocated
+(``(n, d + n_labels - 1)``) instead of ``np.column_stack``-copied per
+position.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.ml.binning import Binner, bin_column, column_edges
 from repro.ml.forest import RandomForestClassifier
 
 ForestFactory = Callable[[], RandomForestClassifier]
@@ -25,31 +33,74 @@ def _default_factory() -> RandomForestClassifier:
     return RandomForestClassifier()
 
 
+def _shared_binner_ok(classifiers: list) -> bool:
+    """True when every classifier can consume shared pre-binned codes."""
+    bins = set()
+    for clf in classifiers:
+        if not isinstance(clf, RandomForestClassifier):
+            return False
+        bins.add(clf.max_bins)
+    return len(bins) == 1
+
+
 class BinaryRelevance:
     """Independent one-vs-rest decomposition of a multi-label problem."""
 
-    def __init__(self, n_labels: int, factory: ForestFactory | None = None) -> None:
+    def __init__(
+        self,
+        n_labels: int,
+        factory: ForestFactory | None = None,
+        n_jobs: int | None = None,
+    ) -> None:
         self.n_labels = n_labels
         self.factory = factory or _default_factory
+        self.n_jobs = n_jobs
         self.classifiers_: list[RandomForestClassifier] = []
+
+    def _make_classifiers(self) -> list[RandomForestClassifier]:
+        classifiers = [self.factory() for _ in range(self.n_labels)]
+        if self.n_jobs is not None:
+            for clf in classifiers:
+                if isinstance(clf, RandomForestClassifier):
+                    clf.n_jobs = self.n_jobs
+        return classifiers
 
     def fit(self, X: np.ndarray, Y: np.ndarray) -> "BinaryRelevance":
         X = np.asarray(X, dtype=np.float64)
         Y = np.asarray(Y, dtype=np.int64)
         if Y.shape != (len(X), self.n_labels):
             raise ValueError(f"Y must have shape (n, {self.n_labels})")
-        self.classifiers_ = []
-        for label in range(self.n_labels):
-            classifier = self.factory()
-            classifier.fit(X, Y[:, label])
-            self.classifiers_.append(classifier)
+        classifiers = self._make_classifiers()
+        if _shared_binner_ok(classifiers):
+            # Bin the feature block once; every label reuses the codes.
+            binner = Binner(max_bins=classifiers[0].max_bins).fit(X)
+            X_binned = binner.transform(X)
+            for label, classifier in enumerate(classifiers):
+                classifier.fit_binned(X_binned, Y[:, label], binner)
+        else:
+            for label, classifier in enumerate(classifiers):
+                classifier.fit(X, Y[:, label])
+        self.classifiers_ = classifiers
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """(n, n_labels) matrix of per-label probabilities."""
         if not self.classifiers_:
             raise RuntimeError("Model must be fitted first")
-        columns = [clf.predict_proba(X) for clf in self.classifiers_]
+        X = np.asarray(X, dtype=np.float64)
+        first = self.classifiers_[0]
+        shared = isinstance(first, RandomForestClassifier) and all(
+            isinstance(clf, RandomForestClassifier)
+            and clf.binner_ is first.binner_
+            for clf in self.classifiers_
+        )
+        if shared and first.binner_ is not None:
+            X_binned = first.binner_.transform(X)
+            columns = [
+                clf.predict_proba_binned(X_binned) for clf in self.classifiers_
+            ]
+        else:
+            columns = [clf.predict_proba(X) for clf in self.classifiers_]
         return np.stack(columns, axis=1)
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
@@ -70,41 +121,120 @@ class ClassifierChain:
         n_labels: int,
         factory: ForestFactory | None = None,
         order: list[int] | None = None,
+        n_jobs: int | None = None,
     ) -> None:
         self.n_labels = n_labels
         self.factory = factory or _default_factory
         self.order = order if order is not None else list(range(n_labels))
         if sorted(self.order) != list(range(n_labels)):
             raise ValueError("order must be a permutation of range(n_labels)")
+        self.n_jobs = n_jobs
         self.classifiers_: list[RandomForestClassifier] = []
+
+    def _make_classifiers(self) -> list[RandomForestClassifier]:
+        classifiers = [self.factory() for _ in range(self.n_labels)]
+        if self.n_jobs is not None:
+            for clf in classifiers:
+                if isinstance(clf, RandomForestClassifier):
+                    clf.n_jobs = self.n_jobs
+        return classifiers
 
     def fit(self, X: np.ndarray, Y: np.ndarray) -> "ClassifierChain":
         X = np.asarray(X, dtype=np.float64)
         Y = np.asarray(Y, dtype=np.int64)
         if Y.shape != (len(X), self.n_labels):
             raise ValueError(f"Y must have shape (n, {self.n_labels})")
-        self.classifiers_ = []
-        augmented = X
-        for position, label in enumerate(self.order):
-            classifier = self.factory()
-            classifier.fit(augmented, Y[:, label])
-            self.classifiers_.append(classifier)
-            if position < self.n_labels - 1:
-                augmented = np.column_stack([augmented, Y[:, label]])
+        n, d = X.shape
+        classifiers = self._make_classifiers()
+        if _shared_binner_ok(classifiers):
+            self._fit_shared_binner(X, Y, classifiers, n, d)
+        else:
+            # Generic path: one preallocated float matrix, label columns
+            # written in place (no per-position column_stack copies).
+            augmented = np.empty((n, d + self.n_labels - 1))
+            augmented[:, :d] = X
+            for position, label in enumerate(self.order):
+                classifiers[position].fit(
+                    augmented[:, : d + position], Y[:, label]
+                )
+                if position < self.n_labels - 1:
+                    augmented[:, d + position] = Y[:, label]
+        self.classifiers_ = classifiers
         return self
+
+    def _fit_shared_binner(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        classifiers: list[RandomForestClassifier],
+        n: int,
+        d: int,
+    ) -> None:
+        """Bin the base block once; position k bins only its new column."""
+        max_bins = classifiers[0].max_bins
+        base = Binner(max_bins=max_bins).fit(X)
+        binned = np.empty((n, d + self.n_labels - 1), dtype=np.uint8)
+        binned[:, :d] = base.transform(X)
+        edges = list(base.edges_)
+        for position, label in enumerate(self.order):
+            classifiers[position].fit_binned(
+                binned[:, : d + position],
+                Y[:, label],
+                Binner.from_edges(edges[: d + position], max_bins),
+            )
+            if position < self.n_labels - 1:
+                column = Y[:, label].astype(np.float64)
+                cuts = column_edges(column, max_bins)
+                edges.append(cuts)
+                binned[:, d + position] = bin_column(column, cuts)
+
+    def _binned_inference_ok(self, d: int) -> bool:
+        """True when every position can run on shared pre-binned codes."""
+        for position, clf in enumerate(self.classifiers_):
+            if not isinstance(clf, RandomForestClassifier):
+                return False
+            binner = getattr(clf, "binner_", None)
+            if binner is None or binner.edges_ is None:
+                return False
+            if len(binner.edges_) != d + position:
+                return False
+        return True
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """(n, n_labels) probabilities in the original label order."""
         if not self.classifiers_:
             raise RuntimeError("Model must be fitted first")
         X = np.asarray(X, dtype=np.float64)
-        probabilities = np.zeros((len(X), self.n_labels))
-        augmented = X
+        n, d = X.shape
+        probabilities = np.zeros((n, self.n_labels))
+        if self._binned_inference_ok(d):
+            # Base block binned once; appended label columns are binned
+            # with the edges the consuming position was trained on.
+            binned = np.empty((n, d + self.n_labels - 1), dtype=np.uint8)
+            base = self.classifiers_[0].binner_
+            binned[:, :d] = base.transform(X)
+            for position, label in enumerate(self.order):
+                proba = self.classifiers_[position].predict_proba_binned(
+                    binned[:, : d + position]
+                )
+                probabilities[:, label] = proba
+                if position < self.n_labels - 1:
+                    cuts = self.classifiers_[position + 1].binner_.edges_[
+                        d + position
+                    ]
+                    binned[:, d + position] = bin_column(
+                        (proba >= 0.5).astype(np.float64), cuts
+                    )
+            return probabilities
+        augmented = np.empty((n, d + self.n_labels - 1))
+        augmented[:, :d] = X
         for position, label in enumerate(self.order):
-            proba = self.classifiers_[position].predict_proba(augmented)
+            proba = self.classifiers_[position].predict_proba(
+                augmented[:, : d + position]
+            )
             probabilities[:, label] = proba
             if position < self.n_labels - 1:
-                augmented = np.column_stack([augmented, (proba >= 0.5).astype(np.float64)])
+                augmented[:, d + position] = (proba >= 0.5).astype(np.float64)
         return probabilities
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:

@@ -1,9 +1,23 @@
 """CART decision tree with a histogram (binned) splitter.
 
 Binary classification with gini impurity.  The tree consumes pre-binned
-``uint8`` matrices (see :class:`repro.ml.binning.Binner`); split search per
-node is a vectorised ``bincount`` over candidate features, which keeps the
-pure-Python/NumPy implementation fast enough for forest training.
+``uint8`` matrices (see :class:`repro.ml.binning.Binner`) plus optional
+per-row sample weights (the forest encodes its bootstrap as integer row
+multiplicities, so no per-tree copy of the training matrix is needed).
+
+The training kernel is histogram-based in the LightGBM style:
+
+- every feature column is encoded once per tree into flat ``feature * B
+  + bin`` codes, so a node histogram is a single ``bincount`` over the
+  node's rows instead of a per-candidate Python loop over fancy-indexed
+  column copies;
+- child histograms are derived by sibling subtraction — only the smaller
+  child is re-counted, the other is ``parent - smaller``;
+- the tree grows on an explicit work-stack (no recursion), assigning
+  node ids in pre-order.
+
+Split search stays a per-node random candidate subset (``max_features``)
+evaluated with one vectorised gini sweep over ``(candidate, threshold)``.
 """
 
 from __future__ import annotations
@@ -33,27 +47,40 @@ class DecisionTreeClassifier:
         self.max_features = max_features
         self.rng = rng or np.random.default_rng()
         # Flat tree arrays, filled by fit().
-        self.feature_: list[int] = []
-        self.threshold_: list[int] = []
-        self.left_: list[int] = []
-        self.right_: list[int] = []
-        self.value_: list[float] = []
+        self.feature_: np.ndarray = np.empty(0, dtype=np.int32)
+        self.threshold_: np.ndarray = np.empty(0, dtype=np.int16)
+        self.left_: np.ndarray = np.empty(0, dtype=np.int32)
+        self.right_: np.ndarray = np.empty(0, dtype=np.int32)
+        self.value_: np.ndarray = np.empty(0, dtype=np.float64)
+        self.depth_: int = 0
 
     # -- training -----------------------------------------------------------
 
-    def fit(self, X_binned: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+    def fit(
+        self,
+        X_binned: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        n_bins: int | None = None,
+    ) -> "DecisionTreeClassifier":
         X_binned = np.asarray(X_binned, dtype=np.uint8)
         y = np.asarray(y, dtype=np.float64)
         if X_binned.ndim != 2 or y.ndim != 1 or len(y) != len(X_binned):
             raise ValueError("Bad training-set shapes")
+        if len(y) == 0:
+            raise ValueError("Empty training set")
+        if sample_weight is None:
+            sample_weight = np.ones(len(y), dtype=np.float64)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape != y.shape:
+                raise ValueError("sample_weight must align with y")
         self.n_features_ = X_binned.shape[1]
         self._n_candidates = self._resolve_max_features(self.n_features_)
-        self.feature_, self.threshold_ = [], []
-        self.left_, self.right_, self.value_ = [], [], []
         self.feature_importances_ = np.zeros(self.n_features_)
-        self._n_samples = len(y)
-        indices = np.arange(len(y), dtype=np.int64)
-        self._build(X_binned, y, indices, depth=0)
+        B = int(n_bins) if n_bins is not None else int(X_binned.max()) + 1
+        B = max(B, 2)
+        self._grow(X_binned, y, sample_weight, B)
         total = self.feature_importances_.sum()
         if total > 0:
             self.feature_importances_ /= total
@@ -68,96 +95,143 @@ class DecisionTreeClassifier:
             return max(1, min(self.max_features, n_features))
         raise ValueError(f"Bad max_features: {self.max_features!r}")
 
-    def _new_node(self) -> int:
-        node = len(self.feature_)
-        self.feature_.append(-1)
-        self.threshold_.append(0)
-        self.left_.append(-1)
-        self.right_.append(-1)
-        self.value_.append(0.0)
-        return node
+    @staticmethod
+    def _histograms(
+        codes: np.ndarray,
+        rows: np.ndarray,
+        w: np.ndarray,
+        wy: np.ndarray,
+        d: int,
+        B: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(d, B) weighted count / positive-count histograms for ``rows``."""
+        sub = np.take(codes, rows, axis=0).ravel()
+        h_all = np.bincount(sub, weights=np.repeat(w[rows], d), minlength=d * B)
+        h_pos = np.bincount(sub, weights=np.repeat(wy[rows], d), minlength=d * B)
+        return h_all.reshape(d, B), h_pos.reshape(d, B)
 
-    def _build(self, X: np.ndarray, y: np.ndarray, indices: np.ndarray, depth: int) -> int:
-        node = self._new_node()
-        labels = y[indices]
-        positive = float(labels.sum())
-        total = float(len(indices))
-        self.value_[node] = positive / total
-        if (
-            depth >= self.max_depth
-            or total < self.min_samples_split
-            or positive == 0.0
-            or positive == total
-        ):
-            return node
-        split = self._best_split(X, y, indices)
-        if split is None:
-            return node
-        feature, threshold, left_mask = split
-        # Gini-importance accounting: weighted impurity decrease.
-        labels_left = y[indices[left_mask]]
-        labels_right = y[indices[~left_mask]]
-        decrease = _gini(positive, total) - (
-            len(labels_left) / total * _gini(float(labels_left.sum()), len(labels_left))
-            + len(labels_right) / total * _gini(float(labels_right.sum()), len(labels_right))
-        )
-        self.feature_importances_[feature] += (total / self._n_samples) * max(decrease, 0.0)
-        left_indices = indices[left_mask]
-        right_indices = indices[~left_mask]
-        self.feature_[node] = feature
-        self.threshold_[node] = threshold
-        self.left_[node] = self._build(X, y, left_indices, depth + 1)
-        self.right_[node] = self._build(X, y, right_indices, depth + 1)
-        return node
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, B: int
+    ) -> None:
+        d = self.n_features_
+        # Encode every column once per tree: code = feature * B + bin.
+        codes = X.astype(np.int32)
+        codes += np.arange(d, dtype=np.int32) * B
+        wy = w * y
+        rows = np.nonzero(w)[0].astype(np.int64)
+        if rows.size == 0:
+            raise ValueError("sample_weight must select at least one row")
+        h_all, h_pos = self._histograms(codes, rows, w, wy, d, B)
+        total = float(w[rows].sum())
+        total_pos = float(wy[rows].sum())
+        self._total_weight = total
+
+        feature: list[int] = []
+        threshold: list[int] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        depth_seen = 0
+        # Entries: rows, histograms, weighted totals, depth, parent wiring.
+        stack = [(rows, h_all, h_pos, total, total_pos, 0, -1, False)]
+        while stack:
+            rows, h_all, h_pos, total, pos, depth, parent, is_left = stack.pop()
+            node = len(feature)
+            feature.append(-1)
+            threshold.append(0)
+            left.append(-1)
+            right.append(-1)
+            value.append(pos / total)
+            if parent >= 0:
+                if is_left:
+                    left[parent] = node
+                else:
+                    right[parent] = node
+            depth_seen = max(depth_seen, depth)
+            if (
+                depth >= self.max_depth
+                or total < self.min_samples_split
+                or pos == 0.0
+                or pos == total
+            ):
+                continue
+            split = self._best_split(h_all, h_pos, total, pos)
+            if split is None:
+                continue
+            f, t, gain, l_total, l_pos = split
+            feature[node] = f
+            threshold[node] = t
+            self.feature_importances_[f] += (total / self._total_weight) * max(
+                gain, 0.0
+            )
+            mask = X[rows, f] <= t
+            rows_l = rows[mask]
+            rows_r = rows[~mask]
+            r_total = total - l_total
+            r_pos = pos - l_pos
+            # Sibling subtraction: count only the smaller child, derive the
+            # other from the parent.  Weights are integral, so the
+            # subtraction is exact.
+            if rows_l.size <= rows_r.size:
+                hl_all, hl_pos = self._histograms(codes, rows_l, w, wy, d, B)
+                hr_all = h_all - hl_all
+                hr_pos = h_pos - hl_pos
+            else:
+                hr_all, hr_pos = self._histograms(codes, rows_r, w, wy, d, B)
+                hl_all = h_all - hr_all
+                hl_pos = h_pos - hr_pos
+            # Push right first so the left subtree is grown (and numbered)
+            # first, matching the old recursive pre-order.
+            stack.append((rows_r, hr_all, hr_pos, r_total, r_pos, depth + 1, node, False))
+            stack.append((rows_l, hl_all, hl_pos, l_total, l_pos, depth + 1, node, True))
+
+        self.feature_ = np.asarray(feature, dtype=np.int32)
+        self.threshold_ = np.asarray(threshold, dtype=np.int16)
+        self.left_ = np.asarray(left, dtype=np.int32)
+        self.right_ = np.asarray(right, dtype=np.int32)
+        self.value_ = np.asarray(value, dtype=np.float64)
+        self.depth_ = depth_seen
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray, indices: np.ndarray
-    ) -> tuple[int, int, np.ndarray] | None:
-        n = len(indices)
+        self, h_all: np.ndarray, h_pos: np.ndarray, total: float, total_pos: float
+    ) -> tuple[int, int, float, float, float] | None:
+        """Best (feature, threshold) among a random candidate subset.
+
+        Returns ``(feature, threshold, gain, left_total, left_pos)`` or
+        ``None`` when no candidate improves on the parent impurity.
+        """
+        d = h_all.shape[0]
         candidates = self.rng.choice(
-            self.n_features_,
-            size=min(self._n_candidates, self.n_features_),
-            replace=False,
+            d, size=min(self._n_candidates, d), replace=False
         )
-        labels = y[indices]
-        total_pos = labels.sum()
-        best_gain = 1e-12
-        best: tuple[int, int] | None = None
-        parent_impurity = _gini(total_pos, n)
-        sub = X[indices][:, candidates].astype(np.int64)
-        for pos, feature in enumerate(candidates):
-            column = sub[:, pos]
-            n_bins = int(column.max()) + 1
-            if n_bins < 2:
-                continue
-            count_all = np.bincount(column, minlength=n_bins).astype(np.float64)
-            count_pos = np.bincount(column, weights=labels, minlength=n_bins)
-            cum_all = np.cumsum(count_all)[:-1]  # left side sizes per threshold
-            cum_pos = np.cumsum(count_pos)[:-1]
-            right_all = n - cum_all
-            right_pos = total_pos - cum_pos
-            valid = (cum_all >= self.min_samples_leaf) & (
-                right_all >= self.min_samples_leaf
-            )
-            if not valid.any():
-                continue
-            with np.errstate(divide="ignore", invalid="ignore"):
-                gini_left = 1.0 - (cum_pos / cum_all) ** 2 - (1 - cum_pos / cum_all) ** 2
-                gini_right = (
-                    1.0 - (right_pos / right_all) ** 2 - (1 - right_pos / right_all) ** 2
-                )
-            weighted = (cum_all * gini_left + right_all * gini_right) / n
-            weighted[~valid] = np.inf
-            best_threshold = int(np.argmin(weighted))
-            gain = parent_impurity - weighted[best_threshold]
-            if gain > best_gain:
-                best_gain = gain
-                best = (int(feature), best_threshold, pos)
-        if best is None:
+        cum_all = np.cumsum(h_all[candidates], axis=1)[:, :-1]
+        cum_pos = np.cumsum(h_pos[candidates], axis=1)[:, :-1]
+        right_all = total - cum_all
+        right_pos = total_pos - cum_pos
+        valid = (cum_all >= self.min_samples_leaf) & (
+            right_all >= self.min_samples_leaf
+        )
+        if not valid.any():
             return None
-        feature, threshold, pos = best
-        left_mask = sub[:, pos] <= threshold
-        return feature, threshold, left_mask
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pl = cum_pos / cum_all
+            pr = right_pos / right_all
+            gini_left = 1.0 - pl * pl - (1.0 - pl) ** 2
+            gini_right = 1.0 - pr * pr - (1.0 - pr) ** 2
+            weighted = (cum_all * gini_left + right_all * gini_right) / total
+        weighted[~(valid & np.isfinite(weighted))] = np.inf
+        flat = int(np.argmin(weighted))
+        ci, t = divmod(flat, weighted.shape[1])
+        gain = _gini(total_pos, total) - float(weighted[ci, t])
+        if gain <= 1e-12:
+            return None
+        return (
+            int(candidates[ci]),
+            int(t),
+            gain,
+            float(cum_all[ci, t]),
+            float(cum_pos[ci, t]),
+        )
 
     # -- inference -----------------------------------------------------------
 

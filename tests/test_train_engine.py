@@ -1,0 +1,246 @@
+"""Tests for the parallel histogram-forest training engine.
+
+Covers the PR-2 guarantees: parallel-vs-serial bit identity, packed
+flat-array inference equality with the per-tree loop, shared-binner
+chain fast paths, and Binner edge-case behaviour.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Binner,
+    BinaryRelevance,
+    ClassifierChain,
+    PackedForest,
+    RandomForestClassifier,
+)
+from repro.ml.binning import bin_column, column_edges
+from repro.ml.forest import ForestSpec
+
+
+def make_separable(n: int = 300, d: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def assert_trees_equal(forest_a, forest_b):
+    assert len(forest_a.trees_) == len(forest_b.trees_)
+    for a, b in zip(forest_a.trees_, forest_b.trees_):
+        assert np.array_equal(a.feature_, b.feature_)
+        assert np.array_equal(a.threshold_, b.threshold_)
+        assert np.array_equal(a.left_, b.left_)
+        assert np.array_equal(a.right_, b.right_)
+        assert np.array_equal(a.value_, b.value_)
+
+
+class TestParallelBitIdentity:
+    def test_parallel_forest_bit_identical_to_serial(self):
+        X, y = make_separable()
+        serial = RandomForestClassifier(n_estimators=6, random_state=3, n_jobs=1)
+        parallel = RandomForestClassifier(n_estimators=6, random_state=3, n_jobs=2)
+        serial.fit(X, y)
+        parallel.fit(X, y)
+        assert_trees_equal(serial, parallel)
+        assert np.array_equal(serial.predict_proba(X), parallel.predict_proba(X))
+        assert np.array_equal(
+            serial.feature_importances_, parallel.feature_importances_
+        )
+
+    def test_parallel_chain_bit_identical_to_serial(self):
+        X, y = make_separable(200, d=8, seed=1)
+        Y = np.column_stack([y, (X[:, 2] > 0).astype(int)])
+        proba = []
+        for jobs in (1, 2):
+            chain = ClassifierChain(
+                2, factory=ForestSpec(n_estimators=4, random_state=5, n_jobs=jobs)
+            )
+            proba.append(chain.fit(X, Y).predict_proba(X))
+        assert np.array_equal(proba[0], proba[1])
+
+    def test_negative_n_jobs_resolves_to_cpu_count(self):
+        X, y = make_separable(80, seed=2)
+        forest = RandomForestClassifier(n_estimators=3, random_state=0, n_jobs=-1)
+        forest.fit(X, y)
+        assert len(forest.trees_) == 3
+
+    def test_forest_spec_threads_n_jobs(self):
+        spec = ForestSpec(n_estimators=3, random_state=1, n_jobs=4)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone().n_jobs == 4
+
+    def test_wrapper_n_jobs_override(self):
+        model = BinaryRelevance(2, factory=ForestSpec(n_estimators=2), n_jobs=3)
+        classifiers = model._make_classifiers()
+        assert all(clf.n_jobs == 3 for clf in classifiers)
+
+
+class TestPackedInference:
+    def test_packed_matches_per_tree_loop(self):
+        X, y = make_separable(400, seed=4)
+        forest = RandomForestClassifier(n_estimators=8, random_state=7).fit(X, y)
+        X_binned = forest.binner_.transform(X)
+        loop = np.zeros(len(X))
+        for tree in forest.trees_:
+            loop += tree.predict_proba(X_binned)
+        loop /= len(forest.trees_)
+        packed = forest.predict_proba(X)
+        assert np.allclose(loop, packed, rtol=0, atol=1e-12)
+
+    def test_packed_rebuilds_lazily(self):
+        X, y = make_separable(150, seed=5)
+        forest = RandomForestClassifier(n_estimators=4, random_state=2).fit(X, y)
+        expected = forest.predict_proba(X)
+        forest.packed_ = None  # simulate a pre-packed-layout pickle
+        assert np.array_equal(forest.predict_proba(X), expected)
+        assert isinstance(forest.packed_, PackedForest)
+
+    def test_packed_counts_and_offsets(self):
+        X, y = make_separable(120, seed=6)
+        forest = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        packed = forest.packed_
+        assert packed.n_trees_ == 5
+        assert packed.node_count == sum(t.node_count for t in forest.trees_)
+        assert packed.roots_[0] == 0
+        assert (np.diff(packed.roots_) > 0).all()
+
+    def test_packed_empty_input(self):
+        X, y = make_separable(60, seed=7)
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(X, y)
+        assert forest.predict_proba(np.zeros((0, X.shape[1]))).shape == (0,)
+
+    def test_packed_forest_survives_pickle(self):
+        X, y = make_separable(100, seed=8)
+        forest = RandomForestClassifier(n_estimators=3, random_state=9).fit(X, y)
+        clone = pickle.loads(pickle.dumps(forest))
+        assert np.array_equal(clone.predict_proba(X), forest.predict_proba(X))
+
+
+class TestSharedBinnerFastPath:
+    def test_chain_shares_base_edges(self):
+        X, y = make_separable(200, d=6, seed=9)
+        Y = np.column_stack([y, 1 - y, (X[:, 3] > 0).astype(int)])
+        chain = ClassifierChain(3, factory=ForestSpec(n_estimators=3, random_state=0))
+        chain.fit(X, Y)
+        base_edges = chain.classifiers_[0].binner_.edges_
+        for position, clf in enumerate(chain.classifiers_):
+            assert len(clf.binner_.edges_) == X.shape[1] + position
+            for col in range(X.shape[1]):
+                assert clf.binner_.edges_[col] is base_edges[col]
+
+    def test_binary_relevance_shares_one_binner(self):
+        X, y = make_separable(150, seed=10)
+        Y = np.column_stack([y, 1 - y])
+        model = BinaryRelevance(2, factory=ForestSpec(n_estimators=3, random_state=0))
+        model.fit(X, Y)
+        assert model.classifiers_[0].binner_ is model.classifiers_[1].binner_
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+
+    def test_chain_handles_degenerate_label_column(self):
+        X, y = make_separable(100, seed=11)
+        Y = np.column_stack([np.zeros_like(y), y])  # first label constant
+        chain = ClassifierChain(2, factory=ForestSpec(n_estimators=3, random_state=1))
+        chain.fit(X, Y)
+        proba = chain.predict_proba(X)
+        assert (proba[:, 0] == 0.0).all()
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_chain_fast_inference_matches_generic(self):
+        X, y = make_separable(150, d=5, seed=12)
+        Y = np.column_stack([y, (X[:, 1] > 0).astype(int)])
+        chain = ClassifierChain(2, factory=ForestSpec(n_estimators=4, random_state=3))
+        chain.fit(X, Y)
+        fast = chain.predict_proba(X)
+        # The generic float-matrix path must agree: same forests, same
+        # appended thresholded predictions, only the binning route differs.
+        n, d = X.shape
+        augmented = np.empty((n, d + 1))
+        augmented[:, :d] = X
+        expected = np.zeros((n, 2))
+        expected[:, 0] = chain.classifiers_[0].predict_proba(augmented[:, :d])
+        augmented[:, d] = (expected[:, 0] >= 0.5).astype(np.float64)
+        expected[:, 1] = chain.classifiers_[1].predict_proba(augmented)
+        assert np.allclose(fast, expected, rtol=0, atol=1e-12)
+
+
+class TestBinnerEdgeCases:
+    def test_all_nan_column_gets_empty_edges(self):
+        X = np.column_stack([np.full(20, np.nan), np.arange(20.0)])
+        binner = Binner(max_bins=8).fit(X)
+        assert binner.edges_[0].size == 0
+        assert binner.edges_[1].size > 0
+        binned = binner.transform(X)
+        assert (binned[:, 0] == 0).all()
+
+    def test_constant_column_single_bin(self):
+        X = np.column_stack([np.full(30, 7.5), np.arange(30.0)])
+        binner = Binner(max_bins=8).fit(X)
+        assert binner.n_bins_[0] == 1
+        assert (binner.transform(X)[:, 0] == 0).all()
+
+    def test_inf_values_masked_from_edges(self):
+        column = np.array([-np.inf, 1.0, 2.0, 3.0, 4.0, np.inf])
+        X = column.reshape(-1, 1)
+        binner = Binner(max_bins=4).fit(X)
+        assert np.isfinite(binner.edges_[0]).all()
+        binned = binner.transform(X)
+        assert binned[0, 0] == 0  # -inf clamps to the lowest bin
+        assert binned[-1, 0] == binner.n_bins_[0] - 1  # +inf to the highest
+
+    def test_vectorised_fit_matches_per_column_reference(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(200, 6))
+        X[rng.random(size=X.shape) < 0.05] = np.nan
+        X[:5, 2] = np.inf
+        X[:, 4] = 3.25  # constant
+        X[:, 5] = np.nan  # all-NaN
+        binner = Binner(max_bins=16).fit(X)
+        for col in range(X.shape[1]):
+            expected = column_edges(X[:, col], 16)
+            assert np.array_equal(binner.edges_[col], expected)
+
+    def test_bin_column_empty_edges(self):
+        assert (bin_column(np.array([1.0, 2.0]), np.empty(0)) == 0).all()
+
+    def test_empty_matrix(self):
+        binner = Binner(max_bins=4).fit(np.zeros((0, 3)))
+        assert all(edges.size == 0 for edges in binner.edges_)
+
+
+class TestTreeKernel:
+    def test_sample_weight_equals_materialised_bootstrap(self):
+        from repro.ml import DecisionTreeClassifier
+
+        X, y = make_separable(200, seed=14)
+        binned = Binner(max_bins=16).fit_transform(X)
+        rng = np.random.default_rng(0)
+        sample = rng.integers(0, len(y), size=len(y))
+        weight = np.bincount(sample, minlength=len(y)).astype(np.float64)
+        weighted = DecisionTreeClassifier(
+            max_features=None, rng=np.random.default_rng(1)
+        ).fit(binned, y, sample_weight=weight)
+        materialised = DecisionTreeClassifier(
+            max_features=None, rng=np.random.default_rng(1)
+        ).fit(binned[np.sort(sample)], y[np.sort(sample)])
+        assert np.array_equal(
+            weighted.predict_proba(binned), materialised.predict_proba(binned)
+        )
+
+    def test_depth_recorded(self):
+        from repro.ml import DecisionTreeClassifier
+
+        X, y = make_separable(400, seed=15)
+        binned = Binner().fit_transform(X)
+        tree = DecisionTreeClassifier(max_depth=4, max_features=None).fit(binned, y)
+        assert 0 < tree.depth_ <= 4
+
+    def test_empty_training_set_raises(self):
+        from repro.ml import DecisionTreeClassifier
+
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
