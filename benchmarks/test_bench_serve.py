@@ -1,0 +1,103 @@
+"""Service throughput and latency at 1 / 8 / 32 concurrent clients.
+
+Each round fires a fixed number of single-script ``POST /classify``
+requests from C concurrent keep-alive connections against one shared
+in-process server, and records requests/sec plus p50/p99 request latency
+in ``extra_info`` (appended to ``BENCH_serve.json`` by ``scripts/bench.sh``).
+The 32-client case also asserts the acceptance criterion: concurrent
+clients must actually share micro-batches (observed batch size > 1).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.serve import ModelRegistry, ServeClient, ServeConfig, ThreadedServer
+from repro.transform import get_transformer
+
+REQUESTS_PER_CLIENT = 4
+
+
+@pytest.fixture(scope="module")
+def serve_sources() -> list[str]:
+    base = generate_corpus(8, seed=777)
+    rng = random.Random(5)
+    minified = [
+        get_transformer("minification_simple").transform(s, rng) for s in base[:2]
+    ]
+    obfuscated = [get_transformer("global_array").transform(s, rng) for s in base[2:4]]
+    return base + minified + obfuscated
+
+
+@pytest.fixture(scope="module")
+def serve_server(detector):
+    registry = ModelRegistry(detector=detector, cache_size=4096)
+    config = ServeConfig(port=0, max_batch=32, max_wait_ms=25.0, max_queue=1024)
+    with ThreadedServer(registry, config) as server:
+        with ServeClient(port=server.port) as warmup:
+            warmup.classify(["var warm = 1; console.log(warm);"])
+        yield server
+
+
+def _drive(port: int, sources: list[str], n_clients: int, latencies: list[float]) -> int:
+    """Fire REQUESTS_PER_CLIENT requests from each of n_clients threads."""
+    import time
+
+    errors: list[Exception] = []
+
+    def client_loop(client_index: int) -> None:
+        try:
+            with ServeClient(port=port) as client:
+                for request_index in range(REQUESTS_PER_CLIENT):
+                    source = sources[(client_index + request_index) % len(sources)]
+                    t0 = time.perf_counter()
+                    results = client.classify(source)
+                    latencies.append(time.perf_counter() - t0)
+                    assert results[0]["ok"] or results[0]["error"]
+        except Exception as error:  # noqa: BLE001 - surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,)) for index in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return n_clients * REQUESTS_PER_CLIENT
+
+
+def _percentile(values: list[float], p: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(p / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@pytest.mark.parametrize("n_clients", [1, 8, 32])
+def test_bench_serve_concurrent_clients(benchmark, serve_server, serve_sources, n_clients):
+    latencies: list[float] = []
+
+    def run():
+        return _drive(serve_server.port, serve_sources, n_clients, latencies)
+
+    n_requests = benchmark(run)
+
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is not None and mean.mean:
+        benchmark.extra_info["requests_per_sec"] = round(n_requests / mean.mean, 2)
+    benchmark.extra_info["n_clients"] = n_clients
+    benchmark.extra_info["p50_ms"] = round(_percentile(latencies, 50) * 1e3, 3)
+    benchmark.extra_info["p99_ms"] = round(_percentile(latencies, 99) * 1e3, 3)
+
+    snapshot = serve_server.registry.metrics.snapshot()
+    batch_size = snapshot["histograms"]["batch_size"]
+    benchmark.extra_info["max_batch_observed"] = batch_size["max"]
+    if n_clients >= 32:
+        # Acceptance: concurrent clients must share micro-batches.
+        assert batch_size["max"] > 1, f"no micro-batching observed: {batch_size}"

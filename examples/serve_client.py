@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Hit the online detection service over HTTP.
+
+Two modes:
+
+- ``python examples/serve_client.py http://HOST:PORT`` — talk to an
+  already-running ``python -m repro serve`` instance;
+- ``python examples/serve_client.py`` — self-contained demo: trains a
+  small detector, starts the service on a free port in-process, then
+  exercises every endpoint (classify, model, hot-reload, metrics).
+
+The same calls with curl:
+
+    curl -s localhost:8377/healthz
+    curl -s localhost:8377/model
+    curl -s -X POST localhost:8377/classify \
+         -d '{"script": "var x = 1;"}'
+    curl -s -X POST localhost:8377/admin/reload -d '{}'
+    curl -s localhost:8377/metrics
+"""
+
+import json
+import random
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from urllib.parse import urlparse
+
+from repro import TransformationDetector
+from repro.corpus.generator import generate_corpus
+from repro.serve import ModelRegistry, ServeClient, ServeConfig, ThreadedServer
+from repro.transform import get_transformer
+
+
+def show(title: str, payload) -> None:
+    print(f"\n== {title}")
+    print(json.dumps(payload, indent=2)[:1200])
+
+
+def main() -> None:
+    server = None
+    if len(sys.argv) > 1:
+        url = urlparse(sys.argv[1])
+        host, port = url.hostname or "127.0.0.1", url.port or 8377
+        model_path = None
+    else:
+        print("(no URL given; training a small detector and serving in-process)")
+        detector = TransformationDetector(n_estimators=8, random_state=0)
+        detector.train(n_regular=20, seed=0)
+        model_path = Path(tempfile.mkdtemp(prefix="repro_serve_demo_")) / "detector.pkl"
+        detector.save(model_path)
+        registry = ModelRegistry(path=str(model_path))
+        server = ThreadedServer(registry, ServeConfig(port=0, max_wait_ms=25)).start()
+        host, port = "127.0.0.1", server.port
+        print(f"(service listening on http://{host}:{port})")
+
+    client = ServeClient(host=host, port=port)
+    show("GET /healthz", client.healthz())
+    show("GET /model", client.model())
+
+    rng = random.Random(7)
+    regular = generate_corpus(3, seed=99)
+    scripts = [
+        regular[0],
+        get_transformer("minification_simple").transform(regular[1], rng),
+        get_transformer("global_array").transform(regular[2], rng),
+        "function ((( not javascript",  # -> structured per-file error, not a 500
+    ]
+
+    # Concurrent single-script requests: the server folds them into one
+    # micro-batch (watch histograms.batch_size in /metrics).
+    def classify_one(script: str, out: list, index: int) -> None:
+        with ServeClient(host=host, port=port) as local:
+            out[index] = local.classify(script)[0]
+
+    results: list = [None] * len(scripts)
+    threads = [
+        threading.Thread(target=classify_one, args=(script, results, index))
+        for index, script in enumerate(scripts)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    show("POST /classify (4 concurrent clients)", results)
+
+    if model_path is not None:
+        show("POST /admin/reload", client.reload())
+
+    metrics = client.metrics()
+    show("GET /metrics", metrics)
+    batch = metrics["histograms"].get("batch_size", {})
+    print(
+        f"\nmicro-batching: {metrics['counters'].get('scripts_total', 0)} scripts "
+        f"in {metrics['counters'].get('batches_total', 0)} batches "
+        f"(largest {batch.get('max', 0):.0f})"
+    )
+
+    client.close()
+    if server is not None:
+        server.stop()
+        print("(service drained and stopped)")
+
+
+if __name__ == "__main__":
+    main()

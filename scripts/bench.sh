@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Run the benchmark suite and append one JSON record per run to
-# BENCH_train.json, building the perf trajectory across PRs.
+# Run the benchmark suite and append one JSON record per run to the
+# per-suite history files, building the perf trajectory across PRs:
+#   BENCH_serve.json — benchmarks/test_bench_serve.py (service latency/throughput)
+#   BENCH_train.json — everything else
 #
 # Usage:
 #   scripts/bench.sh                         # full benchmarks/ directory
 #   scripts/bench.sh benchmarks/test_bench_train.py   # one suite
+#   scripts/bench.sh benchmarks/test_bench_serve.py   # serving suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,23 +30,28 @@ raw = json.load(open(sys.argv[1]))
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip()
-record = {
-    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    "commit": commit or None,
-    "benchmarks": [
-        {
-            "name": bench["name"],
-            "mean_s": round(bench["stats"]["mean"], 6),
-            "stddev_s": round(bench["stats"]["stddev"], 6),
-            "rounds": bench["stats"]["rounds"],
-            **({"extra": bench["extra_info"]} if bench.get("extra_info") else {}),
-        }
-        for bench in raw.get("benchmarks", [])
-    ],
-}
-path = pathlib.Path("BENCH_train.json")
-history = json.loads(path.read_text()) if path.exists() else []
-history.append(record)
-path.write_text(json.dumps(history, indent=2) + "\n")
-print(f"[bench] appended {len(record['benchmarks'])} entries to {path}")
+timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+# Route each benchmark to its per-suite history file.
+suites = {"BENCH_serve.json": [], "BENCH_train.json": []}
+for bench in raw.get("benchmarks", []):
+    entry = {
+        "name": bench["name"],
+        "mean_s": round(bench["stats"]["mean"], 6),
+        "stddev_s": round(bench["stats"]["stddev"], 6),
+        "rounds": bench["stats"]["rounds"],
+        **({"extra": bench["extra_info"]} if bench.get("extra_info") else {}),
+    }
+    out = "BENCH_serve.json" if "test_bench_serve" in bench["fullname"] else "BENCH_train.json"
+    suites[out].append(entry)
+
+for out, benches in suites.items():
+    if not benches:
+        continue
+    record = {"timestamp": timestamp, "commit": commit or None, "benchmarks": benches}
+    path = pathlib.Path(out)
+    history = json.loads(path.read_text()) if path.exists() else []
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"[bench] appended {len(benches)} entries to {path}")
 PY

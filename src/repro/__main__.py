@@ -4,10 +4,11 @@ Usage::
 
     python -m repro train --out detector.pkl [--n-regular 60] [--seed 0]
     python -m repro classify --model detector.pkl file1.js [file2.js ...]
+    python -m repro serve --model detector.pkl --port 8377
     python -m repro transform --technique minification_simple file.js
     python -m repro experiments [--scale small]
 
-``classify`` without ``--model`` trains a small detector on the fly.
+``classify``/``serve`` without ``--model`` train a small detector on the fly.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 from pathlib import Path
 
 from repro.corpus.filters import admit
@@ -39,9 +41,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _load_or_train(model_path: str | None) -> TransformationDetector:
     if model_path:
         return TransformationDetector.load(model_path)
-    print("no --model given; training a small detector (about a minute) ...")
+    print(
+        "warning: no --model given; training a small throwaway detector "
+        "(it is discarded on exit — run `python -m repro train --out "
+        "detector.pkl` once and pass --model to skip this step) ...",
+        file=sys.stderr,
+    )
+    t0 = time.perf_counter()
     detector = TransformationDetector(n_estimators=12, random_state=0)
     detector.train(n_regular=30, seed=0)
+    print(
+        f"warning: throwaway detector trained in {time.perf_counter() - t0:.1f}s",
+        file=sys.stderr,
+    )
     return detector
 
 
@@ -76,6 +88,35 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             print(f"{name}: {result}")
     print(f"[batch] {batch.stats}", file=sys.stderr)
     return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import ServeConfig, serve_forever
+
+    if args.model:
+        registry = ModelRegistry(
+            path=args.model, n_workers=args.workers, cache_size=args.cache_size
+        )
+    else:
+        registry = ModelRegistry(
+            detector=_load_or_train(None),
+            n_workers=args.workers,
+            cache_size=args.cache_size,
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.queue_size,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        request_timeout=args.request_timeout,
+        k=args.k,
+        threshold=args.threshold,
+    )
+    serve_forever(registry, config)
+    return 0
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
@@ -134,6 +175,40 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum level-2 confidence for a reported technique",
     )
     classify.set_defaults(func=_cmd_classify)
+
+    serve = commands.add_parser(
+        "serve", help="serve /classify over HTTP with micro-batched inference"
+    )
+    serve.add_argument("--model", default=None, help="detector artifact (from `train`)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377, help="0 picks a free port")
+    serve.add_argument(
+        "--max-batch", type=int, default=16, help="scripts per inference batch"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        help="micro-batch flush deadline once the first script arrives",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=512, help="queued scripts before 429"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="feature-extraction process count"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, help="LRU feature-cache entries"
+    )
+    serve.add_argument(
+        "--max-body-mb", type=int, default=16, help="request body cap (MiB)"
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=60.0, help="seconds before 503"
+    )
+    serve.add_argument("--k", type=int, default=DEFAULT_K)
+    serve.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    serve.set_defaults(func=_cmd_serve)
 
     transform = commands.add_parser("transform", help="apply techniques to a file")
     transform.add_argument("file")

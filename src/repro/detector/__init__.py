@@ -24,7 +24,11 @@ from repro.detector.labels import (
 )
 from repro.detector.level1 import Level1Detector
 from repro.detector.level2 import Level2Detector
-from repro.detector.pipeline import DetectionResult, TransformationDetector
+from repro.detector.pipeline import (
+    DetectionResult,
+    ModelFormatError,
+    TransformationDetector,
+)
 from repro.detector.training import TrainingData
 
 __all__ = [
@@ -36,6 +40,7 @@ __all__ = [
     "BatchStats",
     "DetectionError",
     "DetectionResult",
+    "ModelFormatError",
     "Level1Detector",
     "Level2Detector",
     "TrainingData",

@@ -61,6 +61,8 @@ class BatchStats:
     cache_hits: int = 0
     df_timeouts: int = 0
     wall_time: float = 0.0
+    extract_time: float = 0.0
+    predict_time: float = 0.0
     n_workers: int = 1
 
     def __str__(self) -> str:
@@ -151,6 +153,10 @@ class BatchInferenceEngine:
     chunk_size:
         Sources per worker dispatch; ``None`` auto-sizes to roughly four
         chunks per worker.
+    observer:
+        Optional callable invoked with the final :class:`BatchStats` after
+        every :meth:`classify` run (the serving stack wires the metrics
+        registry here).  Observer failures never fail a batch.
     """
 
     def __init__(
@@ -160,6 +166,7 @@ class BatchInferenceEngine:
         cache_size: int = 1024,
         max_source_bytes: int | None = MAX_BYTES,
         chunk_size: int | None = None,
+        observer: Any | None = None,
     ) -> None:
         self.detector = detector
         self.paired = PairedFeatureExtractor(
@@ -169,6 +176,7 @@ class BatchInferenceEngine:
         self.cache_size = max(0, int(cache_size))
         self.max_source_bytes = max_source_bytes
         self.chunk_size = chunk_size
+        self.observer = observer
         self._cache: OrderedDict[str, _Outcome] = OrderedDict()
 
     # -- cache ---------------------------------------------------------------
@@ -274,6 +282,7 @@ class BatchInferenceEngine:
             else np.zeros((0, self.paired.level2.n_features), dtype=np.float64)
         )
         stats.wall_time = time.perf_counter() - t0
+        stats.extract_time = stats.wall_time
         return BatchFeatures(
             X1=X1,
             X2=X2,
@@ -302,6 +311,7 @@ class BatchInferenceEngine:
                 level1=set(), transformed=False, techniques=[], error=error
             )
 
+        t_predict = time.perf_counter()
         if features.ok_indices:
             proba1 = self.detector.level1.predict_proba_features(features.X1)
             label_sets = Level1Detector.labels_from_proba(proba1)
@@ -327,5 +337,11 @@ class BatchInferenceEngine:
                 )
 
         stats = features.stats
+        stats.predict_time = time.perf_counter() - t_predict
         stats.wall_time = time.perf_counter() - t0
+        if self.observer is not None:
+            try:
+                self.observer(stats)
+            except Exception:  # noqa: BLE001 - observability must not fail a batch
+                pass
         return BatchResult(results=results, stats=stats)

@@ -17,6 +17,24 @@ from repro.detector.batch import BatchInferenceEngine, BatchResult, DetectionErr
 from repro.detector.level1 import Level1Detector
 from repro.detector.level2 import Level2Detector
 from repro.detector.training import TrainingData
+from repro.features.extractor import FeatureExtractor
+
+#: Bump when the pickled artifact layout (or the feature spaces it embeds)
+#: changes incompatibly; ``load()`` refuses other versions up front.
+MODEL_FORMAT = "repro-detector"
+MODEL_FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """A model artifact that cannot be served by this build.
+
+    Raised by :meth:`TransformationDetector.load` (and therefore by the
+    serving model registry) when an artifact is not a detector pickle,
+    carries a different format version, or records feature-space
+    dimensions that this build's extractors no longer produce — instead
+    of letting the mismatch surface as a shape error deep inside
+    ``predict``.
+    """
 
 
 @dataclass
@@ -143,14 +161,58 @@ class TransformationDetector:
     # -- persistence --------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Pickle the trained detector to ``path``."""
+        """Pickle the trained detector to ``path``, stamped with the
+        artifact format version and both feature-space dimensions."""
+        payload = {
+            "format": MODEL_FORMAT,
+            "format_version": MODEL_FORMAT_VERSION,
+            "level1_features": self.level1.extractor.n_features,
+            "level2_features": self.level2.extractor.n_features,
+            "detector": self,
+        }
         with open(path, "wb") as handle:
-            pickle.dump(self, handle)
+            pickle.dump(payload, handle)
 
     @staticmethod
     def load(path: str | Path) -> "TransformationDetector":
-        with open(path, "rb") as handle:
-            detector = pickle.load(handle)
+        """Unpickle a detector, validating the format stamp.
+
+        Raises :class:`ModelFormatError` for non-detector pickles,
+        format-version mismatches, and artifacts whose recorded feature
+        dimensions disagree with what this build's extractors produce
+        (e.g. the static feature list changed since the model was
+        trained).  Pre-stamp artifacts (a bare pickled detector) are
+        still accepted.
+        """
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
+            raise ModelFormatError(f"{path} is not a readable detector pickle: {error}")
+        if isinstance(payload, TransformationDetector):
+            return payload  # legacy pre-stamp artifact
+        if not isinstance(payload, dict) or payload.get("format") != MODEL_FORMAT:
+            raise ModelFormatError(f"{path} does not contain a TransformationDetector")
+        version = payload.get("format_version")
+        if version != MODEL_FORMAT_VERSION:
+            raise ModelFormatError(
+                f"{path} has format version {version!r}; this build expects "
+                f"{MODEL_FORMAT_VERSION} — retrain or convert the artifact"
+            )
+        detector = payload.get("detector")
         if not isinstance(detector, TransformationDetector):
-            raise TypeError(f"{path} does not contain a TransformationDetector")
+            raise ModelFormatError(f"{path} does not contain a TransformationDetector")
+        for level, extractor, recorded in (
+            (1, detector.level1.extractor, payload.get("level1_features")),
+            (2, detector.level2.extractor, payload.get("level2_features")),
+        ):
+            expected = FeatureExtractor(
+                level=level, ngram_dims=extractor.ngram_dims
+            ).n_features
+            if recorded != expected:
+                raise ModelFormatError(
+                    f"{path} records {recorded} level-{level} features but this "
+                    f"build extracts {expected} — feature spaces have diverged; "
+                    "retrain the model"
+                )
         return detector

@@ -13,7 +13,7 @@ from repro.corpus.datasets import Script
 from repro.detector.batch import BatchInferenceEngine
 from repro.detector.labels import LEVEL2_LABELS
 from repro.detector.level1 import Level1Detector
-from repro.detector.pipeline import TransformationDetector
+from repro.detector.pipeline import ModelFormatError, TransformationDetector
 from repro.detector.training import TrainingData
 
 
@@ -82,7 +82,7 @@ class ExperimentContext:
             if path.exists():
                 try:
                     detector = TransformationDetector.load(path)
-                except (EOFError, pickle.UnpicklingError, AttributeError, TypeError):
+                except (ModelFormatError, EOFError, pickle.UnpicklingError, AttributeError, TypeError):
                     path.unlink(missing_ok=True)  # corrupt cache: retrain
                 else:
                     context = cls.__new__(cls)

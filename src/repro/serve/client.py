@@ -1,0 +1,106 @@
+"""Small blocking client for the detection service (stdlib ``http.client``).
+
+Keeps one keep-alive connection per instance and reconnects transparently
+when the server (or an idle timeout) closed it.  ``request()`` returns the
+raw ``(status, payload)`` pair; the convenience wrappers raise
+:class:`ServeAPIError` on non-2xx answers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class ServeAPIError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('code', 'error')} — {error.get('message', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk to a running ``python -m repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+        """One round-trip; returns ``(status, decoded JSON body)``."""
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # Stale keep-alive connection: reconnect once.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": raw.decode("utf-8", errors="replace")}
+        if response.will_close:
+            self.close()
+        return response.status, decoded
+
+    def _checked(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, decoded = self.request(method, path, payload)
+        if status >= 300:
+            raise ServeAPIError(status, decoded)
+        return decoded
+
+    # -- API -------------------------------------------------------------------
+
+    def classify(self, scripts: list[str] | str) -> list[dict]:
+        """Classify one script or a list; returns per-script result dicts."""
+        if isinstance(scripts, str):
+            scripts = [scripts]
+        return self._checked("POST", "/classify", {"scripts": scripts})["results"]
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    def model(self) -> dict:
+        return self._checked("GET", "/model")
+
+    def reload(self, path: str | None = None) -> dict:
+        return self._checked(
+            "POST", "/admin/reload", {"path": path} if path else {}
+        )

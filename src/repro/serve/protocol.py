@@ -1,0 +1,156 @@
+"""Minimal HTTP/1.1 over asyncio streams (no ``http.server``).
+
+The service speaks just enough HTTP for a JSON API: request-line +
+headers + ``Content-Length`` bodies, keep-alive connections, and hard
+caps on every dimension an untrusted client controls (request-line
+length, header block size, body size).  Violations raise
+:class:`ProtocolError`, which carries the HTTP status to answer with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Caps on client-controlled input (bytes).
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+DEFAULT_MAX_BODY = 16 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A client error that maps onto one HTTP response."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (400 on anything else)."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, "bad_json", f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "bad_json", "request body must be a JSON object")
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY
+) -> Request | None:
+    """Parse one request from the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for malformed or oversized input and
+    lets ``asyncio.IncompleteReadError`` (mid-request disconnect) surface
+    to the connection handler.
+    """
+    line = await reader.readline()
+    if not line:
+        return None  # client closed between requests
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError(400, "request_line_too_long", "request line exceeds 8 KiB")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ProtocolError(400, "bad_request_line", f"malformed request line: {parts!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(400, "bad_http_version", f"unsupported version {version}")
+    path = target.split("?", 1)[0]
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise ProtocolError(400, "truncated_headers", "connection closed mid-headers")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise ProtocolError(400, "headers_too_large", "header block exceeds 32 KiB")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, "bad_header", f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(501, "chunked_unsupported", "chunked bodies are not supported")
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ProtocolError(400, "bad_content_length", f"invalid Content-Length {length_header!r}")
+        if length < 0:
+            raise ProtocolError(400, "bad_content_length", "negative Content-Length")
+        if length > max_body:
+            # Answer 413 without reading the payload; the connection is
+            # closed afterwards so the unread body never confuses parsing.
+            raise ProtocolError(413, "body_too_large", f"body of {length} bytes exceeds limit of {max_body}")
+        if length:
+            body = await reader.readexactly(length)
+    return Request(method=method, path=path, version=version, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    payload: dict | None = None,
+    *,
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize a JSON response (always ``Content-Length``-framed)."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_payload(code: str, message: str) -> dict:
+    """The uniform JSON error envelope."""
+    return {"error": {"code": code, "message": message}}

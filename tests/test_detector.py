@@ -198,10 +198,47 @@ class TestPipelineFacade:
     def test_load_wrong_type_raises(self, tmp_path):
         import pickle
 
+        from repro.detector.pipeline import ModelFormatError
+
         path = tmp_path / "bogus.pkl"
         path.write_bytes(pickle.dumps({"not": "a detector"}))
-        with pytest.raises(TypeError):
+        with pytest.raises(ModelFormatError):
             TransformationDetector.load(path)
+
+    def test_load_rejects_format_version_mismatch(self, trained_detector, tmp_path):
+        import pickle
+
+        from repro.detector.pipeline import MODEL_FORMAT_VERSION, ModelFormatError
+
+        path = tmp_path / "detector.pkl"
+        trained_detector.save(path)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["format_version"] == MODEL_FORMAT_VERSION
+        payload["format_version"] = MODEL_FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ModelFormatError, match="format version"):
+            TransformationDetector.load(path)
+
+    def test_load_rejects_feature_dim_mismatch(self, trained_detector, tmp_path):
+        import pickle
+
+        from repro.detector.pipeline import ModelFormatError
+
+        path = tmp_path / "detector.pkl"
+        trained_detector.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["level2_features"] = payload["level2_features"] + 7
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ModelFormatError, match="feature spaces have diverged"):
+            TransformationDetector.load(path)
+
+    def test_load_accepts_legacy_bare_pickle(self, trained_detector, tmp_path):
+        import pickle
+
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps(trained_detector))
+        loaded = TransformationDetector.load(path)
+        assert isinstance(loaded, TransformationDetector)
 
 
 class TestGeneralization:

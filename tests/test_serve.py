@@ -1,0 +1,355 @@
+"""End-to-end tests for the online detection service.
+
+Every test talks to a real server bound to an ephemeral port on
+127.0.0.1 through real sockets (``ServeClient`` wraps ``http.client``).
+Determinism for the concurrency tests comes from a *gated* engine whose
+``classify`` blocks on a ``threading.Event``: while the gate is shut the
+single inference thread is busy, so follow-up requests pile into the
+bounded queue exactly as they would under production load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.detector.batch import BatchInferenceEngine
+from repro.serve import (
+    MetricsRegistry,
+    ModelRegistry,
+    ServeAPIError,
+    ServeClient,
+    ServeConfig,
+    ThreadedServer,
+)
+
+VALID = "var total = 0; function add(a, b) { return a + b; } total = add(1, 2);"
+VALID2 = "function greet(name) { return 'hi ' + name; } console.log(greet('x'));"
+BROKEN = "function ((( not javascript"
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.02) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached in time")
+
+
+class GatedEngine(BatchInferenceEngine):
+    """Engine whose classify() blocks until the test opens the gate."""
+
+    def __init__(self, detector, gate: threading.Event, **kwargs) -> None:
+        super().__init__(detector, **kwargs)
+        self.gate = gate
+
+    def classify(self, sources, k=4, threshold=0.10):
+        assert self.gate.wait(timeout=30), "test gate never opened"
+        return super().classify(sources, k=k, threshold=threshold)
+
+
+@pytest.fixture()
+def server(trained_detector):
+    registry = ModelRegistry(detector=trained_detector)
+    with ThreadedServer(registry, ServeConfig(port=0, max_wait_ms=30)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+def gated_server(trained_detector, gate, **config_kwargs):
+    registry = ModelRegistry(
+        detector=trained_detector,
+        engine_factory=lambda det: GatedEngine(det, gate),
+    )
+    return ThreadedServer(registry, ServeConfig(port=0, **config_kwargs))
+
+
+class TestLifecycle:
+    def test_startup_healthz_model_shutdown(self, trained_detector):
+        registry = ModelRegistry(detector=trained_detector)
+        srv = ThreadedServer(registry, ServeConfig(port=0)).start()
+        try:
+            with ServeClient(port=srv.port) as c:
+                health = c.healthz()
+                assert health["status"] == "ok"
+                assert health["model_version"] == 1
+                model = c.model()
+                assert model["source"] == "<in-memory>"
+                assert model["level1_features"] == (
+                    trained_detector.level1.extractor.n_features
+                )
+        finally:
+            srv.stop()
+        assert not srv._thread.is_alive()
+        # the socket is really gone after drain
+        with pytest.raises(ConnectionError):
+            ServeClient(port=srv.port, timeout=2).healthz()
+
+    def test_registry_rejects_bad_artifact(self, tmp_path):
+        from repro.detector.pipeline import ModelFormatError
+
+        path = tmp_path / "bogus.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(ModelFormatError):
+            ModelRegistry(path=str(path))
+
+
+class TestClassify:
+    def test_single_and_faulty_scripts(self, client):
+        results = client.classify([VALID, BROKEN])
+        assert results[0]["ok"] is True
+        assert results[0]["model_version"] == 1
+        assert isinstance(results[0]["level1"], list)
+        assert results[1]["ok"] is False
+        assert results[1]["error"]["kind"] == "parse"
+        assert "message" in results[1]["error"]
+
+    def test_concurrent_clients_are_microbatched(self, trained_detector):
+        gate = threading.Event()
+        srv = gated_server(trained_detector, gate, max_wait_ms=50, max_batch=16)
+        srv.start()
+        try:
+            sources = [f"var v{i} = {i}; console.log(v{i} + {i});" for i in range(6)]
+            results: list = [None] * len(sources)
+
+            def hit(index: int) -> None:
+                with ServeClient(port=srv.port) as c:
+                    results[index] = c.classify(sources[index])[0]
+
+            # Plug the inference thread with one request, pile up six more
+            # concurrently, then open the gate: they must flush together.
+            with ServeClient(port=srv.port) as warm:
+                warm_thread = threading.Thread(target=lambda: warm.classify(VALID))
+                warm_thread.start()
+                metrics = srv.registry.metrics
+                wait_until(lambda: metrics.gauge("inference_busy") == 1)
+                threads = [
+                    threading.Thread(target=hit, args=(i,)) for i in range(len(sources))
+                ]
+                for thread in threads:
+                    thread.start()
+                wait_until(lambda: metrics.gauge("queue_depth") >= len(sources))
+                gate.set()
+                warm_thread.join(30)
+                for thread in threads:
+                    thread.join(30)
+
+            assert all(r is not None and r["ok"] for r in results)
+            with ServeClient(port=srv.port) as c:
+                hist = c.metrics()["histograms"]["batch_size"]
+            assert hist["max"] >= len(sources)  # concurrent requests shared a batch
+        finally:
+            gate.set()
+            srv.stop()
+
+    def test_request_timeout_returns_503(self, trained_detector):
+        gate = threading.Event()
+        srv = gated_server(trained_detector, gate, request_timeout=0.3)
+        srv.start()
+        try:
+            with ServeClient(port=srv.port) as c:
+                status, body = c.request("POST", "/classify", {"script": VALID})
+            assert status == 503
+            assert body["error"]["code"] == "timeout"
+        finally:
+            gate.set()
+            srv.stop()
+
+
+class TestBackpressure:
+    def test_queue_overflow_answers_429(self, trained_detector):
+        gate = threading.Event()
+        srv = gated_server(trained_detector, gate, max_queue=2, max_batch=1)
+        srv.start()
+        try:
+            metrics = srv.registry.metrics
+            blocked: list = []
+
+            def blocking_hit() -> None:
+                with ServeClient(port=srv.port) as c:
+                    blocked.append(c.classify(VALID)[0])
+
+            # One request occupies the (gated) inference thread ...
+            first = threading.Thread(target=blocking_hit)
+            first.start()
+            wait_until(lambda: metrics.gauge("inference_busy") == 1)
+            # ... two more fill the bounded queue ...
+            fillers = [threading.Thread(target=blocking_hit) for _ in range(2)]
+            for thread in fillers:
+                thread.start()
+            wait_until(lambda: metrics.gauge("queue_depth") >= 2)
+            # ... so the next one must be rejected with 429, not crash.
+            with ServeClient(port=srv.port) as c:
+                status, body = c.request("POST", "/classify", {"script": VALID})
+                assert status == 429
+                assert body["error"]["code"] == "queue_full"
+                with pytest.raises(ServeAPIError) as excinfo:
+                    c.classify(VALID)
+                assert excinfo.value.status == 429
+            assert metrics.counter("queue_rejections_total") >= 2
+            gate.set()
+            first.join(30)
+            for thread in fillers:
+                thread.join(30)
+            # queued requests were served once capacity freed up
+            assert len(blocked) == 3 and all(r["ok"] for r in blocked)
+        finally:
+            gate.set()
+            srv.stop()
+
+
+class TestHotReload:
+    def test_reload_under_load_drains_old_model(self, trained_detector, tmp_path):
+        artifact = tmp_path / "detector.pkl"
+        trained_detector.save(artifact)
+        gate = threading.Event()
+        registry = ModelRegistry(
+            path=str(artifact),
+            engine_factory=lambda det: GatedEngine(det, gate),
+        )
+        srv = ThreadedServer(registry, ServeConfig(port=0)).start()
+        try:
+            in_flight: list = []
+
+            def hit() -> None:
+                with ServeClient(port=srv.port) as c:
+                    in_flight.append(c.classify(VALID)[0])
+
+            # An in-flight batch pins model v1 ...
+            worker = threading.Thread(target=hit)
+            worker.start()
+            wait_until(lambda: registry.metrics.gauge("inference_busy") == 1)
+            assert registry.current.refs == 1
+
+            # ... reload swaps to v2 while v1 is still running.
+            with ServeClient(port=srv.port) as c:
+                info = c.reload()
+                assert info["new"]["version"] == 2
+                assert info["old"] == {"version": 1, "draining_batches": 1}
+                assert c.model()["version"] == 2
+
+                gate.set()
+                worker.join(30)
+                # the in-flight request finished on the model it started with
+                assert in_flight[0]["ok"] and in_flight[0]["model_version"] == 1
+                # new requests ride the new model
+                assert c.classify(VALID2)[0]["model_version"] == 2
+                assert registry.metrics.counter("models_drained_total") == 1
+        finally:
+            gate.set()
+            srv.stop()
+
+    def test_reload_bad_artifact_keeps_serving(self, server, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"garbage")
+        with ServeClient(port=server.port) as c:
+            status, body = c.request("POST", "/admin/reload", {"path": str(bad)})
+            assert status == 409
+            assert body["error"]["code"] == "model_format"
+            # current model is untouched and still answering
+            assert c.model()["version"] == 1
+            assert c.classify(VALID)[0]["ok"]
+
+    def test_reload_without_path_for_in_memory_model(self, client):
+        status, body = client.request("POST", "/admin/reload", {})
+        assert status == 409
+        assert "no artifact path" in body["error"]["message"]
+
+
+class TestMalformedInput:
+    def test_invalid_json_is_400(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        connection.request(
+            "POST", "/classify", body=b"{not json", headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        assert b"bad_json" in response.read()
+        connection.close()
+
+    def test_missing_and_malformed_fields(self, client):
+        for payload, code in [
+            ({}, "missing_field"),
+            ({"scripts": []}, "bad_field"),
+            ({"scripts": "not-a-list"}, "bad_field"),
+            ({"scripts": [1, 2]}, "bad_field"),
+        ]:
+            status, body = client.request("POST", "/classify", payload)
+            assert status == 400
+            assert body["error"]["code"] == code
+        # service still healthy afterwards
+        assert client.classify(VALID)[0]["ok"]
+
+    def test_oversized_body_is_413(self, trained_detector):
+        registry = ModelRegistry(detector=trained_detector)
+        config = ServeConfig(port=0, max_body_bytes=10_000)
+        with ThreadedServer(registry, config) as srv:
+            with ServeClient(port=srv.port) as c:
+                status, body = c.request(
+                    "POST", "/classify", {"script": "x" * 20_000}
+                )
+                assert status == 413
+                assert body["error"]["code"] == "body_too_large"
+
+    def test_too_many_scripts_is_413(self, trained_detector):
+        registry = ModelRegistry(detector=trained_detector)
+        config = ServeConfig(port=0, max_scripts_per_request=3)
+        with ThreadedServer(registry, config) as srv:
+            with ServeClient(port=srv.port) as c:
+                status, body = c.request(
+                    "POST", "/classify", {"scripts": ["var a;"] * 4}
+                )
+                assert status == 413
+                assert body["error"]["code"] == "too_many_scripts"
+
+    def test_unknown_route_and_wrong_method(self, client):
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("GET", "/classify")[0] == 405
+        assert client.request("POST", "/metrics")[0] == 405
+
+    def test_garbage_request_line(self, server):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(b"COMPLETE GARBAGE\r\n\r\n")
+            answer = sock.recv(4096)
+        assert answer.startswith(b"HTTP/1.1 400")
+
+
+class TestMetrics:
+    def test_counters_and_histograms_populate(self, client):
+        client.classify([VALID, BROKEN, VALID])  # VALID twice -> a cache hit
+        snapshot = client.metrics()
+        counters = snapshot["counters"]
+        assert counters["scripts_total"] >= 3
+        assert counters["script_errors_total"] >= 1
+        assert counters["cache_hits_total"] >= 1
+        assert counters["batches_total"] >= 1
+        assert counters["responses_200"] >= 1
+        for name in ("batch_size", "batch_wall_s", "extract_s", "predict_s", "request_latency_s"):
+            assert snapshot["histograms"][name]["count"] >= 1, name
+        for percentile in ("p50", "p90", "p99"):
+            assert snapshot["histograms"]["request_latency_s"][percentile] >= 0.0
+        assert snapshot["gauges"]["model_version"] == 1
+        assert snapshot["uptime_s"] >= 0.0
+
+    def test_engine_observer_feeds_registry_metrics(self, trained_detector):
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(detector=trained_detector, metrics=metrics)
+        registry.current.engine.classify([VALID, BROKEN])
+        assert metrics.counter("batches_total") == 1
+        assert metrics.counter("scripts_total") == 2
+        assert metrics.counter("script_errors_total") == 1
+        stats = metrics.snapshot()["histograms"]
+        assert stats["extract_s"]["count"] == 1
+        assert stats["predict_s"]["count"] == 1
