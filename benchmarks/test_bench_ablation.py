@@ -8,9 +8,6 @@
 
 import random
 
-import numpy as np
-
-from repro.detector.labels import LEVEL2_LABELS
 from repro.detector.level2 import Level2Detector
 from repro.ml.metrics import exact_match_accuracy, thresholded_top_k, wrong_and_missing
 

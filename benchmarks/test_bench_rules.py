@@ -1,0 +1,104 @@
+"""Signature-engine throughput: staged triage vs full feature extraction.
+
+The point of the rules-only triage path is that obvious transformations
+(minified layout, hex-renamed identifiers) are decided from the text or
+token stream without parsing, building flow graphs, or extracting the
+full feature vector.  These benches record both absolute throughput and
+the measured triage speedup in ``extra_info`` so the BENCH_rules.json
+history tracks whether the staged short-circuit keeps paying for itself.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.detector.batch import BatchInferenceEngine
+from repro.rules import RuleEngine
+from repro.transform import get_transformer
+
+
+@pytest.fixture(scope="module")
+def triage_sources() -> list[str]:
+    """A mixed stream leaning obvious: what a crawler triage pass sees."""
+    base = generate_corpus(6, seed=654)
+    rng = random.Random(13)
+    minified = [
+        get_transformer("minification_simple").transform(s, rng) for s in base[:3]
+    ]
+    renamed = [
+        get_transformer("identifier_obfuscation").transform(s, rng) for s in base[3:5]
+    ]
+    arrays = [get_transformer("global_array").transform(s, rng) for s in base[5:]]
+    return base + minified + renamed + arrays
+
+
+def _throughput(benchmark, n_files: int) -> float:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is None or not mean.mean:
+        return 0.0
+    rate = round(n_files / mean.mean, 2)
+    benchmark.extra_info["files_per_sec"] = rate
+    return rate
+
+
+def _time_full_extraction(detector, sources: list[str]) -> float:
+    """Wall-clock for the full extract+predict path over one pass."""
+    import time
+
+    engine = BatchInferenceEngine(detector, n_workers=1, cache_size=0)
+    start = time.perf_counter()
+    batch = engine.classify(sources)
+    elapsed = time.perf_counter() - start
+    assert batch.stats.errors == 0
+    return elapsed
+
+
+def test_bench_rules_only_triage(benchmark, detector, triage_sources):
+    """Model-free staged triage vs full extraction on the same stream.
+
+    ``extra_info["speedup_vs_full"]`` is the acceptance number: the
+    rules-only path must be >= 5x faster than full feature extraction.
+    """
+
+    def run():
+        engine = BatchInferenceEngine(None, triage="only")
+        return engine.classify(triage_sources)
+
+    result = benchmark(run)
+    assert result.stats.errors == 0
+    assert result.stats.triage_hits > 0
+    _throughput(benchmark, len(triage_sources))
+
+    full_s = _time_full_extraction(detector, triage_sources)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["full_extraction_s"] = round(full_s, 6)
+    benchmark.extra_info["speedup_vs_full"] = round(full_s / mean, 2)
+
+
+def test_bench_rules_prefilter_batch(benchmark, detector, triage_sources):
+    """Full pipeline with the prefilter short-circuit enabled."""
+
+    def run():
+        engine = BatchInferenceEngine(
+            detector, n_workers=1, cache_size=0, triage="prefilter"
+        )
+        return engine.classify(triage_sources)
+
+    result = benchmark(run)
+    assert result.stats.errors == 0
+    benchmark.extra_info["triage_rate"] = round(result.stats.triage_rate, 4)
+    _throughput(benchmark, len(triage_sources))
+
+
+def test_bench_rules_full_analysis(benchmark, triage_sources):
+    """Deep analyze (parse + CFG, all AST rules) on every file — the upper
+    bound on what a single signature sweep costs when nothing is obvious."""
+    engine = RuleEngine()
+
+    def run():
+        return [engine.analyze_source(source, data_flow=False) for source in triage_sources]
+
+    findings = benchmark(run)
+    assert any(findings)
+    _throughput(benchmark, len(triage_sources))

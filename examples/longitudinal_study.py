@@ -8,8 +8,7 @@ plus the Figure-7/8 technique drift.
 Run:  python examples/longitudinal_study.py
 """
 
-from repro import TransformationDetector
-from repro.corpus.datasets import N_MONTHS, month_label
+from repro.corpus.datasets import month_label
 from repro.experiments.common import ExperimentContext
 from repro.experiments import fig6_7_8
 from repro.experiments.runner import SCALES

@@ -2,12 +2,14 @@
 # Run the benchmark suite and append one JSON record per run to the
 # per-suite history files, building the perf trajectory across PRs:
 #   BENCH_serve.json — benchmarks/test_bench_serve.py (service latency/throughput)
+#   BENCH_rules.json — benchmarks/test_bench_rules.py (signature engine / triage)
 #   BENCH_train.json — everything else
 #
 # Usage:
 #   scripts/bench.sh                         # full benchmarks/ directory
 #   scripts/bench.sh benchmarks/test_bench_train.py   # one suite
 #   scripts/bench.sh benchmarks/test_bench_serve.py   # serving suite only
+#   scripts/bench.sh benchmarks/test_bench_rules.py   # signature-engine suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,7 +35,7 @@ commit = subprocess.run(
 timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 # Route each benchmark to its per-suite history file.
-suites = {"BENCH_serve.json": [], "BENCH_train.json": []}
+suites = {"BENCH_serve.json": [], "BENCH_rules.json": [], "BENCH_train.json": []}
 for bench in raw.get("benchmarks", []):
     entry = {
         "name": bench["name"],
@@ -42,7 +44,12 @@ for bench in raw.get("benchmarks", []):
         "rounds": bench["stats"]["rounds"],
         **({"extra": bench["extra_info"]} if bench.get("extra_info") else {}),
     }
-    out = "BENCH_serve.json" if "test_bench_serve" in bench["fullname"] else "BENCH_train.json"
+    if "test_bench_serve" in bench["fullname"]:
+        out = "BENCH_serve.json"
+    elif "test_bench_rules" in bench["fullname"]:
+        out = "BENCH_rules.json"
+    else:
+        out = "BENCH_train.json"
     suites[out].append(entry)
 
 for out, benches in suites.items():

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Lint gate: ruff over src/, tests/, benchmarks/, examples/, scripts/.
+#
+# Configuration lives in pyproject.toml ([tool.ruff]).  The gate degrades
+# gracefully: containers without ruff (it is not a runtime dependency and
+# must not be auto-installed) get a loud skip and exit 0, so the test
+# pipeline never hard-fails on a missing dev tool.
+#
+# Usage:
+#   scripts/lint.sh             # lint everything
+#   scripts/lint.sh --fix       # apply safe autofixes first
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGETS=(src tests benchmarks examples)
+
+run_ruff() {
+  "$@" check "${FIX_ARGS[@]}" "${TARGETS[@]}"
+}
+
+FIX_ARGS=()
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX_ARGS=(--fix)
+  shift
+fi
+
+if command -v ruff >/dev/null 2>&1; then
+  run_ruff ruff
+elif python -c "import ruff" >/dev/null 2>&1; then
+  run_ruff python -m ruff
+else
+  echo "[lint] ruff is not installed in this environment — skipping" >&2
+  echo "[lint] (install with: pip install ruff — config is in pyproject.toml)" >&2
+  exit 0
+fi
+echo "[lint] clean"

@@ -57,8 +57,47 @@ def _load_or_train(model_path: str | None) -> TransformationDetector:
     return detector
 
 
+def _result_line(name: str, result) -> str:
+    """One uniform human-readable line per file — errors included.
+
+    Errors used to go to stderr only, so piped/filtered output silently
+    dropped the per-file context; now every file gets a stdout line with
+    the same ``name: verdict`` shape.
+    """
+    if result.error is not None:
+        return f"{name}: error [{result.error.kind}] {result.error.message}"
+    return f"{name}: {result}"
+
+
+def _result_jsonl(name: str, result) -> str:
+    """One JSON-lines record per file (stable keys, findings included)."""
+    import json
+
+    record: dict = {"file": name, "ok": result.ok}
+    if result.error is not None:
+        record["error"] = {"kind": result.error.kind, "message": result.error.message}
+    else:
+        record["level1"] = sorted(result.level1) if result.transformed else ["regular"]
+        record["transformed"] = result.transformed
+        record["techniques"] = [
+            {"technique": technique, "confidence": round(confidence, 4)}
+            for technique, confidence in result.techniques
+        ]
+    record["triaged"] = result.triaged
+    record["findings"] = [finding.to_json() for finding in result.findings]
+    return json.dumps(record, sort_keys=True)
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
-    detector = _load_or_train(args.model)
+    from repro.detector.batch import BatchInferenceEngine
+
+    if args.rules_only:
+        # Model-free: staged signature evaluation, no training or artifact.
+        detector = None
+        engine = BatchInferenceEngine(None, triage="only")
+    else:
+        detector = _load_or_train(args.model)
+        engine = BatchInferenceEngine(detector, n_workers=args.workers)
     exit_code = 0
     names: list[str] = []
     sources: list[str] = []
@@ -77,15 +116,22 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         sources.append(source)
     if not sources:
         return exit_code
-    batch = detector.classify_batch(
-        sources, k=args.k, threshold=args.threshold, n_workers=args.workers
-    )
+    batch = engine.classify(sources, k=args.k, threshold=args.threshold)
     for name, result in zip(names, batch.results):
         if result.error is not None:
-            print(f"{name}: classification failed ({result.error})", file=sys.stderr)
             exit_code = 1
+        if args.jsonl:
+            print(_result_jsonl(name, result))
+        elif args.explain or args.rules_only:
+            print(_result_line(name, result))
         else:
-            print(f"{name}: {result}")
+            # Default mode: keep the one-line verdict (suppress findings).
+            shallow = result
+            if result.findings:
+                from dataclasses import replace
+
+                shallow = replace(result, findings=[])
+            print(_result_line(name, shallow))
     print(f"[batch] {batch.stats}", file=sys.stderr)
     return exit_code
 
@@ -96,13 +142,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.model:
         registry = ModelRegistry(
-            path=args.model, n_workers=args.workers, cache_size=args.cache_size
+            path=args.model,
+            n_workers=args.workers,
+            cache_size=args.cache_size,
+            triage=args.triage,
         )
     else:
         registry = ModelRegistry(
             detector=_load_or_train(None),
             n_workers=args.workers,
             cache_size=args.cache_size,
+            triage=args.triage,
         )
     config = ServeConfig(
         host=args.host,
@@ -174,6 +224,21 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_THRESHOLD,
         help="minimum level-2 confidence for a reported technique",
     )
+    classify.add_argument(
+        "--explain",
+        action="store_true",
+        help="print signature-engine findings under each verdict",
+    )
+    classify.add_argument(
+        "--rules-only",
+        action="store_true",
+        help="classify from the rule catalog alone (no model, implies --explain)",
+    )
+    classify.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="one JSON record per file on stdout (findings included)",
+    )
     classify.set_defaults(func=_cmd_classify)
 
     serve = commands.add_parser(
@@ -208,6 +273,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument("--k", type=int, default=DEFAULT_K)
     serve.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    serve.add_argument(
+        "--triage",
+        default="off",
+        choices=("off", "prefilter"),
+        help="rule-engine pre-filter: short-circuit extraction on decisive signatures",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     transform = commands.add_parser("transform", help="apply techniques to a file")

@@ -13,7 +13,12 @@ scripts; this module provides the substrate for that scale:
   oversize inputs become per-file :class:`DetectionError` results instead of
   aborting the batch;
 - **LRU feature cache** — keyed by source hash, so repeated scripts (the
-  §IV-C malicious "waves" are near-duplicates) skip extraction entirely.
+  §IV-C malicious "waves" are near-duplicates) skip extraction entirely;
+- **rules-only triage** — the signature engine (``repro.rules``) can
+  pre-empt extraction: in ``prefilter`` mode a decisive text/token-stage
+  finding short-circuits the full pipeline for that file, and in ``only``
+  mode every verdict comes from staged rule evaluation with no model at
+  all (the engine then works without a detector).
 """
 
 from __future__ import annotations
@@ -32,12 +37,19 @@ from repro.corpus.filters import MAX_BYTES
 from repro.detector.level1 import Level1Detector
 from repro.detector.level2 import DEFAULT_K, DEFAULT_THRESHOLD, Level2Detector
 from repro.features.extractor import PairedFeatureExtractor
+from repro.rules.engine import RuleEngine, TriageResult, default_engine
+from repro.rules.findings import Finding, max_confidence_by_technique
+from repro.transform.base import OBFUSCATION_TECHNIQUES, Technique
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
     from repro.detector.pipeline import DetectionResult, TransformationDetector
 
-#: outcome tuples: ("ok", vec1, vec2, df_available) | ("err", kind, message)
+#: outcome tuples:
+#: ("ok", vec1, vec2, df_available, findings) | ("err", kind, message)
 _Outcome = tuple
+
+#: Triage modes accepted by :class:`BatchInferenceEngine`.
+TRIAGE_MODES = ("off", "prefilter", "only")
 
 
 @dataclass(frozen=True)
@@ -64,12 +76,30 @@ class BatchStats:
     extract_time: float = 0.0
     predict_time: float = 0.0
     n_workers: int = 1
+    #: files whose verdict came from the rules-only triage path
+    triage_hits: int = 0
+    #: wall time spent inside staged rule evaluation
+    rules_time: float = 0.0
+    #: findings per rule id across the whole batch
+    rule_hits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def triage_rate(self) -> float:
+        """Fraction of the batch short-circuited by triage."""
+        return self.triage_hits / self.files if self.files else 0.0
+
+    def count_findings(self, findings: list[Finding]) -> None:
+        for finding in findings:
+            self.rule_hits[finding.rule_id] = self.rule_hits.get(finding.rule_id, 0) + 1
 
     def __str__(self) -> str:
+        extra = ""
+        if self.triage_hits:
+            extra = f", {self.triage_hits} triaged"
         return (
             f"{self.files} files ({self.ok} ok, {self.errors} errors, "
-            f"{self.cache_hits} cache hits, {self.df_timeouts} DF timeouts) "
-            f"in {self.wall_time:.2f}s with {self.n_workers} worker(s)"
+            f"{self.cache_hits} cache hits, {self.df_timeouts} DF timeouts"
+            f"{extra}) in {self.wall_time:.2f}s with {self.n_workers} worker(s)"
         )
 
 
@@ -79,7 +109,9 @@ class BatchFeatures:
 
     ``X1``/``X2`` rows are aligned with ``ok_indices`` (positions into the
     original source list); files that failed extraction appear in ``errors``
-    instead and have no feature rows.
+    instead and have no feature rows.  ``findings`` (aligned with
+    ``ok_indices``) carries the signature-engine evidence computed during
+    the same pass.
     """
 
     X1: np.ndarray
@@ -88,6 +120,7 @@ class BatchFeatures:
     errors: dict[int, DetectionError]
     df_available: list[bool]
     stats: BatchStats
+    findings: list[list[Finding]] = field(default_factory=list)
 
 
 @dataclass
@@ -116,14 +149,14 @@ def _extract_one(
         if size > max_bytes:
             return ("err", "oversize", f"{size} bytes exceeds limit of {max_bytes}")
     try:
-        v1, v2, df_available = paired.extract_pair(source)
+        v1, v2, df_available, findings = paired.extract_pair(source)
     except RecursionError:
         return ("err", "recursion", "AST nesting exceeds the recursion limit")
     except (SyntaxError, ValueError) as error:  # ParseError / LexerError
         return ("err", "parse", str(error) or type(error).__name__)
     except Exception as error:  # noqa: BLE001 - one file must not kill a batch
         return ("err", "internal", f"{type(error).__name__}: {error}")
-    return ("ok", v1, v2, df_available)
+    return ("ok", v1, v2, df_available, findings)
 
 
 def _extract_chunk(
@@ -139,7 +172,8 @@ class BatchInferenceEngine:
     Parameters
     ----------
     detector:
-        A trained :class:`~repro.detector.pipeline.TransformationDetector`.
+        A trained :class:`~repro.detector.pipeline.TransformationDetector`,
+        or ``None`` for a model-free engine (requires ``triage="only"``).
     n_workers:
         Process-pool width for feature extraction.  ``1`` (the default)
         runs serially in-process and produces bit-identical output.
@@ -157,26 +191,45 @@ class BatchInferenceEngine:
         Optional callable invoked with the final :class:`BatchStats` after
         every :meth:`classify` run (the serving stack wires the metrics
         registry here).  Observer failures never fail a batch.
+    triage:
+        ``"off"`` (default) runs the full pipeline for every file;
+        ``"prefilter"`` runs the cheap text/token rule stages first and
+        short-circuits extraction when a decisive signature fires;
+        ``"only"`` classifies every file from staged rule evaluation
+        alone — no feature extraction, no model inference.
+    rule_engine:
+        The :class:`~repro.rules.engine.RuleEngine` used for triage
+        (defaults to the shared catalog engine).
     """
 
     def __init__(
         self,
-        detector: "TransformationDetector",
+        detector: "TransformationDetector | None",
         n_workers: int = 1,
         cache_size: int = 1024,
         max_source_bytes: int | None = MAX_BYTES,
         chunk_size: int | None = None,
         observer: Any | None = None,
+        triage: str = "off",
+        rule_engine: RuleEngine | None = None,
     ) -> None:
+        if triage not in TRIAGE_MODES:
+            raise ValueError(f"triage must be one of {TRIAGE_MODES}, not {triage!r}")
+        if detector is None and triage != "only":
+            raise ValueError("a model-free engine requires triage='only'")
         self.detector = detector
-        self.paired = PairedFeatureExtractor(
-            detector.level1.extractor, detector.level2.extractor
+        self.paired = (
+            PairedFeatureExtractor(detector.level1.extractor, detector.level2.extractor)
+            if detector is not None
+            else None
         )
         self.n_workers = max(1, int(n_workers))
         self.cache_size = max(0, int(cache_size))
         self.max_source_bytes = max_source_bytes
         self.chunk_size = chunk_size
         self.observer = observer
+        self.triage = triage
+        self.rules = rule_engine or default_engine()
         self._cache: OrderedDict[str, _Outcome] = OrderedDict()
 
     # -- cache ---------------------------------------------------------------
@@ -226,6 +279,8 @@ class BatchInferenceEngine:
 
     def extract(self, sources: list[str]) -> BatchFeatures:
         """One-pass feature extraction for a batch (both vector spaces)."""
+        if self.paired is None:
+            raise ValueError("model-free engine (triage='only') cannot extract features")
         t0 = time.perf_counter()
         stats = BatchStats(files=len(sources), n_workers=self.n_workers)
         outcomes: list[_Outcome | None] = [None] * len(sources)
@@ -256,6 +311,7 @@ class BatchInferenceEngine:
         ok_indices: list[int] = []
         errors: dict[int, DetectionError] = {}
         df_available: list[bool] = []
+        findings: list[list[Finding]] = []
         rows1: list[np.ndarray] = []
         rows2: list[np.ndarray] = []
         for index, outcome in enumerate(outcomes):
@@ -264,6 +320,7 @@ class BatchInferenceEngine:
                 rows1.append(outcome[1])
                 rows2.append(outcome[2])
                 df_available.append(outcome[3])
+                findings.append(outcome[4])
                 if not outcome[3]:
                     stats.df_timeouts += 1
             else:
@@ -290,6 +347,39 @@ class BatchInferenceEngine:
             errors=errors,
             df_available=df_available,
             stats=stats,
+            findings=findings,
+        )
+
+    # -- rules-only triage ------------------------------------------------------
+
+    def _result_from_triage(
+        self, triage: TriageResult, k: int, threshold: float
+    ) -> "DetectionResult":
+        """Synthesise a :class:`DetectionResult` from rule findings alone."""
+        from repro.detector.pipeline import DetectionResult
+
+        if triage.error is not None:
+            kind, message = triage.error
+            return DetectionResult(
+                level1=set(),
+                transformed=False,
+                error=DetectionError(kind=kind, message=message),
+                findings=triage.findings,
+                triaged=True,
+            )
+        best = max_confidence_by_technique(triage.findings)
+        ranked = sorted(best.items(), key=lambda item: (-item[1], item[0]))
+        techniques = [(name, conf) for name, conf in ranked[:k] if conf >= threshold]
+        level1 = {
+            "obfuscated" if Technique(name) in OBFUSCATION_TECHNIQUES else "minified"
+            for name, _conf in techniques
+        }
+        return DetectionResult(
+            level1=level1,
+            transformed=bool(level1),
+            techniques=techniques,
+            findings=triage.findings,
+            triaged=True,
         )
 
     # -- classification --------------------------------------------------------
@@ -304,40 +394,70 @@ class BatchInferenceEngine:
         from repro.detector.pipeline import DetectionResult
 
         t0 = time.perf_counter()
-        features = self.extract(sources)
+        stats = BatchStats(files=len(sources), n_workers=self.n_workers)
         results: list[Any] = [None] * len(sources)
-        for index, error in features.errors.items():
-            results[index] = DetectionResult(
-                level1=set(), transformed=False, techniques=[], error=error
-            )
 
-        t_predict = time.perf_counter()
-        if features.ok_indices:
-            proba1 = self.detector.level1.predict_proba_features(features.X1)
-            label_sets = Level1Detector.labels_from_proba(proba1)
-            transformed_mask = np.array(
-                [bool(ls & {"minified", "obfuscated"}) for ls in label_sets],
-                dtype=bool,
-            )
-            technique_lists: list[list[tuple[str, float]]] = []
-            if transformed_mask.any():
-                proba2 = self.detector.level2.predict_proba_features(
-                    features.X2[transformed_mask]
-                )
-                technique_lists = Level2Detector.techniques_from_proba(
-                    proba2, k=k, threshold=threshold
-                )
-            techniques_iter = iter(technique_lists)
-            for index, labels, transformed in zip(
-                features.ok_indices, label_sets, transformed_mask
-            ):
-                techniques = next(techniques_iter) if transformed else []
-                results[index] = DetectionResult(
-                    level1=labels, transformed=bool(transformed), techniques=techniques
+        if self.triage != "off":
+            t_rules = time.perf_counter()
+            deep = "auto" if self.triage == "only" else False
+            for index, source in enumerate(sources):
+                triage = self.rules.triage(source, deep=deep)
+                if self.triage == "only" or triage.decided:
+                    results[index] = self._result_from_triage(triage, k, threshold)
+                    if triage.decided:
+                        stats.triage_hits += 1
+            stats.rules_time = time.perf_counter() - t_rules
+
+        remaining = [index for index, result in enumerate(results) if result is None]
+        if remaining:
+            features = self.extract([sources[index] for index in remaining])
+            sub = features.stats
+            stats.cache_hits += sub.cache_hits
+            stats.df_timeouts += sub.df_timeouts
+            stats.extract_time += sub.extract_time
+            for position, error in features.errors.items():
+                results[remaining[position]] = DetectionResult(
+                    level1=set(), transformed=False, techniques=[], error=error
                 )
 
-        stats = features.stats
-        stats.predict_time = time.perf_counter() - t_predict
+            t_predict = time.perf_counter()
+            if features.ok_indices:
+                proba1 = self.detector.level1.predict_proba_features(features.X1)
+                label_sets = Level1Detector.labels_from_proba(proba1)
+                transformed_mask = np.array(
+                    [bool(ls & {"minified", "obfuscated"}) for ls in label_sets],
+                    dtype=bool,
+                )
+                technique_lists: list[list[tuple[str, float]]] = []
+                if transformed_mask.any():
+                    proba2 = self.detector.level2.predict_proba_features(
+                        features.X2[transformed_mask]
+                    )
+                    technique_lists = Level2Detector.techniques_from_proba(
+                        proba2, k=k, threshold=threshold
+                    )
+                techniques_iter = iter(technique_lists)
+                for position, labels, transformed, findings in zip(
+                    features.ok_indices,
+                    label_sets,
+                    transformed_mask,
+                    features.findings,
+                ):
+                    techniques = next(techniques_iter) if transformed else []
+                    results[remaining[position]] = DetectionResult(
+                        level1=labels,
+                        transformed=bool(transformed),
+                        techniques=techniques,
+                        findings=findings,
+                    )
+            stats.predict_time = time.perf_counter() - t_predict
+
+        for result in results:
+            if result.ok:
+                stats.ok += 1
+            else:
+                stats.errors += 1
+            stats.count_findings(result.findings)
         stats.wall_time = time.perf_counter() - t0
         if self.observer is not None:
             try:

@@ -18,11 +18,14 @@ from repro.detector.level1 import Level1Detector
 from repro.detector.level2 import Level2Detector
 from repro.detector.training import TrainingData
 from repro.features.extractor import FeatureExtractor
+from repro.rules.findings import Finding
 
 #: Bump when the pickled artifact layout (or the feature spaces it embeds)
 #: changes incompatibly; ``load()`` refuses other versions up front.
+#: v2: the ``RuleFeatures`` block (signature-engine evidence) joined the
+#: static feature vector of both levels.
 MODEL_FORMAT = "repro-detector"
-MODEL_FORMAT_VERSION = 1
+MODEL_FORMAT_VERSION = 2
 
 
 class ModelFormatError(ValueError):
@@ -43,25 +46,34 @@ class DetectionResult:
 
     ``error`` is set (and the other fields are empty) when the file could
     not be classified — batch runs isolate per-file failures instead of
-    raising.
+    raising.  ``findings`` carries the signature-engine evidence for the
+    verdict (rule hits with locations); ``triaged`` marks results decided
+    by the rules-only path without model inference.
     """
 
     level1: set[str]
     transformed: bool
     techniques: list[tuple[str, float]] = field(default_factory=list)
     error: DetectionError | None = None
+    findings: list[Finding] = field(default_factory=list)
+    triaged: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
-    def __str__(self) -> str:  # pragma: no cover - convenience only
+    def __str__(self) -> str:
         if self.error is not None:
             return f"error ({self.error})"
-        if not self.transformed:
-            return "regular"
-        tech = ", ".join(f"{name} ({p:.0%})" for name, p in self.techniques)
-        return f"{'/'.join(sorted(self.level1))}: {tech or 'unknown technique'}"
+        label = "regular"
+        if self.transformed:
+            tech = ", ".join(f"{name} ({p:.0%})" for name, p in self.techniques)
+            label = f"{'/'.join(sorted(self.level1))}: {tech or 'unknown technique'}"
+        if self.triaged:
+            label += " [triaged]"
+        if self.findings:
+            label += "".join(f"\n  {finding}" for finding in self.findings)
+        return label
 
 
 class TransformationDetector:

@@ -11,8 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.features.ngrams import ast_ngram_vector
+from repro.features.rule_features import RULE_FEATURES, compute_rule_features
 from repro.features.static_features import compute_static_features
 from repro.flows.graph import EnhancedAST, enhance
+from repro.rules.findings import Finding
 
 # Hand-picked features for distinguishing regular from transformed code.
 GENERIC_FEATURES = [
@@ -59,6 +61,9 @@ GENERIC_FEATURES = [
     "builtin_Function",
     "cf_edges_per_node",
     "df_edges_per_node",
+    # Signature-engine block (repro.rules): both levels see the rule
+    # evidence, so it lives in the generic list.
+    *RULE_FEATURES,
 ]
 
 # Additional per-technique indicators for the level-2 detector.
@@ -158,7 +163,11 @@ class FeatureExtractor:
 
     def extract_from_enhanced(self, enhanced: EnhancedAST) -> np.ndarray:
         """Feature vector from an already-enhanced AST."""
-        return self.project(enhanced, compute_static_features(enhanced))
+        from repro.rules.engine import default_engine
+
+        static = compute_static_features(enhanced)
+        static.update(compute_rule_features(default_engine().analyze(enhanced)))
+        return self.project(enhanced, static)
 
     def extract(self, source: str) -> np.ndarray:
         """Feature vector for one script (parses + enhances internally)."""
@@ -192,9 +201,18 @@ class PairedFeatureExtractor:
 
     def extract_pair_from_enhanced(
         self, enhanced: EnhancedAST
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """(level-1 vector, level-2 vector) from one enhanced AST."""
+    ) -> tuple[np.ndarray, np.ndarray, list[Finding]]:
+        """(level-1 vector, level-2 vector, findings) from one enhanced AST.
+
+        Findings are computed once — they feed the ``RuleFeatures`` block
+        of both vectors *and* ride back to the caller so the batch engine
+        can attach them to :class:`DetectionResult` without re-analysis.
+        """
+        from repro.rules.engine import default_engine
+
+        findings = default_engine().analyze(enhanced)
         static = compute_static_features(enhanced)
+        static.update(compute_rule_features(findings))
         ngrams1 = self.level1.ngram_block(enhanced)
         shares_ngrams = (
             self.level1.ngram_dims == self.level2.ngram_dims
@@ -204,10 +222,13 @@ class PairedFeatureExtractor:
         return (
             self.level1.project(enhanced, static, ngrams1),
             self.level2.project(enhanced, static, ngrams2),
+            findings,
         )
 
-    def extract_pair(self, source: str) -> tuple[np.ndarray, np.ndarray, bool]:
-        """One-pass extraction: (level-1 vector, level-2 vector, df_available)."""
+    def extract_pair(
+        self, source: str
+    ) -> tuple[np.ndarray, np.ndarray, bool, list[Finding]]:
+        """One-pass extraction: (v1, v2, df_available, rule findings)."""
         enhanced = enhance(source, data_flow_timeout=self.data_flow_timeout)
-        v1, v2 = self.extract_pair_from_enhanced(enhanced)
-        return v1, v2, enhanced.data_flow_available
+        v1, v2, findings = self.extract_pair_from_enhanced(enhanced)
+        return v1, v2, enhanced.data_flow_available, findings

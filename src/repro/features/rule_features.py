@@ -1,0 +1,36 @@
+"""The ``RuleFeatures`` block: signature-engine evidence as features.
+
+The rule catalog (``repro.rules``) emits explainable findings; this module
+folds them into the static feature dictionary so the learned detectors can
+lean on the same high-precision signals.  The block rides at the end of
+``GENERIC_FEATURES`` (both vector spaces see it), which is why adding it
+bumps ``MODEL_FORMAT_VERSION`` — older artifacts record smaller feature
+dimensions and are refused at load time instead of mis-projecting.
+"""
+
+from __future__ import annotations
+
+from repro.rules.findings import Finding, max_confidence_by_technique
+from repro.transform.base import TECHNIQUES
+
+#: Feature names contributed by the signature engine, in vector order.
+RULE_FEATURES: list[str] = [
+    "rule_findings_total",
+    "rule_max_confidence",
+    "rule_techniques_hit",
+] + [f"rule_conf_{technique.value}" for technique in TECHNIQUES]
+
+
+def compute_rule_features(findings: list[Finding]) -> dict[str, float]:
+    """Fold findings into the feature dictionary (all zeros when clean)."""
+    by_technique = max_confidence_by_technique(findings)
+    values: dict[str, float] = {
+        "rule_findings_total": float(len(findings)),
+        "rule_max_confidence": max(
+            (finding.confidence for finding in findings), default=0.0
+        ),
+        "rule_techniques_hit": float(len(by_technique)),
+    }
+    for technique in TECHNIQUES:
+        values[f"rule_conf_{technique.value}"] = by_technique.get(technique.value, 0.0)
+    return values

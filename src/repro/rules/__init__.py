@@ -1,0 +1,39 @@
+"""Static signature engine: explainable rule findings over the enhanced AST.
+
+See DESIGN.md §8.  Public surface:
+
+- :class:`Finding` / :class:`Location` — structured, JSON-able evidence;
+- :class:`Rule` — the matcher protocol (``STAGE_TEXT``/``STAGE_TOKENS``/
+  ``STAGE_AST`` declare the cheapest layer a rule needs);
+- :data:`DEFAULT_RULES` — the built-in catalog (≥1 rule per monitored
+  technique);
+- :class:`RuleEngine` — full analysis over an ``EnhancedAST`` and the
+  staged rules-only :meth:`~RuleEngine.triage` path.
+"""
+
+from repro.rules.base import STAGE_AST, STAGE_TEXT, STAGE_TOKENS, Rule
+from repro.rules.catalog import DEFAULT_RULES
+from repro.rules.context import RuleContext
+from repro.rules.engine import (
+    TRIAGE_THRESHOLD,
+    RuleEngine,
+    TriageResult,
+    default_engine,
+)
+from repro.rules.findings import Finding, Location, max_confidence_by_technique
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "Location",
+    "Rule",
+    "RuleContext",
+    "RuleEngine",
+    "STAGE_AST",
+    "STAGE_TEXT",
+    "STAGE_TOKENS",
+    "TRIAGE_THRESHOLD",
+    "TriageResult",
+    "default_engine",
+    "max_confidence_by_technique",
+]

@@ -1,0 +1,63 @@
+"""Rule protocol and registry for the static signature engine.
+
+Each rule is a stateless matcher over a :class:`~repro.rules.context.RuleContext`
+that emits zero or more :class:`~repro.rules.findings.Finding` objects.
+Rules declare the cheapest analysis layer they need (``STAGE_TEXT`` <
+``STAGE_TOKENS`` < ``STAGE_AST``) so the triage path can stop lifting the
+file the moment a verdict is possible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.rules.context import RuleContext
+from repro.rules.findings import Finding, Location
+
+STAGE_TEXT = "text"  #: raw source only — no lexing
+STAGE_TOKENS = "tokens"  #: token stream — no parsing
+STAGE_AST = "ast"  #: enhanced AST (+ scope, CF, and DF when available)
+
+_STAGE_ORDER = {STAGE_TEXT: 0, STAGE_TOKENS: 1, STAGE_AST: 2}
+
+
+class Rule(ABC):
+    """One signature: a named, explainable matcher for a technique."""
+
+    rule_id: str
+    name: str
+    technique: str
+    stage: str = STAGE_AST
+    confidence: float = 0.8
+    severity: str = "medium"
+
+    @abstractmethod
+    def evaluate(self, ctx: RuleContext) -> list[Finding]:
+        """Findings for one file (empty list when the signature is absent)."""
+
+    def finding(
+        self,
+        message: str,
+        locations: list[Location] | None = None,
+        evidence: dict | None = None,
+        confidence: float | None = None,
+    ) -> Finding:
+        """Build a finding stamped with this rule's identity."""
+        return Finding(
+            rule_id=self.rule_id,
+            name=self.name,
+            technique=self.technique,
+            severity=self.severity,
+            confidence=self.confidence if confidence is None else confidence,
+            message=message,
+            locations=locations or [],
+            evidence=evidence or {},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.rule_id} {self.name} → {self.technique}>"
+
+
+def stage_order(stage: str) -> int:
+    """Numeric rank of a stage (text < tokens < ast)."""
+    return _STAGE_ORDER[stage]

@@ -1,0 +1,82 @@
+"""Structured findings emitted by the static signature engine.
+
+A :class:`Finding` is the explainable unit of output: which rule fired,
+which monitored technique it evidences, how confident the rule is, where
+in the file the matched construct lives, and a human-readable evidence
+string.  Findings are plain data — picklable (they cross the batch
+engine's process pool) and JSON-serialisable (they ride in ``/classify``
+responses and the CLI's JSON-lines output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Location:
+    """One matched source region (1-based line/column, char offsets)."""
+
+    line: int
+    column: int = 0
+    start: int = 0
+    end: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "start": self.start,
+            "end": self.end,
+        }
+
+    def __str__(self) -> str:
+        return f"line {self.line}"
+
+
+@dataclass
+class Finding:
+    """One signature hit: rule identity, technique label, evidence.
+
+    ``technique`` is a :class:`repro.transform.base.Technique` value (the
+    level-2 vocabulary), which is what lets the triage path synthesise a
+    :class:`~repro.detector.pipeline.DetectionResult` from findings alone.
+    """
+
+    rule_id: str  #: stable identifier, e.g. "R003"
+    name: str  #: human slug, e.g. "hex-identifier-population"
+    technique: str  #: monitored-technique label the finding evidences
+    severity: str  #: "info" | "medium" | "high"
+    confidence: float  #: rule confidence in [0, 1]
+    message: str  #: one-line human-readable evidence summary
+    locations: list[Location] = field(default_factory=list)
+    evidence: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "name": self.name,
+            "technique": self.technique,
+            "severity": self.severity,
+            "confidence": round(self.confidence, 4),
+            "message": self.message,
+            "locations": [location.to_json() for location in self.locations],
+            "evidence": self.evidence,
+        }
+
+    def __str__(self) -> str:
+        where = f" ({self.locations[0]})" if self.locations else ""
+        return (
+            f"[{self.rule_id} {self.name} → {self.technique} "
+            f"{self.confidence:.0%}] {self.message}{where}"
+        )
+
+
+def max_confidence_by_technique(findings: list[Finding]) -> dict[str, float]:
+    """Strongest finding per technique (drives triage verdicts/features)."""
+    best: dict[str, float] = {}
+    for finding in findings:
+        if finding.confidence > best.get(finding.technique, 0.0):
+            best[finding.technique] = finding.confidence
+    return best

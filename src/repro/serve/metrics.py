@@ -100,20 +100,31 @@ class MetricsRegistry:
         """
         with self._lock:
             counters = self._counters
-            for name, amount in (
+            increments: list[tuple[str, int]] = [
                 ("batches_total", 1),
                 ("scripts_total", stats.files),
                 ("script_errors_total", stats.errors),
                 ("cache_hits_total", stats.cache_hits),
                 ("df_timeouts_total", stats.df_timeouts),
-            ):
+                ("triage_short_circuits_total", stats.triage_hits),
+            ]
+            # Per-rule hit counters from the signature engine, labelled in
+            # the flat `name{label=value}` convention.
+            increments.extend(
+                (f"rules_findings_total{{rule_id={rule_id}}}", hits)
+                for rule_id, hits in stats.rule_hits.items()
+            )
+            for name, amount in increments:
                 if amount:
                     counters[name] = counters.get(name, 0) + amount
+            if stats.files:
+                self._gauges["triage_rate"] = round(stats.triage_rate, 6)
             for name, value in (
                 ("batch_size", stats.files),
                 ("batch_wall_s", stats.wall_time),
                 ("extract_s", stats.extract_time),
                 ("predict_s", stats.predict_time),
+                ("rules_s", stats.rules_time),
             ):
                 histogram = self._histograms.get(name)
                 if histogram is None:

@@ -72,13 +72,14 @@ class ModelRegistry:
         metrics: MetricsRegistry | None = None,
         n_workers: int = 1,
         cache_size: int = 4096,
+        triage: str = "off",
     ) -> None:
         if detector is None and path is None:
             raise ValueError("ModelRegistry needs a detector or a path")
         self.metrics = metrics or MetricsRegistry()
         self._engine_factory = engine_factory or (
             lambda det: BatchInferenceEngine(
-                det, n_workers=n_workers, cache_size=cache_size
+                det, n_workers=n_workers, cache_size=cache_size, triage=triage
             )
         )
         self._lock = threading.Lock()

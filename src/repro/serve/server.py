@@ -26,11 +26,7 @@ import sys
 import threading
 from dataclasses import dataclass
 
-from repro.detector.pipeline import (
-    DetectionResult,
-    ModelFormatError,
-    TransformationDetector,
-)
+from repro.detector.pipeline import DetectionResult, ModelFormatError
 from repro.detector.level2 import DEFAULT_K, DEFAULT_THRESHOLD
 from repro.serve.batcher import BatcherClosedError, MicroBatcher, QueueFullError
 from repro.serve.metrics import MetricsRegistry
@@ -62,23 +58,30 @@ class ServeConfig:
     threshold: float = DEFAULT_THRESHOLD
 
 
-def _result_json(result: DetectionResult, model_version: int) -> dict:
+def _result_json(
+    result: DetectionResult, model_version: int, explain: bool = False
+) -> dict:
     if result.error is not None:
-        return {
+        payload = {
             "ok": False,
             "error": {"kind": result.error.kind, "message": result.error.message},
             "model_version": model_version,
         }
-    return {
-        "ok": True,
-        "level1": sorted(result.level1),
-        "transformed": result.transformed,
-        "techniques": [
-            {"technique": name, "confidence": round(confidence, 4)}
-            for name, confidence in result.techniques
-        ],
-        "model_version": model_version,
-    }
+    else:
+        payload = {
+            "ok": True,
+            "level1": sorted(result.level1),
+            "transformed": result.transformed,
+            "techniques": [
+                {"technique": name, "confidence": round(confidence, 4)}
+                for name, confidence in result.techniques
+            ],
+            "model_version": model_version,
+        }
+    if explain:
+        payload["triaged"] = result.triaged
+        payload["findings"] = [finding.to_json() for finding in result.findings]
+    return payload
 
 
 class DetectionServer:
@@ -238,6 +241,9 @@ class DetectionServer:
             )
         if not all(isinstance(script, str) for script in scripts):
             raise ProtocolError(400, "bad_field", "every script must be a string")
+        explain = payload.get("explain", False)
+        if not isinstance(explain, bool):
+            raise ProtocolError(400, "bad_field", "'explain' must be a boolean")
 
         futures: list[asyncio.Future] = []
         try:
@@ -260,7 +266,10 @@ class DetectionServer:
             ), None
         self.metrics.inc("scripts_classified_total", len(outcomes))
         return 200, {
-            "results": [_result_json(result, version) for result, version in outcomes]
+            "results": [
+                _result_json(result, version, explain=explain)
+                for result, version in outcomes
+            ]
         }, None
 
     async def _handle_reload(self, request: Request) -> tuple[int, dict, dict | None]:

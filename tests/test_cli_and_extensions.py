@@ -182,8 +182,10 @@ class TestCLI:
         captured = capsys.readouterr()
         assert code == 1
         assert "good.js" in captured.out
-        assert "classification failed" in captured.err
-        assert "parse" in captured.err
+        # Errors share the uniform `name: verdict` stdout shape so piped
+        # output keeps one line per file.
+        bad_lines = [line for line in captured.out.splitlines() if "bad.js" in line]
+        assert bad_lines and "error [parse]" in bad_lines[0]
 
     def test_classify_k_threshold_workers_flags(
         self, tmp_path, capsys, monkeypatch, trained_detector, regular_corpus

@@ -1,7 +1,5 @@
 """Tests for the corpus substrate: generator, filters, datasets, malware."""
 
-import random
-
 import pytest
 
 from repro.corpus.datasets import (

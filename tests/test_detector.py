@@ -9,7 +9,6 @@ from repro.corpus.generator import generate_corpus
 from repro.detector import (
     LEVEL1_LABELS,
     LEVEL2_LABELS,
-    TrainingData,
     TransformationDetector,
     level1_labels_for,
     level1_vector,

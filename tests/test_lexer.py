@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.js.lexer import Lexer, LexerError, tokenize
-from repro.js.tokens import Token, TokenType
+from repro.js.lexer import LexerError, tokenize
+from repro.js.tokens import TokenType
 
 
 def kinds(source: str) -> list[TokenType]:

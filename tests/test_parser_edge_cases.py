@@ -4,7 +4,7 @@ import pytest
 
 from repro.js.ast_nodes import to_dict
 from repro.js.codegen import generate
-from repro.js.parser import ParseError, parse
+from repro.js.parser import parse
 
 
 def expr(source: str):

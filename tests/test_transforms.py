@@ -1,11 +1,8 @@
 """Tests for all ten transformation tools plus the packer and pipeline."""
 
-import random
-
 import pytest
 
 from repro.js.parser import parse
-from repro.js.scope import analyze_scopes
 from repro.js.visitor import find_all, walk
 from repro.transform import (
     TECHNIQUES,
