@@ -1,0 +1,186 @@
+"""Parse-layer throughput: the table-driven lexer vs the frozen reference.
+
+The lexer rewrite is gated on bit-identical token streams and feature
+vectors (tests/test_lexer_diff.py); these benches record what the
+identity buys.  Every record lands in ``BENCH_parse.json`` via
+``scripts/bench.sh``, with the before/after pair expressed as
+``speedup_vs_reference`` in ``extra_info`` — the acceptance number is
+>=3x tokenize throughput on the wild-style bundle mix.
+
+Two workloads, because the ratio is shaped by chars-per-token:
+
+* *corpus mix* — generator output plus obfuscator transforms, the same
+  distribution the differential suite pins; short tokens, so per-token
+  Token construction dominates both lexers.
+* *wild bundles* — what crawled scripts actually look like (license
+  banners, minified long-identifier bundle bodies, string-array
+  obfuscation, self-defending regex checks); long runs for the batched
+  scanners to eat, which is where the per-character reference falls
+  behind.
+"""
+
+from __future__ import annotations
+
+import gc
+import pathlib
+import random
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from repro.corpus.generator import generate_corpus
+from repro.features.extractor import FeatureExtractor, TokenFeatureExtractor
+from repro.flows.graph import enhance
+from repro.js.lexer import scan_summary, tokenize
+from repro.transform import get_transformer
+from tests import reference_lexer
+
+
+def _time_once(fn, sources: list[str]) -> float:
+    """Best-of-N wall time with GC parked, matching --benchmark-disable-gc
+    on the benchmarked side so both lexers are timed under the same rules."""
+    best = float("inf")
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(5):
+            start = time.perf_counter()
+            for source in sources:
+                fn(source)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best
+
+
+def _record_rate(benchmark, n_files: int, reference_s: float | None = None) -> None:
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None or not stats.mean:
+        return
+    benchmark.extra_info["files_per_sec"] = round(n_files / stats.mean, 2)
+    if reference_s is not None:
+        # Best-pass against best-pass: ``reference_s`` is a min over passes,
+        # so the comparable statistic on the benchmarked side is ``min`` —
+        # comparing a mean (noise included) against a min would understate
+        # the ratio by whatever the scheduler did that day.
+        benchmark.extra_info["reference_files_per_sec"] = round(
+            n_files / reference_s, 2
+        )
+        benchmark.extra_info["speedup_vs_reference"] = round(
+            reference_s / stats.min, 2
+        )
+
+
+@pytest.fixture(scope="module")
+def corpus_mix() -> list[str]:
+    """Generator output plus the three obfuscators triage sees most."""
+    base = generate_corpus(20, seed=9)
+    rng = random.Random(4)
+    out = list(base)
+    for name in ("minification_advanced", "string_obfuscation", "global_array"):
+        transformer = get_transformer(name)
+        for source in base[:10]:
+            out.append(transformer.transform(source, rng))
+    return out
+
+
+@pytest.fixture(scope="module")
+def wild_bundles() -> list[str]:
+    """Crawled-script-shaped sources: banners, bundles, obfuscator output."""
+    rng = random.Random(1306)
+    base = generate_corpus(8, seed=41)
+    banner = (
+        "/*!\n * vendor bundle v3.2.1 | (c) 2020 somebody | MIT license\n"
+        + " * hashed from upstream sources, do not edit directly.\n" * 6
+        + " */\n"
+    )
+    minified = ";".join(
+        "var moduleExports%d=__webpackRequire__(%d).defaultExport" % (i, i)
+        for i in range(240)
+    )
+    array = ", ".join(
+        "'" + "".join("\\x%02x" % rng.randrange(32, 127) for _ in range(24)) + "'"
+        for _ in range(160)
+    )
+    defend = (
+        "function check(){ var probe = /\\w+\\s*\\(\\)[a-z0-9_]{4,}/g; "
+        "if (!/native code/.test(String(check))) { for (;;) {} } "
+        "return /a[bc]+d/.exec(source); }\n"
+    ) * 6
+    rng2 = random.Random(7)
+    obf = [
+        get_transformer("minification_advanced").transform(s, rng2) for s in base[:4]
+    ]
+    # Every bundle carries a minified payload body — in crawled scripts the
+    # banner / string-array / self-defending material is the *prelude* to a
+    # bundle, not the whole file.
+    bundles = [
+        banner * 10 + minified,
+        banner + "var _0x4f2a = [" + array + "];" + minified,
+        banner * 4 + defend + minified,
+        banner + ";".join(obf) + minified,
+    ]
+    return bundles * 2
+
+
+def test_bench_parse_tokenize_corpus_mix(benchmark, corpus_mix):
+    """New lexer over the differential corpus distribution."""
+    reference_s = _time_once(reference_lexer.tokenize, corpus_mix)
+    result = benchmark(lambda: [tokenize(source) for source in corpus_mix])
+    assert len(result) == len(corpus_mix)
+    _record_rate(benchmark, len(corpus_mix), reference_s)
+
+
+def test_bench_parse_tokenize_wild_bundles(benchmark, wild_bundles):
+    """New lexer over crawled-script-shaped bundles (the acceptance run).
+
+    ``extra_info["speedup_vs_reference"]`` is the >=3x tokenize number.
+    """
+    reference_s = _time_once(reference_lexer.tokenize, wild_bundles)
+    result = benchmark(lambda: [tokenize(source) for source in wild_bundles])
+    assert len(result) == len(wild_bundles)
+    _record_rate(benchmark, len(wild_bundles), reference_s)
+    assert benchmark.extra_info["speedup_vs_reference"] >= 3.0
+
+
+def test_bench_parse_tokenize_reference(benchmark, corpus_mix):
+    """The frozen pre-rewrite lexer: the 'before' record."""
+    result = benchmark(lambda: [reference_lexer.tokenize(s) for s in corpus_mix])
+    assert len(result) == len(corpus_mix)
+    _record_rate(benchmark, len(corpus_mix))
+
+
+def test_bench_parse_single_pass_summary(benchmark, corpus_mix):
+    """Single-pass token features vs the full parse+flow+extract path."""
+    extractor = TokenFeatureExtractor(ngram_dims=128, ngram_source="tokens")
+    full = FeatureExtractor(level=2, ngram_dims=128, ngram_source="tokens")
+    full_s = _time_once(full.extract, corpus_mix)
+    result = benchmark(lambda: [extractor.extract(s) for s in corpus_mix])
+    assert len(result) == len(corpus_mix)
+    _record_rate(benchmark, len(corpus_mix))
+    stats = benchmark.stats.stats
+    benchmark.extra_info["full_extractor_files_per_sec"] = round(
+        len(corpus_mix) / full_s, 2
+    )
+    benchmark.extra_info["speedup_vs_full_extraction"] = round(
+        full_s / stats.mean, 2
+    )
+
+
+def test_bench_parse_scan_summary_only(benchmark, corpus_mix):
+    """The raw scan_summary fold (tokenize + aggregate, no vector)."""
+    result = benchmark(lambda: [scan_summary(s, ngram_dims=128) for s in corpus_mix])
+    assert len(result) == len(corpus_mix)
+    _record_rate(benchmark, len(corpus_mix))
+
+
+def test_bench_parse_enhance_end_to_end(benchmark, corpus_mix):
+    """Full parse + scope + flow-graph build: the downstream beneficiary."""
+    sample = corpus_mix[::3]
+    result = benchmark(lambda: [enhance(s, data_flow_timeout=5) for s in sample])
+    assert len(result) == len(sample)
+    _record_rate(benchmark, len(sample))

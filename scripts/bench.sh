@@ -3,6 +3,7 @@
 # per-suite history files, building the perf trajectory across PRs:
 #   BENCH_serve.json — benchmarks/test_bench_serve.py (service latency/throughput)
 #   BENCH_rules.json — benchmarks/test_bench_rules.py (signature engine / triage)
+#   BENCH_parse.json — benchmarks/test_bench_parse.py (lexer / single-pass features)
 #   BENCH_train.json — everything else
 #
 # Usage:
@@ -10,6 +11,7 @@
 #   scripts/bench.sh benchmarks/test_bench_train.py   # one suite
 #   scripts/bench.sh benchmarks/test_bench_serve.py   # serving suite only
 #   scripts/bench.sh benchmarks/test_bench_rules.py   # signature-engine suite only
+#   scripts/bench.sh benchmarks/test_bench_parse.py   # parse-layer suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 RAW_JSON="$(mktemp)"
 trap 'rm -f "$RAW_JSON"' EXIT
 
-python -m pytest "$TARGET" -q -p no:cacheprovider --benchmark-json="$RAW_JSON"
+python -m pytest "$TARGET" -q -p no:cacheprovider --benchmark-disable-gc \
+    --benchmark-json="$RAW_JSON"
 
 python - "$RAW_JSON" <<'PY'
 import json
@@ -35,7 +38,12 @@ commit = subprocess.run(
 timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 # Route each benchmark to its per-suite history file.
-suites = {"BENCH_serve.json": [], "BENCH_rules.json": [], "BENCH_train.json": []}
+suites = {
+    "BENCH_serve.json": [],
+    "BENCH_rules.json": [],
+    "BENCH_parse.json": [],
+    "BENCH_train.json": [],
+}
 for bench in raw.get("benchmarks", []):
     entry = {
         "name": bench["name"],
@@ -48,6 +56,8 @@ for bench in raw.get("benchmarks", []):
         out = "BENCH_serve.json"
     elif "test_bench_rules" in bench["fullname"]:
         out = "BENCH_rules.json"
+    elif "test_bench_parse" in bench["fullname"]:
+        out = "BENCH_parse.json"
     else:
         out = "BENCH_train.json"
     suites[out].append(entry)

@@ -24,6 +24,14 @@ if [[ "${1:-}" == "--fix" ]]; then
   shift
 fi
 
+# Placeholder gate: stray TODO/FIXME/XXX markers must not ship in src/
+# (they once leaked into generated-corpus comment text, silently biasing
+# the comment features).  This check needs no dev tools, so it always runs.
+if grep -rnwE "TODO|FIXME|XXX" src --include='*.py'; then
+  echo "[lint] placeholder markers found in src/ (see matches above)" >&2
+  exit 1
+fi
+
 if command -v ruff >/dev/null 2>&1; then
   run_ruff ruff
 elif python -c "import ruff" >/dev/null 2>&1; then

@@ -53,7 +53,7 @@ _STRING_WORDS = (
 )
 
 _COMMENT_TEXTS = (
-    "TODO: handle edge cases",
+    "note: handle edge cases",
     "update internal state",
     "fall back to the default value",
     "see the API documentation for details",

@@ -124,6 +124,21 @@ class BatchFeatures:
 
 
 @dataclass
+class TokenBatchFeatures:
+    """Token-level fast-path features for a batch (no AST built).
+
+    ``X`` rows align with ``ok_indices`` exactly like
+    :class:`BatchFeatures`; files the lexer rejected appear in
+    ``errors``.
+    """
+
+    X: np.ndarray
+    ok_indices: list[int]
+    errors: dict[int, DetectionError]
+    stats: BatchStats
+
+
+@dataclass
 class BatchResult:
     """Per-file detection results (input order) plus batch statistics."""
 
@@ -231,6 +246,16 @@ class BatchInferenceEngine:
         self.triage = triage
         self.rules = rule_engine or default_engine()
         self._cache: OrderedDict[str, _Outcome] = OrderedDict()
+        self._token_extractor = None
+
+    @property
+    def token_extractor(self):
+        """Lazily-built :class:`~repro.features.fastpath.TokenFeatureExtractor`."""
+        if self._token_extractor is None:
+            from repro.features.fastpath import TokenFeatureExtractor
+
+            self._token_extractor = TokenFeatureExtractor()
+        return self._token_extractor
 
     # -- cache ---------------------------------------------------------------
 
@@ -349,6 +374,57 @@ class BatchInferenceEngine:
             stats=stats,
             findings=findings,
         )
+
+    def extract_token_features(self, sources: list[str]) -> TokenBatchFeatures:
+        """Token-level fast path: one lexer scan per file, no AST.
+
+        Produces the :data:`~repro.features.fastpath.TOKEN_STATIC_FEATURES`
+        space (plus the hashed n-gram head) with the same per-file fault
+        isolation and oversize policy as :meth:`extract`, at a fraction of
+        the cost — the intended front end for crawl-scale pre-ranking and
+        triage-adjacent workloads.  Works on model-free engines too.
+        """
+        t0 = time.perf_counter()
+        extractor = self.token_extractor
+        stats = BatchStats(files=len(sources), n_workers=1)
+        ok_indices: list[int] = []
+        errors: dict[int, DetectionError] = {}
+        rows: list[np.ndarray] = []
+        for index, source in enumerate(sources):
+            if self.max_source_bytes is not None:
+                size = len(source.encode("utf-8", errors="replace"))
+                if size > self.max_source_bytes:
+                    errors[index] = DetectionError(
+                        "oversize",
+                        f"{size} bytes exceeds limit of {self.max_source_bytes}",
+                    )
+                    continue
+            try:
+                rows.append(extractor.extract(source))
+            except RecursionError:
+                errors[index] = DetectionError(
+                    "recursion", "token stream exceeds the recursion limit"
+                )
+            except (SyntaxError, ValueError) as error:  # LexerError
+                errors[index] = DetectionError(
+                    "parse", str(error) or type(error).__name__
+                )
+            except Exception as error:  # noqa: BLE001 - fault isolation
+                errors[index] = DetectionError(
+                    "internal", f"{type(error).__name__}: {error}"
+                )
+            else:
+                ok_indices.append(index)
+        stats.ok = len(ok_indices)
+        stats.errors = len(errors)
+        X = (
+            np.vstack(rows)
+            if rows
+            else np.zeros((0, extractor.n_features), dtype=np.float64)
+        )
+        stats.wall_time = time.perf_counter() - t0
+        stats.extract_time = stats.wall_time
+        return TokenBatchFeatures(X=X, ok_indices=ok_indices, errors=errors, stats=stats)
 
     # -- rules-only triage ------------------------------------------------------
 

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.features.fastpath import (  # noqa: F401 - fast-path re-export
+    TOKEN_STATIC_FEATURES,
+    TokenFeatureExtractor,
+)
 from repro.features.ngrams import ast_ngram_vector
 from repro.features.rule_features import RULE_FEATURES, compute_rule_features
 from repro.features.static_features import compute_static_features

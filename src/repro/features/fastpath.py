@@ -1,0 +1,229 @@
+"""Single-pass token-level features (the lexer fast path).
+
+The full pipeline builds an AST, scopes and flow graphs before it can
+project a file into a vector space.  For triage-adjacent workloads —
+pre-ranking a crawl, routing inside the batch engine, rules-only serving —
+that is mostly wasted work: the text- and token-level block of the vector
+space is computable from one lexer scan.
+
+:func:`compute_token_static_features` mirrors the text/token formulas of
+:func:`repro.features.static_features.compute_static_features` exactly
+(same names, bit-identical values), and adds token-level analogues of the
+identifier features (``id_*`` computed over identifier *tokens* rather
+than AST ``Identifier`` nodes — the spellings are the same for ordinary
+code, but no parse is required).  :class:`TokenFeatureExtractor` packages
+the block behind the same ``extract`` / ``extract_matrix`` /
+``feature_names`` surface as the full :class:`~repro.features.extractor.
+FeatureExtractor`, with a hashed n-gram head computed in the same scan
+(token 4-grams) or vectorised over raw bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+import numpy as np
+
+from repro.js.lexer import TokenSummary, scan_summary
+from repro.js.tokens import TokenType
+
+_HEX_NAME_RE = re.compile(r"^_0x[0-9a-fA-F]+$")
+
+#: Ordered names of the token-level static block.  The ``src_*``,
+#: ``tok_*`` and ``str_*`` entries reproduce the full extractor's values
+#: bit-for-bit; the ``id_*`` entries are token-level analogues.
+TOKEN_STATIC_FEATURES = [
+    "src_chars",
+    "src_lines",
+    "src_avg_line_length",
+    "src_max_line_length",
+    "src_whitespace_ratio",
+    "src_non_alnum_ratio",
+    "src_jsfuck_char_ratio",
+    "src_comment_ratio",
+    "src_comments_per_line",
+    "tok_per_char",
+    "tok_identifier_ratio",
+    "tok_punctuator_ratio",
+    "tok_string_ratio",
+    "tok_numeric_ratio",
+    "tok_keyword_ratio",
+    "tok_regex_ratio",
+    "str_chars_ratio",
+    "str_escape_density",
+    "str_avg_length",
+    "str_max_length",
+    "id_unique_ratio",
+    "id_avg_length",
+    "id_single_char_ratio",
+    "id_hex_ratio",
+    "id_digit_ratio",
+    "id_entropy",
+]
+
+
+def _entropy(text: str) -> float:
+    if not text:
+        return 0.0
+    counts = Counter(text)
+    total = len(text)
+    return -sum((c / total) * math.log2(c / total) for c in counts.values())
+
+
+def _safe_div(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def compute_token_static_features(
+    source: str, summary: TokenSummary
+) -> dict[str, float]:
+    """The token-level static block for one file, keyed by name.
+
+    ``summary`` is the :class:`~repro.js.lexer.TokenSummary` of the same
+    ``source`` (from :func:`~repro.js.lexer.scan_summary` or
+    :func:`~repro.js.lexer.summarize_tokens` over a token stream that
+    includes comments).
+    """
+    features: dict[str, float] = {}
+
+    # ---- source text: same formulas as compute_static_features, batched ---
+    n_chars = len(source)
+    lines = source.split("\n")
+    n_lines = len(lines)
+    features["src_chars"] = float(n_chars)
+    features["src_lines"] = float(n_lines)
+    features["src_avg_line_length"] = _safe_div(n_chars, n_lines)
+    features["src_max_line_length"] = float(max(map(len, lines), default=0))
+    whitespace = (
+        source.count(" ")
+        + source.count("\t")
+        + source.count("\n")
+        + source.count("\r")
+    )
+    features["src_whitespace_ratio"] = _safe_div(whitespace, n_chars)
+    # str.isalnum is Unicode-aware in the same way the slow path's per-char
+    # loop is; map() keeps the iteration in C.
+    alnum = sum(map(str.isalnum, source))
+    features["src_non_alnum_ratio"] = 1.0 - _safe_div(alnum, n_chars)
+    jsfuck_chars = (
+        source.count("[")
+        + source.count("]")
+        + source.count("(")
+        + source.count(")")
+        + source.count("!")
+        + source.count("+")
+    )
+    features["src_jsfuck_char_ratio"] = _safe_div(jsfuck_chars, n_chars)
+    features["src_comment_ratio"] = _safe_div(summary.comment_chars, n_chars)
+    features["src_comments_per_line"] = _safe_div(summary.n_comments, n_lines)
+
+    # ---- tokens -----------------------------------------------------------
+    n_tokens = summary.n_tokens
+    counts = summary.type_counts
+    features["tok_per_char"] = _safe_div(n_tokens, n_chars)
+    for token_type, key in (
+        (TokenType.IDENTIFIER, "tok_identifier_ratio"),
+        (TokenType.PUNCTUATOR, "tok_punctuator_ratio"),
+        (TokenType.STRING, "tok_string_ratio"),
+        (TokenType.NUMERIC, "tok_numeric_ratio"),
+        (TokenType.KEYWORD, "tok_keyword_ratio"),
+        (TokenType.REGULAR_EXPRESSION, "tok_regex_ratio"),
+    ):
+        features[key] = _safe_div(counts.get(token_type, 0), n_tokens)
+
+    features["str_chars_ratio"] = _safe_div(summary.string_chars, n_chars)
+    features["str_escape_density"] = _safe_div(
+        summary.escape_chars, summary.string_chars
+    )
+    features["str_avg_length"] = _safe_div(summary.string_chars, summary.n_strings)
+    features["str_max_length"] = float(summary.max_string_len)
+
+    # ---- identifiers (token spellings, not AST nodes) ---------------------
+    names = summary.identifier_values
+    unique_names = set(names)
+    features["id_unique_ratio"] = _safe_div(len(unique_names), len(names))
+    features["id_avg_length"] = _safe_div(sum(map(len, names)), len(names))
+    features["id_single_char_ratio"] = _safe_div(
+        sum(1 for n in unique_names if len(n) == 1), len(unique_names)
+    )
+    features["id_hex_ratio"] = _safe_div(
+        sum(1 for n in unique_names if _HEX_NAME_RE.match(n)), len(unique_names)
+    )
+    features["id_digit_ratio"] = _safe_div(
+        sum(1 for n in unique_names if any(c.isdigit() for c in n)),
+        len(unique_names),
+    )
+    features["id_entropy"] = _entropy("".join(unique_names))
+
+    return features
+
+
+class TokenFeatureExtractor:
+    """Project a script into the token-level vector space in one scan.
+
+    The vector is a hashed n-gram head followed by the
+    :data:`TOKEN_STATIC_FEATURES` block — the same layout convention as
+    the full extractor, so downstream models and calibration code treat
+    both spaces uniformly.
+
+    Parameters
+    ----------
+    ngram_dims:
+        Width of the hashed n-gram head (``0`` drops it entirely).
+    ngram_source:
+        ``"tokens"`` accumulates token 4-gram buckets during the scan
+        (identical to :func:`~repro.features.ngrams.token_ngram_vector`);
+        ``"bytes"`` uses the vectorised byte 4-gram hash from
+        :func:`~repro.features.ngrams.byte_ngram_vector`, which needs no
+        lexing at all for the head and survives unparseable input.
+    """
+
+    def __init__(self, ngram_dims: int = 256, ngram_source: str = "tokens") -> None:
+        if ngram_source not in ("tokens", "bytes"):
+            raise ValueError("ngram_source must be 'tokens' or 'bytes'")
+        self.ngram_dims = int(ngram_dims)
+        self.ngram_source = ngram_source
+        self.static_names = list(TOKEN_STATIC_FEATURES)
+
+    @property
+    def n_features(self) -> int:
+        return self.ngram_dims + len(self.static_names)
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Dimension names: ngram buckets then static features."""
+        return [f"ngram_{i}" for i in range(self.ngram_dims)] + self.static_names
+
+    def extract_with_summary(self, source: str) -> tuple[np.ndarray, TokenSummary]:
+        """(vector, token summary) for one script — one lexer pass."""
+        scan_dims = self.ngram_dims if self.ngram_source == "tokens" else 0
+        summary = scan_summary(source, ngram_dims=scan_dims)
+        static = compute_token_static_features(source, summary)
+        if self.ngram_dims == 0:
+            head = np.zeros(0, dtype=np.float64)
+        elif self.ngram_source == "bytes":
+            from repro.features.ngrams import byte_ngram_vector
+
+            head = byte_ngram_vector(source, n_dims=self.ngram_dims)
+        else:
+            head = np.asarray(summary.ngram_counts, dtype=np.float64)
+            if summary.ngram_total:
+                head /= summary.ngram_total
+        tail = np.array(
+            [static[name] for name in self.static_names], dtype=np.float64
+        )
+        vector = np.concatenate([head, tail])
+        return np.nan_to_num(vector, nan=0.0, posinf=1e12, neginf=-1e12), summary
+
+    def extract(self, source: str) -> np.ndarray:
+        """Feature vector for one script (lexes once, no AST)."""
+        vector, _summary = self.extract_with_summary(source)
+        return vector
+
+    def extract_matrix(self, sources: list[str]) -> np.ndarray:
+        """(n, n_features) matrix for a list of scripts."""
+        if not sources:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return np.vstack([self.extract(source) for source in sources])

@@ -60,6 +60,35 @@ def token_ngram_vector(
     return _hashed_ngrams(sequence, n, n_dims, max_units)
 
 
+def byte_ngram_vector(
+    source: str,
+    n_dims: int = 512,
+    max_bytes: int = 1_000_000,
+) -> np.ndarray:
+    """Hashed byte 4-gram vector, fully vectorised (no tokenization).
+
+    The cheapest head for the lexer fast path: pack each 4-byte window of
+    the UTF-8 encoding into a 32-bit word, Fibonacci-hash it, and bucket
+    with one ``bincount``.  Works on any input, including files the lexer
+    rejects.
+    """
+    data = source.encode("utf-8", errors="replace")[:max_bytes]
+    vector = np.zeros(n_dims, dtype=np.float64)
+    if len(data) < 4 or n_dims <= 0:
+        return vector
+    raw = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+    words = raw[:-3] | (raw[1:-2] << 8) | (raw[2:-1] << 16) | (raw[3:] << 24)
+    # Knuth's multiplicative hash; mask keeps the product in 32 bits so the
+    # high half carries the mixed bits.
+    buckets = (((words * 2654435761) & 0xFFFFFFFF) >> 16) % n_dims
+    counts = np.bincount(buckets.astype(np.int64), minlength=n_dims)
+    vector += counts
+    total = vector.sum()
+    if total > 0:
+        vector /= total
+    return vector
+
+
 def ast_ngram_vector(
     program: Node,
     n: int = 4,

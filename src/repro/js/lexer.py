@@ -1,13 +1,31 @@
-"""JavaScript tokenizer.
+"""JavaScript tokenizer — table-driven fast path.
 
-Hand-written scanner covering ES5 plus the ES2015 constructs common in the
-wild: template literals, arrow `=>`, spread `...`, binary/octal numerics,
-regular-expression literals (with the standard slash disambiguation), and
-both comment styles.  Comments are collected separately so feature
-extraction can measure comment density while the parser sees clean input.
+The scanner dispatches on a precomputed 256-entry character-class table and
+consumes trivia (whitespace, newlines, comments) and literal bodies in
+batched ``str.find``/regex-driven jumps instead of per-character method
+calls, which makes tokenization the cheapest layer of the pipeline again
+(see DESIGN.md §9 and BENCH_parse.json).  Coverage is ES5 plus the ES2015+
+constructs common in the wild: template literals (with a real substitution
+sub-scanner), arrow ``=>``, spread ``...``, binary/octal/BigInt numerics,
+Unicode escapes in identifiers, regular-expression literals (with the
+standard slash disambiguation, including statement-parenthesis tracking for
+the ``)``-before-``/`` ambiguity), and both comment styles.  Comments are
+collected separately so feature extraction can measure comment density
+while the parser sees clean input.
+
+The module also exposes the opt-in single-pass "features-without-full-AST"
+mode: :func:`scan_summary` folds the token stream into a
+:class:`TokenSummary` (per-type counts, identifier spellings, string
+statistics, hashed token n-gram buckets) in the same pass, so
+triage-adjacent workloads get token-level feature vectors without ever
+parsing (wired through ``repro.features.extractor.TokenFeatureExtractor``
+and ``BatchInferenceEngine.extract_token_features``).
 """
 
 from __future__ import annotations
+
+import re
+from zlib import crc32
 
 from repro.js.tokens import (
     KEYWORDS,
@@ -18,19 +36,197 @@ from repro.js.tokens import (
     TokenType,
 )
 
-_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ$_")
-_ID_PART = _ID_START | set("0123456789")
-_DIGITS = set("0123456789")
-_HEX_DIGITS = set("0123456789abcdefABCDEF")
-_WHITESPACE = set(" \t\v\f ﻿")
-_LINE_TERMINATORS = set("\n\r  ")
+# -- character-class dispatch table -------------------------------------------
+#
+# One entry per Latin-1 code point; code points above 0xFF are classified by
+# exclusion (the only high trivia characters are consumed by the trivia
+# regex, everything else is an identifier character, matching Esprima's
+# lenient "any non-ASCII is identifier-ish" behaviour).
 
+_CC_INVALID = 0
+_CC_ID = 1
+_CC_DIGIT = 2
+_CC_QUOTE = 3
+_CC_BACKTICK = 4
+_CC_SLASH = 5
+_CC_DOT = 6
+_CC_PUNCT = 7
+_CC_BACKSLASH = 8
 
-# Longest-first punctuator candidates grouped by their first character.
-_PUNCTUATORS_BY_FIRST_CHAR: dict[str, list[str]] = {}
+_CLASS = [_CC_INVALID] * 256
+for _ch in "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ$_":
+    _CLASS[ord(_ch)] = _CC_ID
+for _ch in "0123456789":
+    _CLASS[ord(_ch)] = _CC_DIGIT
 for _punct in PUNCTUATORS:
-    _PUNCTUATORS_BY_FIRST_CHAR.setdefault(_punct[0], []).append(_punct)
+    _CLASS[ord(_punct[0])] = _CC_PUNCT
+_CLASS[ord('"')] = _CC_QUOTE
+_CLASS[ord("'")] = _CC_QUOTE
+_CLASS[ord("`")] = _CC_BACKTICK
+_CLASS[ord("/")] = _CC_SLASH
+_CLASS[ord(".")] = _CC_DOT
+_CLASS[ord("\\")] = _CC_BACKSLASH
+del _ch
+
+# Punctuator candidates per first character, longest first, values interned
+# as module-level constants so every emitted token shares one string object.
+_PUNCT_TABLE: dict[str, tuple[str, ...]] = {}
+for _punct in PUNCTUATORS:
+    _PUNCT_TABLE[_punct[0]] = _PUNCT_TABLE.get(_punct[0], ()) + (_punct,)
 del _punct
+
+# Keyword interning: token values point at the canonical catalog strings.
+_KEYWORD_CANON = {keyword: keyword for keyword in KEYWORDS}
+_KEYWORD_CANON["true"] = "true"
+_KEYWORD_CANON["false"] = "false"
+_KEYWORD_CANON["null"] = "null"
+
+#: ``(`` directly after one of these keywords opens a *statement* head, so
+#: a ``/`` right after the matching ``)`` starts a regex, not a division
+#: (``if (x) /re/.test(s)``).
+_STATEMENT_PAREN_KEYWORDS = frozenset({"if", "for", "while", "with"})
+
+# Batched scanners (all anchored with .match/.search so they run in C).
+_TRIVIA_RUN_RE = re.compile("[ \t\v\f\xa0\ufeff\n\r\u2028\u2029]+")
+_LINE_TERM_RE = re.compile("[\n\r\u2028\u2029]")
+_ID_RE = re.compile(r"[A-Za-z$_\x80-\U0010ffff][0-9A-Za-z$_\x80-\U0010ffff]*")
+_ID_PART_RE = re.compile(r"[0-9A-Za-z$_\x80-\U0010ffff]*")
+_NUM_DEC_RE = re.compile(r"[0-9]+(?:\.[0-9]*)?(?:[eE][+-]?[0-9]+)?")
+_NUM_DOT_RE = re.compile(r"\.[0-9]+(?:[eE][+-]?[0-9]+)?")
+_NUM_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]*")
+_NUM_OCT_RE = re.compile(r"0[oO][0-7]*")
+_NUM_BIN_RE = re.compile(r"0[bB][01]*")
+_NUM_LEGACY_OCT_RE = re.compile(r"0[0-7]+")
+_STRING_RE = {
+    '"': re.compile(r'"(?:[^"\\\n\r]++|\\(?:\r\n|[\s\S]))*"'),
+    "'": re.compile(r"'(?:[^'\\\n\r]++|\\(?:\r\n|[\s\S]))*'"),
+}
+_LINE_TERMINATORS = frozenset("\n\r\u2028\u2029")
+
+# Next character a template-body scan has to stop and think about.
+_TEMPLATE_SPECIAL_RE = re.compile("[\\\\`$\n\r\u2028\u2029]")
+# Next character a regex-literal scan has to stop and think about; plain
+# pattern characters are skipped in one C-level search per special.
+_REGEX_SPECIAL_RE = re.compile(
+    "[\\\\[\\]/\n\r" + "".join(sorted(_LINE_TERMINATORS - set("\n\r"))) + "]"
+)
+
+# -- master scan regex ---------------------------------------------------------
+#
+# One alternation covering every token shape that needs no lexer state,
+# consumed with ``finditer`` so the hot loop runs inside the regex engine.
+# Anything the alternation cannot express — template literals, regex
+# literals (previous-token dependent), identifier Unicode escapes,
+# unterminated literals, stray characters — shows up as a *gap* between
+# matches or as a flagged match, and control drops to the stateful
+# :meth:`Lexer._scan_one` fallback for exactly one token.
+#
+# Group order is load-bearing: the regex engine takes the first
+# alternative that matches, so comments must precede punctuators (``//``
+# before ``/``), numbers must precede punctuators (``.5`` before ``.``),
+# and the legacy-octal alternative must precede plain decimal so ``0778``
+# splits into ``077`` + ``8`` exactly like the reference scanner.
+
+_G_WS, _G_COMMENT, _G_ID, _G_NUM, _G_STR, _G_PUNCT = range(1, 7)
+
+# Single-char punctuators that prefix no longer punctuator collapse into
+# one character class up front; the rest are grouped by first character
+# (longest first inside a family, which is all maximal munch needs) with
+# the families ordered by how often minified code starts a punctuator
+# with that character, so the engine's alternation scan stays short.
+_PUNCT_SAFE_SINGLE = [
+    p
+    for p in PUNCTUATORS
+    if len(p) == 1 and not any(q != p and q.startswith(p) for q in PUNCTUATORS)
+]
+_PUNCT_FAMILY_ORDER = "=.+-<>!*&|?%^/"
+assert set(_PUNCT_FAMILY_ORDER) == {
+    p[0] for p in PUNCTUATORS if p not in _PUNCT_SAFE_SINGLE
+}
+_PUNCT_PATTERN = "[" + "".join(re.escape(p) for p in _PUNCT_SAFE_SINGLE) + "]|" + "|".join(
+    "|".join(
+        re.escape(p)
+        for p in sorted(_PUNCT_TABLE[first], key=len, reverse=True)
+    )
+    for first in _PUNCT_FAMILY_ORDER
+)
+
+_MASTER_RE = re.compile(
+    "([ \t\v\f\xa0\ufeff\n\r\u2028\u2029]++)"  # ws
+    "|(//[^\n\r\u2028\u2029]*+"  # comment: line ...
+    r"|/\*[^*]*+\*+(?:[^/*][^*]*+\*+)*+/)"  # ... or terminated block
+    "|([A-Za-z$_\x80-\U0010ffff][0-9A-Za-z$_\x80-\U0010ffff]*+)"  # identifier
+    r"|(0[xX][0-9a-fA-F]*+n?|0[oO][0-7]*+n?|0[bB][01]*+n?"  # number: radix
+    r"|0[0-7]++"  # legacy octal (before decimal; no BigInt suffix)
+    r"|[0-9]++(?:n|(?:\.[0-9]*+)?(?:[eE][+-]?[0-9]++)?)"  # decimal / BigInt
+    r"|\.[0-9]++(?:[eE][+-]?[0-9]++)?)"  # dot-start (before punctuator ".")
+    '|("(?:[^"\\\\\n\r]++|\\\\(?:\r\n|[\\s\\S]))*"'  # string: double ...
+    "|'(?:[^'\\\\\n\r]++|\\\\(?:\r\n|[\\s\\S]))*')"  # ... or single quoted
+    "|(" + _PUNCT_PATTERN + ")"  # punctuator
+)
+
+# Punctuator value interning: every emitted token shares one string object.
+_PUNCT_CANON = {p: p for p in PUNCTUATORS}
+
+# Group-free twin of the master regex for the `findall` fast tier: one
+# plain string per match, no per-match group-tuple or Match allocation.
+# The trailing catch-all makes the scan *gap-free* — every source char is
+# in exactly one match, so cumulative lengths are exact absolute offsets.
+# Characters only the catch-all takes (backtick, backslash, stray bytes,
+# a quote whose string never closes) classify as bail-out below.
+_FLAT_MASTER_RE = re.compile(
+    re.sub(r"(?<!\\)\((?!\?)", "(?:", _MASTER_RE.pattern) + r"|[\s\S]"
+)
+assert _FLAT_MASTER_RE.groups == 0
+
+# Per-first-character classification for the flat tier: a match's token
+# type follows from its first character, with the three ambiguous cases
+# (``/`` comment-vs-punctuator-vs-regex, ``.`` punctuator-vs-number,
+# identifier-vs-keyword) resolved on the value.
+_FK_WS = 0
+_FK_ID = 1
+_FK_NUM = 2
+_FK_STR = 3
+_FK_SLASH = 5
+_FK_DOT = 6
+_FK_BAIL = 7
+
+# First character -> token kind.  Unambiguous punctuator openers map
+# straight to their TokenType (no second lookup); the rest map to the
+# marker ints above; anything absent (identifier alphabet, astral
+# planes) defaults to identifier-ish at the lookup site.  Keys are the
+# single-character strings `findall` hands back, so the lookup skips the
+# ord()/table-bounds dance entirely.
+_FLAT_KIND0: dict = {}
+for _ch in " \t\v\f\xa0\ufeff" + "".join(_LINE_TERMINATORS):
+    _FLAT_KIND0[_ch] = _FK_WS
+for _ch in "0123456789":
+    _FLAT_KIND0[_ch] = _FK_NUM
+for _punct in PUNCTUATORS:
+    _FLAT_KIND0[_punct[0]] = TokenType.PUNCTUATOR
+_FLAT_KIND0["/"] = _FK_SLASH
+_FLAT_KIND0["."] = _FK_DOT
+_FLAT_KIND0['"'] = _FK_STR
+_FLAT_KIND0["'"] = _FK_STR
+# Catch-all-only characters: templates, identifier escapes, and invalid
+# bytes all need lexer state (or an error) the flat tier does not have.
+_FLAT_KIND0["`"] = _FK_BAIL
+_FLAT_KIND0["\\"] = _FK_BAIL
+for _code in range(128):
+    if _CLASS[_code] == _CC_INVALID and chr(_code) not in _FLAT_KIND0:
+        _FLAT_KIND0[chr(_code)] = _FK_BAIL
+del _ch, _punct, _code
+
+# Exact-value lookup taking identifier spellings to keyword-family types.
+_KEYWORD_TYPE = {keyword: TokenType.KEYWORD for keyword in KEYWORDS}
+_KEYWORD_TYPE["true"] = TokenType.BOOLEAN
+_KEYWORD_TYPE["false"] = TokenType.BOOLEAN
+_KEYWORD_TYPE["null"] = TokenType.NULL
+
+# Characters that may directly follow a numeric literal without tripping
+# the reference scanner's "identifier starts immediately after number"
+# error: any ASCII that is not an identifier character.
+_NUM_SAFE_NEXT = frozenset(chr(i) for i in range(128) if _CLASS[i] != _CC_ID)
 
 
 class LexerError(ValueError):
@@ -42,16 +238,21 @@ class LexerError(ValueError):
         self.column = column
 
 
-def _is_id_start(char: str) -> bool:
-    return char in _ID_START or ord(char) > 0x7F
-
-
-def _is_id_part(char: str) -> bool:
-    return char in _ID_PART or ord(char) > 0x7F
-
-
 class Lexer:
     """Stateful scanner over a JavaScript source string."""
+
+    __slots__ = (
+        "source",
+        "length",
+        "pos",
+        "line",
+        "line_start",
+        "tokens",
+        "comments",
+        "_has_ls_ps",
+        "_paren_stack",
+        "_close_paren_statement",
+    )
 
     def __init__(self, source: str) -> None:
         self.source = source
@@ -61,341 +262,1175 @@ class Lexer:
         self.line_start = 0
         self.tokens: list[Token] = []
         self.comments: list[Token] = []
+        # Sources without U+2028/U+2029 (almost all of them) skip the
+        # supplementary terminator bookkeeping in the line counter.
+        self._has_ls_ps = "\u2028" in source or "\u2029" in source
+        # One bool per open "(": does it head an if/for/while/with statement?
+        self._paren_stack: list[bool] = []
+        self._close_paren_statement = False
 
     # -- public API --------------------------------------------------------
 
     def scan_all(self) -> list[Token]:
-        """Tokenize the whole input; returns tokens without comments."""
+        """Tokenize the whole input; returns tokens without comments.
+
+        Three tiers, fastest first:
+
+        1. :meth:`_scan_flat` — a single ``findall`` over the group-free
+           master regex plus one tight Python loop.  It never raises and
+           never guesses: any construct it cannot prove (templates,
+           regex-position slashes, identifier escapes, lexing errors)
+           makes it discard everything and defer to tier 2.
+        2. :meth:`_scan_iter` — the ``finditer`` master-regex loop, which
+           drops to tier 3 for single tokens the regex cannot see.
+        3. :meth:`_scan_one` — the table-driven stateful scanner; the
+           only tier that raises :class:`LexerError`.
+        """
+        if self._scan_flat():
+            return self.tokens
+        # The flat tier may have partially populated state before bailing.
+        self.tokens = []
+        self.comments = []
+        self.pos = 0
+        self.line = 1
+        self.line_start = 0
+        self._paren_stack.clear()
+        self._close_paren_statement = False
+        return self._scan_iter()
+
+    def _scan_flat(self) -> bool:
+        """Fast tier: lex the whole source from one group-free ``findall``.
+
+        ``findall`` with zero groups returns plain strings, so no Match
+        or group-tuple objects are allocated; token positions are
+        rebuilt from cumulative lengths, which the pattern's catch-all
+        alternative makes exact (every character is in exactly one
+        match).  The loop never raises — whenever it meets something it
+        cannot prove (a catch-all character, an ambiguous slash, a
+        number running into an identifier) it returns False with state
+        half-built and the caller re-lexes with the exact tiers.
+        """
+        src = self.source
+        length = self.length
+        values = _FLAT_MASTER_RE.findall(src)
+        tokens = self.tokens
+        append = tokens.append
+        kind0 = _FLAT_KIND0.get
+        keyword_type = _KEYWORD_TYPE.get
+        punct_canon = _PUNCT_CANON
+        safe_next = _NUM_SAFE_NEXT
+        terminators = _LINE_TERMINATORS
+        has_ls_ps = self._has_ls_ps
+        token_new = Token.__new__
+        identifier_type = TokenType.IDENTIFIER
+        punctuator_type = TokenType.PUNCTUATOR
+        keyword_type_tag = TokenType.KEYWORD
+        numeric_type = TokenType.NUMERIC
+        string_type = TokenType.STRING
+        regex_type = TokenType.REGULAR_EXPRESSION
+        pos = 0
+        line = 1
+        line_start = 0
+        values_iter = iter(values)
+        for value in values_iter:
+            start = pos
+            pos = end = start + len(value)
+            kind = kind0(value[0], _FK_ID)
+            if kind is punctuator_type:
+                # Single-char values arrive as cached ASCII singletons; only
+                # multi-char punctuators need the canon-intern lookup.
+                if len(value) > 1:
+                    value = punct_canon[value]
+            elif kind == _FK_WS:
+                if "\n" in value:
+                    if "\r" not in value and not has_ls_ps:
+                        line += value.count("\n")
+                        line_start = start + value.rfind("\n") + 1
+                        continue
+                elif "\r" not in value and (
+                    not has_ls_ps or terminators.isdisjoint(value)
+                ):
+                    continue
+                # CR / LS / PS forms are rare: use the exact counter.
+                self.line = line
+                self.line_start = line_start
+                self._count_lines(start, end)
+                line = self.line
+                line_start = self.line_start
+                continue
+            elif kind == _FK_ID:
+                kind = keyword_type(value) or identifier_type
+            elif kind == _FK_NUM:
+                if end < length and src[end] not in safe_next:
+                    return False  # number-into-identifier needs the error path
+                kind = numeric_type
+            elif kind == _FK_STR:
+                if len(value) == 1:
+                    return False  # catch-all: unterminated string
+                kind = string_type
+                if "\\" in value and not terminators.isdisjoint(value):
+                    token = token_new(Token)
+                    token.type = kind
+                    token.value = value
+                    token.start = start
+                    token.end = end
+                    token.line = line
+                    token.column = start - line_start
+                    append(token)
+                    self.line = line
+                    self.line_start = line_start
+                    self._count_escaped_newlines(start + 1, end - 1)
+                    line = self.line
+                    line_start = self.line_start
+                    continue
+            elif kind == _FK_SLASH:
+                if len(value) > 1 and (value[1] == "/" or value[1] == "*"):
+                    comment_kind = "Line" if value[1] == "/" else "Block"
+                    self.comments.append(
+                        Token(
+                            TokenType.COMMENT,
+                            value,
+                            start,
+                            end,
+                            line,
+                            start - line_start,
+                            extra={"kind": comment_kind},
+                        )
+                    )
+                    if comment_kind == "Block" and not terminators.isdisjoint(value):
+                        self.line = line
+                        self.line_start = line_start
+                        self._count_lines(start + 2, end - 2)
+                        line = self.line
+                        line_start = self.line_start
+                    continue
+                # A lone "/" directly before "*" is an *unterminated*
+                # block comment (a terminated one is taken by the comment
+                # alternative): the error path owns it.
+                if value == "/" and end < length and src[end] == "*":
+                    return False
+                # Bare "/" or "/=": division or regex per the previous
+                # token.  Only the ")" case is ambiguous here (statement-
+                # paren provenance lives in the stack this tier does not
+                # maintain) and defers to the exact tiers.
+                if tokens:
+                    prev = tokens[-1]
+                    prev_type = prev.type
+                    if prev_type is punctuator_type:
+                        prev_value = prev.value
+                        if prev_value == ")":
+                            return False
+                        want_regex = prev_value in REGEX_ALLOWED_AFTER_PUNCTUATORS
+                    elif prev_type is keyword_type_tag:
+                        want_regex = prev.value in REGEX_ALLOWED_AFTER_KEYWORDS
+                    else:
+                        want_regex = False
+                else:
+                    want_regex = True
+                if want_regex:
+                    # Scan the literal straight off the source, then walk
+                    # the remaining `findall` matches it swallowed.  If a
+                    # swallowed match straddles the literal's end (a quote
+                    # in the pattern opening a phantom string), the walk
+                    # cannot land exactly and bails below.
+                    span = self._flat_regex_end(start)
+                    if span is None:
+                        return False  # unterminated: the exact tiers raise
+                    pattern_end, rx_end = span
+                    token = token_new(Token)
+                    token.type = regex_type
+                    token.value = src[start:rx_end]
+                    token.start = start
+                    token.end = rx_end
+                    token.line = line
+                    token.column = start - line_start
+                    token.extra = {
+                        "pattern": src[start + 1 : pattern_end - 1],
+                        "flags": src[pattern_end:rx_end],
+                    }
+                    append(token)
+                    while pos < rx_end:
+                        value = next(values_iter, None)
+                        if value is None:
+                            return False
+                        pos += len(value)
+                    if pos != rx_end:
+                        return False  # a match straddles the regex end
+                    continue
+                kind = punctuator_type
+                value = punct_canon[value]
+            elif kind == _FK_DOT:
+                if value == "." or value == "...":
+                    kind = punctuator_type
+                    value = punct_canon[value]
+                else:
+                    if end < length and src[end] not in safe_next:
+                        return False
+                    kind = numeric_type
+            else:  # _FK_BAIL: templates, escapes, invalid characters
+                return False
+            token = token_new(Token)
+            token.type = kind
+            token.value = value
+            token.start = start
+            token.end = end
+            token.line = line
+            token.column = start - line_start
+            append(token)
+        if pos != length:
+            return False  # a gap desynced every position after it
+        self.pos = pos
+        self.line = line
+        self.line_start = line_start
+        append(Token(TokenType.EOF, "", pos, pos, line, pos - line_start))
+        return True
+
+    def _flat_regex_end(self, start: int) -> tuple[int, int] | None:
+        """Span of a regex literal opening at ``start`` for the flat tier.
+
+        Returns ``(pattern_end, end)`` — offsets just past the closing
+        ``/`` and past the flags — or None when the literal never closes
+        (the exact tiers own the error message).  Mirrors
+        :meth:`_scan_regex` but touches no lexer state.
+        """
+        src = self.source
+        length = self.length
+        pos = start + 1
+        in_class = False
+        search = _REGEX_SPECIAL_RE.search
         while True:
-            token = self._next_token()
-            if token.type is TokenType.EOF:
-                self.tokens.append(token)
-                break
-            self.tokens.append(token)
+            match = search(src, pos)
+            if match is None:
+                return None
+            pos = match.start()
+            char = src[pos]
+            if char == "\\":
+                pos += 2
+                continue
+            if char == "[":
+                in_class = True
+            elif char == "]":
+                in_class = False
+            elif char == "/":
+                if not in_class:
+                    pos += 1
+                    break
+            else:  # raw line terminator: unterminated
+                return None
+            pos += 1
+        if pos > length:
+            return None
+        return pos, _ID_PART_RE.match(src, pos).end()
+
+    def _scan_iter(self) -> list[Token]:
+        """Exact tier: walk :data:`_MASTER_RE` matches with ``finditer``.
+
+        Every stateless token shape is recognised and sliced inside the
+        regex engine.  The loop drops to :meth:`_scan_one` (the
+        table-driven stateful scanner) for exactly one token whenever
+
+        * a match starts past ``pos`` (a gap: backtick templates,
+          ``\\u`` identifier escapes, unterminated literals, stray
+          characters, the shebang line), or
+        * a match needs context the regex cannot see (a ``/`` that may
+          open a regex literal, an identifier continued by a Unicode
+          escape, a number running into an identifier character),
+
+        then restarts ``finditer`` after the fallback advances.
+        """
+        src = self.source
+        length = self.length
+        cls_table = _CLASS
+        tokens = self.tokens
+        append = tokens.append
+        comment_append = self.comments.append
+        keyword_canon = _KEYWORD_CANON
+        punct_canon = _PUNCT_CANON
+        pos = 0
+        while pos < length:
+            for match in _MASTER_RE.finditer(src, pos):
+                start = match.start()
+                if start != pos:
+                    break  # gap: hand the char at ``pos`` to the fallback
+                end = match.end()
+                group = match.lastindex
+                if group == _G_ID:
+                    if end < length and src[end] == "\\":
+                        break  # escape continues the identifier
+                    value = src[start:end]
+                    canonical = keyword_canon.get(value)
+                    if canonical is None:
+                        kind = TokenType.IDENTIFIER
+                    else:
+                        value = canonical
+                        if value == "true" or value == "false":
+                            kind = TokenType.BOOLEAN
+                        elif value == "null":
+                            kind = TokenType.NULL
+                        else:
+                            kind = TokenType.KEYWORD
+                    append(
+                        Token(
+                            kind, value, start, end, self.line, start - self.line_start
+                        )
+                    )
+                elif group == _G_PUNCT:
+                    value = punct_canon[src[start:end]]
+                    if value[0] == "/":
+                        # May be an unterminated block comment or open a
+                        # regex literal — both need the stateful scanner.
+                        if (
+                            end < length and src[end] == "*" and value == "/"
+                        ) or self._regex_allowed():
+                            break
+                    elif value == "(":
+                        prev = tokens[-1] if tokens else None
+                        self._paren_stack.append(
+                            prev is not None
+                            and prev.type is TokenType.KEYWORD
+                            and prev.value in _STATEMENT_PAREN_KEYWORDS
+                        )
+                    elif value == ")":
+                        stack = self._paren_stack
+                        self._close_paren_statement = stack.pop() if stack else False
+                    append(
+                        Token(
+                            TokenType.PUNCTUATOR,
+                            value,
+                            start,
+                            end,
+                            self.line,
+                            start - self.line_start,
+                        )
+                    )
+                elif group == _G_WS:
+                    self._count_lines(start, end)
+                elif group == _G_STR:
+                    value = match.group()
+                    start_line = self.line
+                    start_col = start - self.line_start
+                    if "\\" in value and (
+                        "\n" in value
+                        or "\r" in value
+                        or (
+                            self._has_ls_ps
+                            and ("\u2028" in value or "\u2029" in value)
+                        )
+                    ):
+                        self._count_escaped_newlines(start + 1, end - 1)
+                    append(
+                        Token(TokenType.STRING, value, start, end, start_line, start_col)
+                    )
+                elif group == _G_NUM:
+                    if end < length:
+                        code = ord(src[end])
+                        if (code < 256 and cls_table[code] == _CC_ID) or code > 0x7F:
+                            break  # exact error raised by the fallback
+                    append(
+                        Token(
+                            TokenType.NUMERIC,
+                            src[start:end],
+                            start,
+                            end,
+                            self.line,
+                            start - self.line_start,
+                        )
+                    )
+                else:  # _G_COMMENT
+                    if src[start + 1] == "/":
+                        kind = "Line"
+                        start_line = self.line
+                        start_col = start - self.line_start
+                    else:
+                        kind = "Block"
+                        start_line = self.line
+                        start_col = start - self.line_start
+                        self._count_lines(start + 2, end - 2)
+                    comment_append(
+                        Token(
+                            TokenType.COMMENT,
+                            src[start:end],
+                            start,
+                            end,
+                            start_line,
+                            start_col,
+                            extra={"kind": kind},
+                        )
+                    )
+                pos = end
+            if pos < length:
+                self.pos = pos
+                self._scan_one()
+                pos = self.pos
+        self.pos = pos
+        append(Token(TokenType.EOF, "", pos, pos, self.line, pos - self.line_start))
         return self.tokens
 
-    # -- internals ---------------------------------------------------------
+    def _scan_one(self) -> None:
+        """Scan one token (or trailing trivia) with the stateful machinery.
+
+        This is the fallback half of :meth:`scan_all`: dispatch on the
+        character-class table, full template/regex/escape handling, exact
+        reference error messages.  A no-op at end of input.
+        """
+        src = self.source
+        length = self.length
+        self._skip_trivia()
+        pos = self.pos
+        if pos >= length:
+            return
+        code = ord(src[pos])
+        cc = _CLASS[code] if code < 256 else _CC_ID
+        if cc == _CC_ID:
+            self._scan_identifier()
+        elif cc == _CC_PUNCT:
+            self._scan_punctuator()
+        elif cc == _CC_DIGIT:
+            self._scan_number()
+        elif cc == _CC_QUOTE:
+            self._scan_string(src[pos])
+        elif cc == _CC_SLASH:
+            if self._regex_allowed():
+                self._scan_regex()
+            else:
+                self._scan_punctuator()
+        elif cc == _CC_DOT:
+            if pos + 1 < length and src[pos + 1] in "0123456789":
+                self._scan_number()
+            else:
+                self._scan_punctuator()
+        elif cc == _CC_BACKTICK:
+            self._scan_template()
+        elif cc == _CC_BACKSLASH:
+            if pos + 1 < length and src[pos + 1] == "u":
+                self._scan_identifier()
+            else:
+                raise LexerError(
+                    f"Unexpected character {src[pos]!r}",
+                    self.line,
+                    pos - self.line_start,
+                )
+        else:
+            raise LexerError(
+                f"Unexpected character {src[pos]!r}",
+                self.line,
+                pos - self.line_start,
+            )
+
+    # -- line bookkeeping --------------------------------------------------
 
     @property
     def column(self) -> int:
         return self.pos - self.line_start
 
-    def _newline(self, char: str) -> None:
-        # Treat \r\n as a single terminator.
-        if char == "\r" and self.pos < self.length and self.source[self.pos] == "\n":
-            self.pos += 1
+    def _count_lines(self, start: int, end: int) -> None:
+        """Batched line accounting for the span ``[start, end)``.
+
+        Counts line terminators (``\\r\\n`` as one) with C-level
+        ``str.count`` and moves ``line_start`` past the last one.
+        """
+        src = self.source
+        newlines = src.count("\n", start, end)
+        line_start = src.rfind("\n", start, end) + 1  # 0 when absent
+        carriage = src.count("\r", start, end)
+        if carriage:
+            newlines += carriage - src.count("\r\n", start, end)
+            last_cr = src.rfind("\r", start, end)
+            if last_cr + 1 > line_start and (
+                last_cr + 1 >= end or src[last_cr + 1] != "\n"
+            ):
+                line_start = last_cr + 1
+        if self._has_ls_ps:
+            for terminator in ("\u2028", "\u2029"):
+                count = src.count(terminator, start, end)
+                if count:
+                    newlines += count
+                    line_start = max(line_start, src.rfind(terminator, start, end) + 1)
+        if newlines:
+            self.line += newlines
+            self.line_start = line_start
+
+    def _newline_at(self, pos: int) -> int:
+        """Record one line terminator starting at ``pos``; returns the
+        position after it (``\\r\\n`` consumed as a single terminator)."""
+        src = self.source
+        if src[pos] == "\r" and pos + 1 < self.length and src[pos + 1] == "\n":
+            pos += 2
+        else:
+            pos += 1
         self.line += 1
-        self.line_start = self.pos
+        self.line_start = pos
+        return pos
 
-    def _skip_whitespace_and_comments(self) -> None:
+    # -- trivia ------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
         src = self.source
-        while self.pos < self.length:
-            char = src[self.pos]
-            if char in _WHITESPACE:
-                self.pos += 1
-            elif char in _LINE_TERMINATORS:
-                self.pos += 1
-                self._newline(char)
-            elif char == "/" and self.pos + 1 < self.length:
-                nxt = src[self.pos + 1]
+        length = self.length
+        pos = self.pos
+        while pos < length:
+            match = _TRIVIA_RUN_RE.match(src, pos)
+            if match is not None:
+                end = match.end()
+                self._count_lines(pos, end)
+                pos = end
+                continue
+            char = src[pos]
+            if char == "/" and pos + 1 < length:
+                nxt = src[pos + 1]
                 if nxt == "/":
-                    self._scan_line_comment()
-                elif nxt == "*":
-                    self._scan_block_comment()
-                else:
-                    return
-            elif char == "#" and self.pos == 0 and src.startswith("#!"):
+                    pos = self._scan_line_comment(pos)
+                    continue
+                if nxt == "*":
+                    pos = self._scan_block_comment(pos)
+                    continue
+                break
+            if char == "#" and pos == 0 and src.startswith("#!"):
                 # Shebang line in Node scripts.
-                self._scan_line_comment()
-            else:
-                return
+                pos = self._scan_line_comment(0)
+                continue
+            break
+        self.pos = pos
 
-    def _scan_line_comment(self) -> None:
-        start = self.pos
-        start_line, start_col = self.line, self.column
+    def _scan_line_comment(self, start: int) -> int:
         src = self.source
-        self.pos += 2
-        while self.pos < self.length and src[self.pos] not in _LINE_TERMINATORS:
-            self.pos += 1
+        match = _LINE_TERM_RE.search(src, start + 2)
+        end = match.start() if match is not None else self.length
         self.comments.append(
             Token(
                 TokenType.COMMENT,
-                src[start : self.pos],
+                src[start:end],
                 start,
-                self.pos,
-                start_line,
-                start_col,
+                end,
+                self.line,
+                start - self.line_start,
                 extra={"kind": "Line"},
             )
         )
+        return end
 
-    def _scan_block_comment(self) -> None:
-        start = self.pos
-        start_line, start_col = self.line, self.column
+    def _scan_block_comment(self, start: int) -> int:
         src = self.source
-        self.pos += 2
-        while self.pos < self.length:
-            char = src[self.pos]
-            if char == "*" and self.pos + 1 < self.length and src[self.pos + 1] == "/":
-                self.pos += 2
-                self.comments.append(
-                    Token(
-                        TokenType.COMMENT,
-                        src[start : self.pos],
-                        start,
-                        self.pos,
-                        start_line,
-                        start_col,
-                        extra={"kind": "Block"},
-                    )
-                )
-                return
-            self.pos += 1
-            if char in _LINE_TERMINATORS:
-                self._newline(char)
-        raise LexerError("Unterminated block comment", start_line, start_col)
+        close = src.find("*/", start + 2)
+        if close == -1:
+            raise LexerError(
+                "Unterminated block comment", self.line, start - self.line_start
+            )
+        start_line, start_col = self.line, start - self.line_start
+        self._count_lines(start + 2, close)
+        end = close + 2
+        self.comments.append(
+            Token(
+                TokenType.COMMENT,
+                src[start:end],
+                start,
+                end,
+                start_line,
+                start_col,
+                extra={"kind": "Block"},
+            )
+        )
+        return end
 
-    def _next_token(self) -> Token:
-        self._skip_whitespace_and_comments()
-        if self.pos >= self.length:
-            return Token(TokenType.EOF, "", self.pos, self.pos, self.line, self.column)
-        char = self.source[self.pos]
-        if _is_id_start(char):
-            return self._scan_identifier()
-        if char in _DIGITS or (
-            char == "."
-            and self.pos + 1 < self.length
-            and self.source[self.pos + 1] in _DIGITS
-        ):
-            return self._scan_number()
-        if char in "'\"":
-            return self._scan_string(char)
-        if char == "`":
-            return self._scan_template()
-        if char == "/" and self._regex_allowed():
-            return self._scan_regex()
-        return self._scan_punctuator()
+    # -- identifiers and keywords -----------------------------------------
 
-    def _scan_identifier(self) -> Token:
-        start = self.pos
-        start_line, start_col = self.line, self.column
+    def _scan_identifier(self) -> None:
         src = self.source
-        self.pos += 1
-        while self.pos < self.length and _is_id_part(src[self.pos]):
-            self.pos += 1
-        value = src[start : self.pos]
-        if value in ("true", "false"):
-            kind = TokenType.BOOLEAN
-        elif value == "null":
-            kind = TokenType.NULL
-        elif value in KEYWORDS:
-            kind = TokenType.KEYWORD
+        start = self.pos
+        if src[start] == "\\":
+            end = self._consume_identifier_escape(start)
+        else:
+            end = _ID_RE.match(src, start).end()
+        # Unicode escapes (A / \u{41}) may continue an identifier.
+        while end < self.length and src[end] == "\\":
+            end = self._consume_identifier_escape(end)
+        value = src[start:end]
+        canonical = _KEYWORD_CANON.get(value)
+        if canonical is not None:
+            value = canonical
+            if value == "true" or value == "false":
+                kind = TokenType.BOOLEAN
+            elif value == "null":
+                kind = TokenType.NULL
+            else:
+                kind = TokenType.KEYWORD
         else:
             kind = TokenType.IDENTIFIER
-        return Token(kind, value, start, self.pos, start_line, start_col)
+        self.tokens.append(
+            Token(kind, value, start, end, self.line, start - self.line_start)
+        )
+        self.pos = end
 
-    def _scan_number(self) -> Token:
-        start = self.pos
-        start_line, start_col = self.line, self.column
+    def _consume_identifier_escape(self, pos: int) -> int:
+        """Consume ``\\uXXXX`` or ``\\u{...}`` plus the id-part run after it."""
         src = self.source
-        if src[self.pos] == "0" and self.pos + 1 < self.length:
-            marker = src[self.pos + 1]
-            if marker in "xX":
-                self.pos += 2
-                while self.pos < self.length and src[self.pos] in _HEX_DIGITS:
-                    self.pos += 1
-                return self._finish_number(start, start_line, start_col)
-            if marker in "oO":
-                self.pos += 2
-                while self.pos < self.length and src[self.pos] in "01234567":
-                    self.pos += 1
-                return self._finish_number(start, start_line, start_col)
-            if marker in "bB":
-                self.pos += 2
-                while self.pos < self.length and src[self.pos] in "01":
-                    self.pos += 1
-                return self._finish_number(start, start_line, start_col)
-            if marker in "01234567":
-                # Legacy octal (sloppy mode); consume the digits.
-                self.pos += 1
-                while self.pos < self.length and src[self.pos] in "01234567":
-                    self.pos += 1
-                return self._finish_number(start, start_line, start_col)
-        while self.pos < self.length and src[self.pos] in _DIGITS:
-            self.pos += 1
-        if self.pos < self.length and src[self.pos] == ".":
-            self.pos += 1
-            while self.pos < self.length and src[self.pos] in _DIGITS:
-                self.pos += 1
-        if self.pos < self.length and src[self.pos] in "eE":
-            lookahead = self.pos + 1
-            if lookahead < self.length and src[lookahead] in "+-":
-                lookahead += 1
-            if lookahead < self.length and src[lookahead] in _DIGITS:
-                self.pos = lookahead
-                while self.pos < self.length and src[self.pos] in _DIGITS:
-                    self.pos += 1
-        return self._finish_number(start, start_line, start_col)
-
-    def _finish_number(self, start: int, line: int, col: int) -> Token:
-        value = self.source[start : self.pos]
-        if self.pos < self.length and _is_id_start(self.source[self.pos]):
+        length = self.length
+        if pos + 1 >= length or src[pos + 1] != "u":
             raise LexerError(
-                f"Identifier starts immediately after number {value!r}",
-                self.line,
-                self.column,
+                f"Unexpected character {src[pos]!r}", self.line, pos - self.line_start
             )
-        return Token(TokenType.NUMERIC, value, start, self.pos, line, col)
-
-    def _scan_string(self, quote: str) -> Token:
-        start = self.pos
-        start_line, start_col = self.line, self.column
-        src = self.source
-        self.pos += 1
-        while self.pos < self.length:
-            char = src[self.pos]
-            if char == quote:
-                self.pos += 1
-                return Token(
-                    TokenType.STRING,
-                    src[start : self.pos],
-                    start,
-                    self.pos,
-                    start_line,
-                    start_col,
+        cursor = pos + 2
+        if cursor < length and src[cursor] == "{":
+            close = src.find("}", cursor + 1)
+            hex_digits = src[cursor + 1 : close] if close != -1 else ""
+            if close == -1 or not hex_digits or any(
+                ch not in "0123456789abcdefABCDEF" for ch in hex_digits
+            ):
+                raise LexerError(
+                    f"Unexpected character {src[pos]!r}",
+                    self.line,
+                    pos - self.line_start,
                 )
-            if char == "\\":
-                self.pos += 1
-                if self.pos < self.length and src[self.pos] in _LINE_TERMINATORS:
-                    self.pos += 1
-                    self._newline(src[self.pos - 1])
-                else:
-                    self.pos += 1
-            elif char in "\n\r":
-                raise LexerError("Unterminated string literal", start_line, start_col)
-            else:
-                self.pos += 1
-        raise LexerError("Unterminated string literal", start_line, start_col)
+            cursor = close + 1
+        else:
+            hex_digits = src[cursor : cursor + 4]
+            if len(hex_digits) != 4 or any(
+                ch not in "0123456789abcdefABCDEF" for ch in hex_digits
+            ):
+                raise LexerError(
+                    f"Unexpected character {src[pos]!r}",
+                    self.line,
+                    pos - self.line_start,
+                )
+            cursor += 4
+        return _ID_PART_RE.match(src, cursor).end()
 
-    def _scan_template(self) -> Token:
-        """Scan a whole template literal (including `${ }` substitutions).
+    # -- numbers -----------------------------------------------------------
+
+    def _scan_number(self) -> None:
+        src = self.source
+        start = self.pos
+        length = self.length
+        char = src[start]
+        bigint_ok = True
+        if char == "0" and start + 1 < length:
+            marker = src[start + 1]
+            if marker in "xX":
+                end = _NUM_HEX_RE.match(src, start).end()
+            elif marker in "oO":
+                end = _NUM_OCT_RE.match(src, start).end()
+            elif marker in "bB":
+                end = _NUM_BIN_RE.match(src, start).end()
+            elif marker in "01234567":
+                # Legacy octal (sloppy mode); consume the octal digits.
+                end = _NUM_LEGACY_OCT_RE.match(src, start).end()
+                bigint_ok = False
+            else:
+                end = _NUM_DEC_RE.match(src, start).end()
+        elif char == ".":
+            end = _NUM_DOT_RE.match(src, start).end()
+            bigint_ok = False
+        else:
+            end = _NUM_DEC_RE.match(src, start).end()
+        value = src[start:end]
+        if (
+            bigint_ok
+            and end < length
+            and src[end] == "n"
+            and "." not in value
+            and (value[:2] in ("0x", "0X", "0o", "0O", "0b", "0B") or
+                 ("e" not in value and "E" not in value))
+        ):
+            end += 1  # BigInt literal suffix
+            value = src[start:end]
+        self.pos = end
+        if end < length:
+            nxt = src[end]
+            code = ord(nxt)
+            if (code < 256 and _CLASS[code] == _CC_ID) or code > 0x7F:
+                raise LexerError(
+                    f"Identifier starts immediately after number {value!r}",
+                    self.line,
+                    end - self.line_start,
+                )
+        self.tokens.append(
+            Token(
+                TokenType.NUMERIC, value, start, end, self.line, start - self.line_start
+            )
+        )
+
+    # -- strings -----------------------------------------------------------
+
+    def _scan_string(self, quote: str) -> None:
+        src = self.source
+        start = self.pos
+        start_line, start_col = self.line, start - self.line_start
+        match = _STRING_RE[quote].match(src, start)
+        if match is None:
+            raise LexerError("Unterminated string literal", start_line, start_col)
+        end = match.end()
+        value = src[start:end]
+        # Escaped line terminators (line continuations) shift every later
+        # token's reported line; raw terminators cannot appear unescaped.
+        if "\\" in value and (
+            "\n" in value
+            or "\r" in value
+            or (self._has_ls_ps and ("\u2028" in value or "\u2029" in value))
+        ):
+            self._count_escaped_newlines(start + 1, end - 1)
+        self.tokens.append(
+            Token(TokenType.STRING, value, start, end, start_line, start_col)
+        )
+        self.pos = end
+
+    def _count_escaped_newlines(self, start: int, end: int) -> None:
+        """Line accounting for ``\\<terminator>`` pairs inside a literal."""
+        src = self.source
+        pos = start
+        while True:
+            pos = src.find("\\", pos, end)
+            if pos == -1:
+                return
+            nxt = src[pos + 1]
+            if nxt in _LINE_TERMINATORS:
+                pos = self._newline_at(pos + 1)
+            else:
+                pos += 2
+
+    # -- templates ---------------------------------------------------------
+
+    def _scan_template(self) -> None:
+        """Scan a whole template literal (including ``${ }`` substitutions).
 
         The token keeps the raw source; the parser re-scans substitutions.
+        Substitutions are tracked with a real sub-scanner that skips nested
+        strings, templates, and comments, so braces or backticks inside a
+        quoted string (`` `${"}"}` ``) cannot corrupt the nesting.
         """
         start = self.pos
-        start_line, start_col = self.line, self.column
+        start_line, start_col = self.line, start - self.line_start
+        end = self._skip_template(start, start_line, start_col)
+        self.tokens.append(
+            Token(
+                TokenType.TEMPLATE,
+                self.source[start:end],
+                start,
+                end,
+                start_line,
+                start_col,
+            )
+        )
+        self.pos = end
+
+    def _skip_template(self, start: int, err_line: int, err_col: int) -> int:
+        """Position after the template literal opening at ``start``."""
         src = self.source
-        self.pos += 1
-        depth = 0
-        while self.pos < self.length:
-            char = src[self.pos]
+        length = self.length
+        pos = start + 1
+        while pos < length:
+            match = _TEMPLATE_SPECIAL_RE.search(src, pos)
+            if match is None:
+                break
+            pos = match.start()
+            char = src[pos]
+            if char == "`":
+                return pos + 1
             if char == "\\":
-                self.pos += 2
-                continue
-            if char == "`" and depth == 0:
-                self.pos += 1
-                return Token(
-                    TokenType.TEMPLATE,
-                    src[start : self.pos],
-                    start,
-                    self.pos,
-                    start_line,
-                    start_col,
-                )
-            if char == "$" and self.pos + 1 < self.length and src[self.pos + 1] == "{":
-                depth += 1
-                self.pos += 2
-                continue
-            if char == "}" and depth > 0:
+                if pos + 1 < length and src[pos + 1] in _LINE_TERMINATORS:
+                    pos = self._newline_at(pos + 1)
+                else:
+                    pos += 2
+            elif char == "$":
+                if pos + 1 < length and src[pos + 1] == "{":
+                    pos = self._skip_substitution(pos + 2, err_line, err_col)
+                else:
+                    pos += 1
+            else:
+                pos = self._newline_at(pos)
+        raise LexerError("Unterminated template literal", err_line, err_col)
+
+    def _skip_substitution(self, pos: int, err_line: int, err_col: int) -> int:
+        """Position after the ``}`` closing a ``${`` substitution.
+
+        Nested strings, templates, comments, and brace pairs are skipped
+        structurally rather than counted blindly.
+        """
+        src = self.source
+        length = self.length
+        depth = 1
+        while pos < length:
+            char = src[pos]
+            if char == "}":
                 depth -= 1
-                self.pos += 1
-                continue
-            if char == "{" and depth > 0:
+                pos += 1
+                if depth == 0:
+                    return pos
+            elif char == "{":
                 depth += 1
-                self.pos += 1
-                continue
-            self.pos += 1
-            if char in _LINE_TERMINATORS:
-                self._newline(char)
-        raise LexerError("Unterminated template literal", start_line, start_col)
+                pos += 1
+            elif char == "'" or char == '"':
+                pos = self._skip_substitution_string(pos, err_line, err_col)
+            elif char == "`":
+                pos = self._skip_template(pos, err_line, err_col)
+            elif char == "/" and pos + 1 < length and src[pos + 1] == "/":
+                match = _LINE_TERM_RE.search(src, pos + 2)
+                pos = match.start() if match is not None else length
+            elif char == "/" and pos + 1 < length and src[pos + 1] == "*":
+                close = src.find("*/", pos + 2)
+                if close == -1:
+                    break
+                self._count_lines(pos + 2, close)
+                pos = close + 2
+            elif char == "\\":
+                pos += 2
+            elif char in _LINE_TERMINATORS:
+                pos = self._newline_at(pos)
+            else:
+                pos += 1
+        raise LexerError("Unterminated template literal", err_line, err_col)
+
+    def _skip_substitution_string(self, pos: int, err_line: int, err_col: int) -> int:
+        """Skip a quoted string inside a ``${...}`` substitution."""
+        src = self.source
+        length = self.length
+        quote = src[pos]
+        pos += 1
+        while pos < length:
+            char = src[pos]
+            if char == quote:
+                return pos + 1
+            if char == "\\":
+                if pos + 1 < length and src[pos + 1] in _LINE_TERMINATORS:
+                    pos = self._newline_at(pos + 1)
+                else:
+                    pos += 2
+            elif char in _LINE_TERMINATORS:
+                # Lenient: a raw terminator inside a substitution string is
+                # invalid JS, but triage inputs are hostile — keep scanning.
+                pos = self._newline_at(pos)
+            else:
+                pos += 1
+        raise LexerError("Unterminated template literal", err_line, err_col)
+
+    # -- regular expressions ----------------------------------------------
 
     def _regex_allowed(self) -> bool:
-        """Decide whether `/` begins a regex literal at the current position."""
-        for token in reversed(self.tokens):
-            if token.type is TokenType.COMMENT:
-                continue
-            if token.type is TokenType.PUNCTUATOR:
-                return token.value in REGEX_ALLOWED_AFTER_PUNCTUATORS
-            if token.type is TokenType.KEYWORD:
-                return token.value in REGEX_ALLOWED_AFTER_KEYWORDS or token.value not in (
-                    "this",
-                    "super",
-                )
-            return False
-        return True
+        """Decide whether ``/`` begins a regex literal at the current position.
 
-    def _scan_regex(self) -> Token:
-        start = self.pos
-        start_line, start_col = self.line, self.column
+        The previous significant token decides (comments never enter
+        ``self.tokens``): after most punctuators and the value-less
+        keywords a regex may start; after ``this``/``super``, literals,
+        identifiers, and closing brackets it is a division.  A closing
+        ``)`` is ambiguous and resolved by the statement-parenthesis
+        stack maintained in :meth:`_scan_punctuator`.
+        """
+        tokens = self.tokens
+        if not tokens:
+            return True
+        last = tokens[-1]
+        kind = last.type
+        if kind is TokenType.PUNCTUATOR:
+            if last.value == ")":
+                return self._close_paren_statement
+            return last.value in REGEX_ALLOWED_AFTER_PUNCTUATORS
+        if kind is TokenType.KEYWORD:
+            return last.value in REGEX_ALLOWED_AFTER_KEYWORDS
+        return False
+
+    def _scan_regex(self) -> None:
         src = self.source
-        self.pos += 1
+        length = self.length
+        start = self.pos
+        start_line, start_col = self.line, start - self.line_start
+        pos = start + 1
         in_class = False
-        while self.pos < self.length:
-            char = src[self.pos]
-            if char == "\\":
-                self.pos += 2
-                continue
-            if char in _LINE_TERMINATORS:
+        search = _REGEX_SPECIAL_RE.search
+        while True:
+            match = search(src, pos)
+            if match is None:
                 raise LexerError(
                     "Unterminated regular expression", start_line, start_col
                 )
+            pos = match.start()
+            char = src[pos]
+            if char == "\\":
+                pos += 2
+                continue
             if char == "[":
                 in_class = True
             elif char == "]":
                 in_class = False
-            elif char == "/" and not in_class:
-                self.pos += 1
-                break
-            self.pos += 1
-        else:
+            elif char == "/":
+                if not in_class:
+                    pos += 1
+                    break
+            else:  # line terminator
+                raise LexerError(
+                    "Unterminated regular expression", start_line, start_col
+                )
+            pos += 1
+        if pos > length:
             raise LexerError("Unterminated regular expression", start_line, start_col)
-        pattern_end = self.pos
-        while self.pos < self.length and _is_id_part(src[self.pos]):
-            self.pos += 1
-        value = src[start : self.pos]
-        return Token(
-            TokenType.REGULAR_EXPRESSION,
-            value,
-            start,
-            self.pos,
-            start_line,
-            start_col,
-            extra={
-                "pattern": src[start + 1 : pattern_end - 1],
-                "flags": src[pattern_end : self.pos],
-            },
+        pattern_end = pos
+        pos = _ID_PART_RE.match(src, pos).end()
+        self.tokens.append(
+            Token(
+                TokenType.REGULAR_EXPRESSION,
+                src[start:pos],
+                start,
+                pos,
+                start_line,
+                start_col,
+                extra={
+                    "pattern": src[start + 1 : pattern_end - 1],
+                    "flags": src[pattern_end:pos],
+                },
+            )
         )
+        self.pos = pos
 
-    def _scan_punctuator(self) -> Token:
-        start = self.pos
-        start_line, start_col = self.line, self.column
+    # -- punctuators -------------------------------------------------------
+
+    def _scan_punctuator(self) -> None:
         src = self.source
-        candidates = _PUNCTUATORS_BY_FIRST_CHAR.get(src[self.pos])
-        if candidates is not None:
-            for punct in candidates:
-                if src.startswith(punct, self.pos):
-                    self.pos += len(punct)
-                    return Token(
+        start = self.pos
+        candidates = _PUNCT_TABLE.get(src[start])
+        if candidates is None:
+            raise LexerError(
+                f"Unexpected character {src[start]!r}",
+                self.line,
+                start - self.line_start,
+            )
+        tokens = self.tokens
+        for punct in candidates:
+            if len(punct) == 1 or src.startswith(punct, start):
+                if punct == "(":
+                    prev = tokens[-1] if tokens else None
+                    self._paren_stack.append(
+                        prev is not None
+                        and prev.type is TokenType.KEYWORD
+                        and prev.value in _STATEMENT_PAREN_KEYWORDS
+                    )
+                elif punct == ")":
+                    stack = self._paren_stack
+                    self._close_paren_statement = stack.pop() if stack else False
+                end = start + len(punct)
+                tokens.append(
+                    Token(
                         TokenType.PUNCTUATOR,
                         punct,
                         start,
-                        self.pos,
-                        start_line,
-                        start_col,
+                        end,
+                        self.line,
+                        start - self.line_start,
                     )
+                )
+                self.pos = end
+                return
         raise LexerError(
-            f"Unexpected character {src[self.pos]!r}", start_line, start_col
+            f"Unexpected character {src[start]!r}", self.line, start - self.line_start
         )
+
+
+# -- template split (shared with the parser) ----------------------------------
+
+
+def _substitution_end(raw: str, pos: int) -> int:
+    """End of the ``${`` substitution opening at ``pos`` inside ``raw``.
+
+    Structure-aware twin of :meth:`Lexer._skip_substitution` operating on a
+    raw template token value (no line bookkeeping).  Returns the index just
+    after the closing ``}``, or ``len(raw)`` when unbalanced.
+    """
+    length = len(raw)
+    depth = 1
+    while pos < length:
+        char = raw[pos]
+        if char == "}":
+            depth -= 1
+            pos += 1
+            if depth == 0:
+                return pos
+        elif char == "{":
+            depth += 1
+            pos += 1
+        elif char == "'" or char == '"':
+            quote = char
+            pos += 1
+            while pos < length:
+                if raw[pos] == "\\":
+                    pos += 2
+                elif raw[pos] == quote:
+                    pos += 1
+                    break
+                else:
+                    pos += 1
+        elif char == "`":
+            pos = _template_end(raw, pos)
+        elif char == "/" and pos + 1 < length and raw[pos + 1] == "/":
+            match = _LINE_TERM_RE.search(raw, pos + 2)
+            pos = match.start() if match is not None else length
+        elif char == "/" and pos + 1 < length and raw[pos + 1] == "*":
+            close = raw.find("*/", pos + 2)
+            pos = length if close == -1 else close + 2
+        elif char == "\\":
+            pos += 2
+        else:
+            pos += 1
+    return length
+
+
+def _template_end(raw: str, pos: int) -> int:
+    """End of the nested template literal opening at ``pos`` inside ``raw``."""
+    length = len(raw)
+    pos += 1
+    while pos < length:
+        char = raw[pos]
+        if char == "`":
+            return pos + 1
+        if char == "\\":
+            pos += 2
+        elif char == "$" and pos + 1 < length and raw[pos + 1] == "{":
+            pos = _substitution_end(raw, pos + 2)
+        else:
+            pos += 1
+    return length
+
+
+def split_template(raw: str) -> tuple[list[str], list[str]]:
+    """Split a raw template token into quasi chunks and substitution sources.
+
+    ``raw`` includes the enclosing backticks.  Returns ``(chunks, exprs)``
+    where ``len(chunks) == len(exprs) + 1``; chunks keep their original
+    escape sequences.  Uses the same structure-aware substitution scanner
+    as the lexer, so strings containing braces or backticks inside
+    ``${...}`` split correctly.
+    """
+    inner = raw[1:-1]
+    length = len(inner)
+    chunks: list[str] = []
+    exprs: list[str] = []
+    chunk_start = 0
+    pos = 0
+    while pos < length:
+        char = inner[pos]
+        if char == "\\":
+            pos += 2
+        elif char == "$" and pos + 1 < length and inner[pos + 1] == "{":
+            chunks.append(inner[chunk_start:pos])
+            expr_start = pos + 2
+            pos = _substitution_end(inner, expr_start)
+            exprs.append(inner[expr_start : pos - 1])
+            chunk_start = pos
+        else:
+            pos += 1
+    chunks.append(inner[chunk_start:])
+    return chunks, exprs
+
+
+# -- single-pass token summary (features-without-full-AST mode) ---------------
+
+
+class TokenSummary:
+    """Token-level aggregates folded out of one scan, no AST required.
+
+    Everything the token-stage rules and the fast feature path consume:
+    per-type counts, identifier spellings, string statistics, comment
+    mass, and (optionally) hashed token n-gram bucket counts identical to
+    :func:`repro.features.ngrams.token_ngram_vector`.
+    """
+
+    __slots__ = (
+        "n_tokens",
+        "type_counts",
+        "identifier_values",
+        "string_chars",
+        "escape_chars",
+        "n_strings",
+        "max_string_len",
+        "comment_chars",
+        "n_comments",
+        "ngram_dims",
+        "ngram_counts",
+        "ngram_total",
+    )
+
+    def __init__(self, ngram_dims: int = 0) -> None:
+        self.n_tokens = 0
+        self.type_counts: dict[TokenType, int] = {}
+        self.identifier_values: list[str] = []
+        self.string_chars = 0
+        self.escape_chars = 0
+        self.n_strings = 0
+        self.max_string_len = 0
+        self.comment_chars = 0
+        self.n_comments = 0
+        self.ngram_dims = ngram_dims
+        self.ngram_counts: list[int] = [0] * ngram_dims if ngram_dims else []
+        self.ngram_total = 0
+
+
+#: Unit cap shared with :func:`repro.features.ngrams._hashed_ngrams`.
+_NGRAM_MAX_UNITS = 200_000
+
+
+def summarize_tokens(
+    tokens: list[Token],
+    comments: list[Token] | None = None,
+    ngram_dims: int = 0,
+) -> TokenSummary:
+    """Fold a token stream into a :class:`TokenSummary` in one pass.
+
+    With ``ngram_dims > 0`` the hashed token 4-gram bucket counts are
+    accumulated in the same loop (bit-identical, after normalisation, to
+    ``token_ngram_vector(tokens, n_dims=ngram_dims)``).
+    """
+    summary = TokenSummary(ngram_dims=ngram_dims)
+    counts = summary.type_counts
+    identifiers = summary.identifier_values
+    buckets = summary.ngram_counts
+    eof = TokenType.EOF
+    identifier = TokenType.IDENTIFIER
+    punctuator = TokenType.PUNCTUATOR
+    keyword = TokenType.KEYWORD
+    string = TokenType.STRING
+    units = 0
+    label1 = label2 = label3 = ""
+    for token in tokens:
+        kind = token.type
+        if kind is eof:
+            continue
+        counts[kind] = counts.get(kind, 0) + 1
+        value = token.value
+        if kind is identifier:
+            identifiers.append(value)
+            label = "Identifier"
+        elif kind is punctuator or kind is keyword:
+            label = value
+        elif kind is string:
+            size = len(value)
+            summary.string_chars += size
+            summary.escape_chars += value.count("\\")
+            if size > summary.max_string_len:
+                summary.max_string_len = size
+            label = "String"
+        else:
+            label = kind.value
+        if ngram_dims:
+            units += 1
+            if units >= 4 and units <= _NGRAM_MAX_UNITS:
+                gram = f"{label1}\x00{label2}\x00{label3}\x00{label}"
+                buckets[crc32(gram.encode("utf-8")) % ngram_dims] += 1
+                summary.ngram_total += 1
+            label1, label2, label3 = label2, label3, label
+    summary.n_tokens = sum(counts.values())
+    summary.n_strings = counts.get(string, 0)
+    if comments:
+        summary.n_comments = len(comments)
+        summary.comment_chars = sum(len(comment.value) for comment in comments)
+    return summary
+
+
+def scan_summary(source: str, ngram_dims: int = 0) -> TokenSummary:
+    """Tokenize ``source`` and fold the stream in the same pass.
+
+    The single-pass fast path for triage-adjacent workloads: one scan
+    produces the token-level aggregates (and optional n-gram buckets)
+    without building an AST, scopes, or flow graphs.
+    """
+    lexer = Lexer(source)
+    tokens = lexer.scan_all()
+    return summarize_tokens(tokens, lexer.comments, ngram_dims=ngram_dims)
 
 
 def tokenize(source: str, include_comments: bool = False) -> list[Token]:

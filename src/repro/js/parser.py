@@ -15,7 +15,7 @@ breaks.
 from __future__ import annotations
 
 from repro.js.ast_nodes import Node
-from repro.js.lexer import Lexer
+from repro.js.lexer import Lexer, split_template
 from repro.js.tokens import Token, TokenType
 
 
@@ -1450,40 +1450,10 @@ class Parser:
         raw = token.value
         quasis: list[Node] = []
         expressions: list[Node] = []
-        # Split the raw template on top-level ${...} substitutions.
-        inner = raw[1:-1]
-        chunks: list[str] = []
-        exprs: list[str] = []
-        current: list[str] = []
-        index = 0
-        depth = 0
-        expr_start = 0
-        while index < len(inner):
-            char = inner[index]
-            if char == "\\" and depth == 0:
-                current.append(inner[index : index + 2])
-                index += 2
-                continue
-            if depth == 0 and char == "$" and index + 1 < len(inner) and inner[index + 1] == "{":
-                chunks.append("".join(current))
-                current = []
-                depth = 1
-                index += 2
-                expr_start = index
-                continue
-            if depth > 0:
-                if char == "{":
-                    depth += 1
-                elif char == "}":
-                    depth -= 1
-                    if depth == 0:
-                        exprs.append(inner[expr_start:index])
-                        index += 1
-                        continue
-            else:
-                current.append(char)
-            index += 1
-        chunks.append("".join(current))
+        # Split the raw template on top-level ${...} substitutions.  The
+        # lexer's splitter understands strings, comments and nested
+        # templates inside substitutions, so `${"}"}` cannot desync it.
+        chunks, exprs = split_template(raw)
         for pos, chunk in enumerate(chunks):
             quasis.append(
                 Node(

@@ -8,7 +8,7 @@ categories a real Esprima run would produce.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class TokenType(enum.Enum):
@@ -27,12 +27,14 @@ class TokenType(enum.Enum):
     COMMENT = "Comment"
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """One lexical unit.
 
     ``value`` holds the raw source slice (including quotes for strings so the
     original escape sequences remain observable by feature extractors).
+    ``__slots__`` keeps the per-token footprint small — token lists are the
+    densest allocation the front end makes (see DESIGN.md §9).
     """
 
     type: TokenType
@@ -41,8 +43,18 @@ class Token:
     end: int
     line: int
     column: int
-    # For regex literals: the pattern and flags, for diagnostics.
-    extra: dict = field(default_factory=dict)
+    # For regex literals the pattern and flags, for comments the kind;
+    # ``None`` (not an empty dict) on the hot-path token kinds so plain
+    # tokens cost no dict allocation.
+    extra: dict | None = None
+
+    def __getattr__(self, name: str):
+        # The flat scan tier builds tokens via ``__new__`` plus direct slot
+        # stores and skips ``extra`` (always None there); resolve the unset
+        # slot here so the skipped store is observationally identical.
+        if name == "extra":
+            return None
+        raise AttributeError(name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.type.value}, {self.value!r}, L{self.line})"
@@ -212,21 +224,10 @@ REGEX_ALLOWED_AFTER_PUNCTUATORS = frozenset(
     }
 )
 
-REGEX_ALLOWED_AFTER_KEYWORDS = frozenset(
-    {
-        "return",
-        "typeof",
-        "instanceof",
-        "in",
-        "of",
-        "new",
-        "delete",
-        "void",
-        "throw",
-        "case",
-        "do",
-        "else",
-        "yield",
-        "await",
-    }
-)
+# A `/` after a keyword starts a regex whenever the keyword cannot end an
+# expression.  Only `this` and `super` produce values, so they are the only
+# keywords after which `/` is a division.  (`of` is contextual and reaches
+# the lexer as an Identifier token, so it never consults this set.)  The
+# lexer treats this set as authoritative — there is deliberately no
+# "allow everything else" fallthrough branch.
+REGEX_ALLOWED_AFTER_KEYWORDS = frozenset(KEYWORDS - {"this", "super"})

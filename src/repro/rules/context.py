@@ -57,9 +57,10 @@ class RuleContext:
         self._data_flow = data_flow
         self._data_flow_timeout = data_flow_timeout
         self._tokens: list[Token] | None = enhanced.tokens if enhanced is not None else None
+        self._token_list: list[Token] | None = None
+        self._summary = None
         self._line_starts: list[int] | None = None
         self._nodes_by_type: dict[str, list[Node]] | None = None
-        self._identifier_values: list[str] | None = None
 
     # -- layers ----------------------------------------------------------------
 
@@ -69,12 +70,28 @@ class RuleContext:
 
     @property
     def tokens(self) -> list[Token]:
-        """Token stream (lexes on demand; EOF excluded)."""
-        if self._tokens is None:
-            from repro.js.lexer import tokenize
+        """Token stream (lexes on demand; EOF excluded; cached)."""
+        if self._token_list is None:
+            if self._tokens is None:
+                from repro.js.lexer import tokenize
 
-            self._tokens = tokenize(self.source)
-        return [t for t in self._tokens if t.type is not TokenType.EOF]
+                self._tokens = tokenize(self.source)
+            self._token_list = [t for t in self._tokens if t.type is not TokenType.EOF]
+        return self._token_list
+
+    @property
+    def summary(self):
+        """One-pass :class:`~repro.js.lexer.TokenSummary` of the stream.
+
+        Token-stage rules and the triage ambiguity gate read their
+        aggregates (type histogram, identifier spellings) from here, so
+        the stream is folded exactly once per file.
+        """
+        if self._summary is None:
+            from repro.js.lexer import summarize_tokens
+
+            self._summary = summarize_tokens(self.tokens)
+        return self._summary
 
     @property
     def enhanced(self) -> EnhancedAST:
@@ -127,15 +144,11 @@ class RuleContext:
     @property
     def identifier_values(self) -> list[str]:
         """Identifier token spellings (token layer — no parse needed)."""
-        if self._identifier_values is None:
-            self._identifier_values = [
-                t.value for t in self.tokens if t.type is TokenType.IDENTIFIER
-            ]
-        return self._identifier_values
+        return self.summary.identifier_values
 
     def token_counts(self) -> Counter:
         """Token-type histogram (token layer)."""
-        return Counter(t.type for t in self.tokens)
+        return Counter(self.summary.type_counts)
 
     # -- locations -------------------------------------------------------------
 

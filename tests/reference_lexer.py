@@ -1,0 +1,412 @@
+"""Reference JavaScript tokenizer (pre-rewrite), frozen for differential tests.
+
+Hand-written scanner covering ES5 plus the ES2015 constructs common in the
+wild: template literals, arrow `=>`, spread `...`, binary/octal numerics,
+regular-expression literals (with the standard slash disambiguation), and
+both comment styles.  Comments are collected separately so feature
+extraction can measure comment density while the parser sees clean input.
+"""
+
+from __future__ import annotations
+
+from repro.js.tokens import (
+    KEYWORDS,
+    PUNCTUATORS,
+    REGEX_ALLOWED_AFTER_KEYWORDS,
+    REGEX_ALLOWED_AFTER_PUNCTUATORS,
+    Token,
+    TokenType,
+)
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ$_")
+_ID_PART = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+_WHITESPACE = set(" \t\v\f ﻿")
+_LINE_TERMINATORS = set("\n\r  ")
+
+
+# Longest-first punctuator candidates grouped by their first character.
+_PUNCTUATORS_BY_FIRST_CHAR: dict[str, list[str]] = {}
+for _punct in PUNCTUATORS:
+    _PUNCTUATORS_BY_FIRST_CHAR.setdefault(_punct[0], []).append(_punct)
+del _punct
+
+
+class LexerError(ValueError):
+    """Raised when the input cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+def _is_id_start(char: str) -> bool:
+    return char in _ID_START or ord(char) > 0x7F
+
+
+def _is_id_part(char: str) -> bool:
+    return char in _ID_PART or ord(char) > 0x7F
+
+
+class Lexer:
+    """Stateful scanner over a JavaScript source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.length = len(source)
+        self.pos = 0
+        self.line = 1
+        self.line_start = 0
+        self.tokens: list[Token] = []
+        self.comments: list[Token] = []
+
+    # -- public API --------------------------------------------------------
+
+    def scan_all(self) -> list[Token]:
+        """Tokenize the whole input; returns tokens without comments."""
+        while True:
+            token = self._next_token()
+            if token.type is TokenType.EOF:
+                self.tokens.append(token)
+                break
+            self.tokens.append(token)
+        return self.tokens
+
+    # -- internals ---------------------------------------------------------
+
+    @property
+    def column(self) -> int:
+        return self.pos - self.line_start
+
+    def _newline(self, char: str) -> None:
+        # Treat \r\n as a single terminator.
+        if char == "\r" and self.pos < self.length and self.source[self.pos] == "\n":
+            self.pos += 1
+        self.line += 1
+        self.line_start = self.pos
+
+    def _skip_whitespace_and_comments(self) -> None:
+        src = self.source
+        while self.pos < self.length:
+            char = src[self.pos]
+            if char in _WHITESPACE:
+                self.pos += 1
+            elif char in _LINE_TERMINATORS:
+                self.pos += 1
+                self._newline(char)
+            elif char == "/" and self.pos + 1 < self.length:
+                nxt = src[self.pos + 1]
+                if nxt == "/":
+                    self._scan_line_comment()
+                elif nxt == "*":
+                    self._scan_block_comment()
+                else:
+                    return
+            elif char == "#" and self.pos == 0 and src.startswith("#!"):
+                # Shebang line in Node scripts.
+                self._scan_line_comment()
+            else:
+                return
+
+    def _scan_line_comment(self) -> None:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        self.pos += 2
+        while self.pos < self.length and src[self.pos] not in _LINE_TERMINATORS:
+            self.pos += 1
+        self.comments.append(
+            Token(
+                TokenType.COMMENT,
+                src[start : self.pos],
+                start,
+                self.pos,
+                start_line,
+                start_col,
+                extra={"kind": "Line"},
+            )
+        )
+
+    def _scan_block_comment(self) -> None:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        self.pos += 2
+        while self.pos < self.length:
+            char = src[self.pos]
+            if char == "*" and self.pos + 1 < self.length and src[self.pos + 1] == "/":
+                self.pos += 2
+                self.comments.append(
+                    Token(
+                        TokenType.COMMENT,
+                        src[start : self.pos],
+                        start,
+                        self.pos,
+                        start_line,
+                        start_col,
+                        extra={"kind": "Block"},
+                    )
+                )
+                return
+            self.pos += 1
+            if char in _LINE_TERMINATORS:
+                self._newline(char)
+        raise LexerError("Unterminated block comment", start_line, start_col)
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.pos >= self.length:
+            return Token(TokenType.EOF, "", self.pos, self.pos, self.line, self.column)
+        char = self.source[self.pos]
+        if _is_id_start(char):
+            return self._scan_identifier()
+        if char in _DIGITS or (
+            char == "."
+            and self.pos + 1 < self.length
+            and self.source[self.pos + 1] in _DIGITS
+        ):
+            return self._scan_number()
+        if char in "'\"":
+            return self._scan_string(char)
+        if char == "`":
+            return self._scan_template()
+        if char == "/" and self._regex_allowed():
+            return self._scan_regex()
+        return self._scan_punctuator()
+
+    def _scan_identifier(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        self.pos += 1
+        while self.pos < self.length and _is_id_part(src[self.pos]):
+            self.pos += 1
+        value = src[start : self.pos]
+        if value in ("true", "false"):
+            kind = TokenType.BOOLEAN
+        elif value == "null":
+            kind = TokenType.NULL
+        elif value in KEYWORDS:
+            kind = TokenType.KEYWORD
+        else:
+            kind = TokenType.IDENTIFIER
+        return Token(kind, value, start, self.pos, start_line, start_col)
+
+    def _scan_number(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        if src[self.pos] == "0" and self.pos + 1 < self.length:
+            marker = src[self.pos + 1]
+            if marker in "xX":
+                self.pos += 2
+                while self.pos < self.length and src[self.pos] in _HEX_DIGITS:
+                    self.pos += 1
+                return self._finish_number(start, start_line, start_col)
+            if marker in "oO":
+                self.pos += 2
+                while self.pos < self.length and src[self.pos] in "01234567":
+                    self.pos += 1
+                return self._finish_number(start, start_line, start_col)
+            if marker in "bB":
+                self.pos += 2
+                while self.pos < self.length and src[self.pos] in "01":
+                    self.pos += 1
+                return self._finish_number(start, start_line, start_col)
+            if marker in "01234567":
+                # Legacy octal (sloppy mode); consume the digits.
+                self.pos += 1
+                while self.pos < self.length and src[self.pos] in "01234567":
+                    self.pos += 1
+                return self._finish_number(start, start_line, start_col)
+        while self.pos < self.length and src[self.pos] in _DIGITS:
+            self.pos += 1
+        if self.pos < self.length and src[self.pos] == ".":
+            self.pos += 1
+            while self.pos < self.length and src[self.pos] in _DIGITS:
+                self.pos += 1
+        if self.pos < self.length and src[self.pos] in "eE":
+            lookahead = self.pos + 1
+            if lookahead < self.length and src[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < self.length and src[lookahead] in _DIGITS:
+                self.pos = lookahead
+                while self.pos < self.length and src[self.pos] in _DIGITS:
+                    self.pos += 1
+        return self._finish_number(start, start_line, start_col)
+
+    def _finish_number(self, start: int, line: int, col: int) -> Token:
+        value = self.source[start : self.pos]
+        if self.pos < self.length and _is_id_start(self.source[self.pos]):
+            raise LexerError(
+                f"Identifier starts immediately after number {value!r}",
+                self.line,
+                self.column,
+            )
+        return Token(TokenType.NUMERIC, value, start, self.pos, line, col)
+
+    def _scan_string(self, quote: str) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        self.pos += 1
+        while self.pos < self.length:
+            char = src[self.pos]
+            if char == quote:
+                self.pos += 1
+                return Token(
+                    TokenType.STRING,
+                    src[start : self.pos],
+                    start,
+                    self.pos,
+                    start_line,
+                    start_col,
+                )
+            if char == "\\":
+                self.pos += 1
+                if self.pos < self.length and src[self.pos] in _LINE_TERMINATORS:
+                    self.pos += 1
+                    self._newline(src[self.pos - 1])
+                else:
+                    self.pos += 1
+            elif char in "\n\r":
+                raise LexerError("Unterminated string literal", start_line, start_col)
+            else:
+                self.pos += 1
+        raise LexerError("Unterminated string literal", start_line, start_col)
+
+    def _scan_template(self) -> Token:
+        """Scan a whole template literal (including `${ }` substitutions).
+
+        The token keeps the raw source; the parser re-scans substitutions.
+        """
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        self.pos += 1
+        depth = 0
+        while self.pos < self.length:
+            char = src[self.pos]
+            if char == "\\":
+                self.pos += 2
+                continue
+            if char == "`" and depth == 0:
+                self.pos += 1
+                return Token(
+                    TokenType.TEMPLATE,
+                    src[start : self.pos],
+                    start,
+                    self.pos,
+                    start_line,
+                    start_col,
+                )
+            if char == "$" and self.pos + 1 < self.length and src[self.pos + 1] == "{":
+                depth += 1
+                self.pos += 2
+                continue
+            if char == "}" and depth > 0:
+                depth -= 1
+                self.pos += 1
+                continue
+            if char == "{" and depth > 0:
+                depth += 1
+                self.pos += 1
+                continue
+            self.pos += 1
+            if char in _LINE_TERMINATORS:
+                self._newline(char)
+        raise LexerError("Unterminated template literal", start_line, start_col)
+
+    def _regex_allowed(self) -> bool:
+        """Decide whether `/` begins a regex literal at the current position."""
+        for token in reversed(self.tokens):
+            if token.type is TokenType.COMMENT:
+                continue
+            if token.type is TokenType.PUNCTUATOR:
+                return token.value in REGEX_ALLOWED_AFTER_PUNCTUATORS
+            if token.type is TokenType.KEYWORD:
+                return token.value in REGEX_ALLOWED_AFTER_KEYWORDS or token.value not in (
+                    "this",
+                    "super",
+                )
+            return False
+        return True
+
+    def _scan_regex(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        self.pos += 1
+        in_class = False
+        while self.pos < self.length:
+            char = src[self.pos]
+            if char == "\\":
+                self.pos += 2
+                continue
+            if char in _LINE_TERMINATORS:
+                raise LexerError(
+                    "Unterminated regular expression", start_line, start_col
+                )
+            if char == "[":
+                in_class = True
+            elif char == "]":
+                in_class = False
+            elif char == "/" and not in_class:
+                self.pos += 1
+                break
+            self.pos += 1
+        else:
+            raise LexerError("Unterminated regular expression", start_line, start_col)
+        pattern_end = self.pos
+        while self.pos < self.length and _is_id_part(src[self.pos]):
+            self.pos += 1
+        value = src[start : self.pos]
+        return Token(
+            TokenType.REGULAR_EXPRESSION,
+            value,
+            start,
+            self.pos,
+            start_line,
+            start_col,
+            extra={
+                "pattern": src[start + 1 : pattern_end - 1],
+                "flags": src[pattern_end : self.pos],
+            },
+        )
+
+    def _scan_punctuator(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        src = self.source
+        candidates = _PUNCTUATORS_BY_FIRST_CHAR.get(src[self.pos])
+        if candidates is not None:
+            for punct in candidates:
+                if src.startswith(punct, self.pos):
+                    self.pos += len(punct)
+                    return Token(
+                        TokenType.PUNCTUATOR,
+                        punct,
+                        start,
+                        self.pos,
+                        start_line,
+                        start_col,
+                    )
+        raise LexerError(
+            f"Unexpected character {src[self.pos]!r}", start_line, start_col
+        )
+
+
+def tokenize(source: str, include_comments: bool = False) -> list[Token]:
+    """Tokenize JavaScript source.
+
+    Returns the token list (terminated by an EOF token).  With
+    ``include_comments`` the comment tokens are merged in source order.
+    """
+    lexer = Lexer(source)
+    tokens = lexer.scan_all()
+    if include_comments:
+        merged = sorted(tokens + lexer.comments, key=lambda token: token.start)
+        return merged
+    return tokens

@@ -213,3 +213,142 @@ class TestPositions:
         with pytest.raises(LexerError) as excinfo:
             tokenize("var x = @;")
         assert excinfo.value.line == 1
+
+
+class TestTemplateSubstitutionScanning:
+    """Regression tests: the pre-rewrite scanner tracked ``${...}`` with a
+    bare brace counter, so braces or backticks inside quoted strings within
+    a substitution corrupted the template token boundary."""
+
+    def test_close_brace_in_substitution_string(self):
+        tokens = tokenize('`${"}"}`')
+        assert [t.type for t in tokens][:-1] == [TokenType.TEMPLATE]
+        assert tokens[0].value == '`${"}"}`'
+
+    def test_open_brace_in_substitution_string(self):
+        tokens = tokenize("`${'{'}` + x")
+        assert tokens[0].type is TokenType.TEMPLATE
+        assert tokens[0].value == "`${'{'}`"
+
+    def test_backtick_in_substitution_string(self):
+        tokens = tokenize('`${"`"}`')
+        assert [t.type for t in tokens][:-1] == [TokenType.TEMPLATE]
+        assert tokens[0].value == '`${"`"}`'
+
+    def test_nested_template_in_substitution(self):
+        source = "`a${ `b${x}c` }d`"
+        tokens = tokenize(source)
+        assert [t.type for t in tokens][:-1] == [TokenType.TEMPLATE]
+        assert tokens[0].value == source
+
+    def test_block_comment_with_brace_in_substitution(self):
+        source = "`${ x /* } */ }`"
+        tokens = tokenize(source)
+        assert tokens[0].type is TokenType.TEMPLATE
+        assert tokens[0].value == source
+
+    def test_line_comment_in_substitution(self):
+        source = "`${ x // }\n}`"
+        tokens = tokenize(source)
+        assert tokens[0].type is TokenType.TEMPLATE
+        assert tokens[0].value == source
+
+    def test_escaped_backtick_still_escapes(self):
+        tokens = tokenize(r"`a\`b`")
+        assert tokens[0].value == r"`a\`b`"
+
+
+class TestEscapedLineTerminatorPositions:
+    """Regression tests: ``\\`` + newline inside strings/templates used to
+    skip the newline without counting it, so every later token's reported
+    line drifted."""
+
+    def test_line_after_string_continuation(self):
+        tokens = tokenize('"a\\\nb"; x')
+        assert tokens[-2].value == "x"
+        assert tokens[-2].line == 2
+
+    def test_line_after_crlf_continuation(self):
+        tokens = tokenize('"a\\\r\nb"; x')
+        assert tokens[-2].line == 2  # \r\n is one terminator
+
+    def test_line_after_template_escaped_newline(self):
+        tokens = tokenize("`a\\\nb`; x")
+        assert tokens[-2].line == 2
+
+    def test_column_resets_after_continuation(self):
+        tokens = tokenize('"a\\\nb" + x')
+        x = tokens[-2]
+        assert (x.line, x.column) == (2, 5)  # offset from the line start
+
+    def test_raw_newline_in_template_still_counts(self):
+        tokens = tokenize("`a\nb`; x")
+        assert tokens[-2].line == 2
+
+
+class TestRegexVsDivisionAfterKeywords:
+    def test_division_after_this(self):
+        tokens = tokenize("this / 2")
+        assert all(t.type is not TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_division_after_super(self):
+        tokens = tokenize("super / 2")
+        assert all(t.type is not TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    @pytest.mark.parametrize("keyword", ["return", "case", "typeof", "in", "void", "do"])
+    def test_regex_after_expression_keywords(self, keyword):
+        tokens = tokenize(f"{keyword} /x/;")
+        assert any(t.type is TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_regex_after_if_paren(self):
+        tokens = tokenize("if (x) /re/.test(y);")
+        assert any(t.type is TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_regex_after_nested_if_paren(self):
+        tokens = tokenize("if ((a + b)) /re/g;")
+        assert any(t.type is TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_division_after_plain_paren(self):
+        tokens = tokenize("(a) / 2")
+        assert all(t.type is not TokenType.REGULAR_EXPRESSION for t in tokens)
+
+    def test_division_after_call_in_if_condition(self):
+        # the ")" closing f(...) is not the statement paren
+        tokens = tokenize("if (f(a) / 2) g();")
+        assert all(t.type is not TokenType.REGULAR_EXPRESSION for t in tokens)
+
+
+class TestBigIntLiterals:
+    @pytest.mark.parametrize("literal", ["10n", "0n", "0x1Fn", "0b101n", "0o17n"])
+    def test_bigint_literal(self, literal):
+        tokens = tokenize(literal)
+        assert tokens[0].type is TokenType.NUMERIC
+        assert tokens[0].value == literal
+
+    def test_decimal_point_bigint_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("1.5n")
+
+    def test_exponent_bigint_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("1e3n")
+
+
+class TestIdentifierUnicodeEscapes:
+    def test_u4_escape_in_identifier(self):
+        tokens = tokenize("var \\u0061bc = 1;")
+        assert tokens[1].type is TokenType.IDENTIFIER
+        assert tokens[1].value == "\\u0061bc"
+
+    def test_braced_escape_in_identifier(self):
+        tokens = tokenize("\\u{61}x = 1;")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "\\u{61}x"
+
+    def test_malformed_escape_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("\\q = 1;")
+
+    def test_bad_hex_digits_raise(self):
+        with pytest.raises(LexerError):
+            tokenize("\\uZZ11 = 1;")
