@@ -32,6 +32,19 @@ if grep -rnwE "TODO|FIXME|XXX" src --include='*.py'; then
   exit 1
 fi
 
+# Flat-AST gate: the parse layer must build nodes through the generated
+# slotted classes (or their positional factories), never through the
+# string-dispatched dict-bag form ``Node("Type", ...)`` — those nodes land
+# in __dict__, dodge the per-type field tables, and silently fall off the
+# flat-index fast paths.  ast_nodes.py itself hosts the dispatcher (and
+# its doctest), so it is exempt.
+if grep -rnE 'Node\("' src/repro/js --include='*.py' \
+    | grep -v 'src/repro/js/ast_nodes.py'; then
+  echo "[lint] dict-bag Node(\"Type\", ...) construction in src/repro/js/" >&2
+  echo "[lint] use the generated slotted class or a fast_constructor factory" >&2
+  exit 1
+fi
+
 if command -v ruff >/dev/null 2>&1; then
   run_ruff ruff
 elif python -c "import ruff" >/dev/null 2>&1; then

@@ -77,15 +77,20 @@ def analyze_file(
     detector: TransformationDetector,
     k: int = 4,
     threshold: float = 0.10,
+    data_flow_timeout: float = 120.0,
 ) -> FileReport:
-    """Produce a full :class:`FileReport` for one script."""
+    """Produce a full :class:`FileReport` for one script.
+
+    ``data_flow_timeout`` bounds the data-flow pass per file; batch callers
+    triaging large corpora should lower it rather than accept the default.
+    """
     if not passes_size_filter(source):
         return FileReport(
             admissible=False,
             rejection_reason="size outside the 512 B – 2 MB window",
         )
     try:
-        enhanced = enhance(source)
+        enhanced = enhance(source, data_flow_timeout=data_flow_timeout)
     except (SyntaxError, ValueError, RecursionError) as error:
         return FileReport(admissible=False, rejection_reason=f"unparseable: {error}")
     if not passes_content_filter(enhanced.program):

@@ -14,7 +14,7 @@ from repro.features.fastpath import (  # noqa: F401 - fast-path re-export
     TOKEN_STATIC_FEATURES,
     TokenFeatureExtractor,
 )
-from repro.features.ngrams import ast_ngram_vector
+from repro.features.ngrams import ast_ngram_vector, hashed_ngram_vector
 from repro.features.rule_features import RULE_FEATURES, compute_rule_features
 from repro.features.static_features import compute_static_features
 from repro.flows.graph import EnhancedAST, enhance
@@ -148,6 +148,10 @@ class FeatureExtractor:
             from repro.features.ngrams import token_ngram_vector
 
             return token_ngram_vector(enhanced.tokens, n_dims=self.ngram_dims)
+        if enhanced.flat is not None:
+            # The flat index's pre-order type-name array *is* the unit
+            # sequence — no second tree walk.
+            return hashed_ngram_vector(enhanced.flat.type_names, n_dims=self.ngram_dims)
         return ast_ngram_vector(enhanced.program, n_dims=self.ngram_dims)
 
     def project(

@@ -12,6 +12,7 @@ maps into the same vector space regardless of which n-grams it contains.
 from __future__ import annotations
 
 import zlib
+from collections import Counter
 
 import numpy as np
 
@@ -105,6 +106,27 @@ def ast_ngram_vector(
     return _hashed_ngrams(sequence, n, n_dims, max_units)
 
 
+def hashed_ngram_vector(
+    sequence: list[str],
+    n: int = 4,
+    n_dims: int = 512,
+    max_units: int = 200_000,
+) -> np.ndarray:
+    """Hashed n-gram vector over a precomputed unit sequence.
+
+    Lets callers holding a :class:`repro.js.flat.FlatIndex` reuse its
+    pre-order type-name array instead of re-walking the tree."""
+    return _hashed_ngrams(sequence, n, n_dims, max_units)
+
+
+#: ``(n, n_dims) -> {gram tuple -> bucket}``.  The universe of AST-type
+#: n-grams is small (node types, not identifiers), so the crc32 bucketing
+#: is memoized process-wide; the cap is a safety valve for open-ended
+#: unit alphabets (token n-grams over raw punctuator values).
+_BUCKET_CACHE: dict[tuple[int, int], dict[tuple[str, ...], int]] = {}
+_BUCKET_CACHE_MAX = 1 << 16
+
+
 def _hashed_ngrams(
     sequence: list[str], n: int, n_dims: int, max_units: int
 ) -> np.ndarray:
@@ -113,14 +135,25 @@ def _hashed_ngrams(
     vector = np.zeros(n_dims, dtype=np.float64)
     if len(sequence) < n:
         return vector
-    joined = [f"{a}\x00{b}\x00{c}\x00{d}" for a, b, c, d in zip(
-        sequence, sequence[1:], sequence[2:], sequence[3:]
-    )] if n == 4 else [
-        "\x00".join(sequence[i : i + n]) for i in range(len(sequence) - n + 1)
-    ]
-    for gram in joined:
-        bucket = zlib.crc32(gram.encode("utf-8")) % n_dims
-        vector[bucket] += 1.0
+    if n == 4:
+        grams = zip(sequence, sequence[1:], sequence[2:], sequence[3:])
+    else:
+        grams = zip(*(sequence[i:] for i in range(n)))
+    # Count each distinct gram once, then hash per distinct gram.  Bucket
+    # sums stay exact (small integers in float64), so the result is
+    # bit-identical to per-occurrence accumulation.
+    counts = Counter(grams)
+    cache = _BUCKET_CACHE.setdefault((n, n_dims), {})
+    cache_get = cache.get
+    caching = len(cache) < _BUCKET_CACHE_MAX
+    crc32 = zlib.crc32
+    for gram, count in counts.items():
+        bucket = cache_get(gram)
+        if bucket is None:
+            bucket = crc32("\x00".join(gram).encode("utf-8")) % n_dims
+            if caching:
+                cache[gram] = bucket
+        vector[bucket] += count
     total = vector.sum()
     if total > 0:
         vector /= total

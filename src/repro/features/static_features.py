@@ -154,11 +154,7 @@ def compute_static_features(enhanced: EnhancedAST) -> dict[str, float]:
         max((len(t.value) for t in string_tokens), default=0)
     )
 
-    # ---- AST shape (single traversal collecting per-type buckets) ----------
-    node_counts: Counter[str] = Counter()
-    n_nodes = 0
-    max_depth = 0
-    level_width: Counter[int] = Counter()
+    # ---- AST shape ---------------------------------------------------------
     identifier_nodes: list[Node] = []
     string_literals: list[Node] = []
     arrays: list[Node] = []
@@ -170,45 +166,97 @@ def compute_static_features(enhanced: EnhancedAST) -> dict[str, float]:
     ifs: list[Node] = []
     declarators: list[Node] = []
     bang_number = 0
-    stack: list[tuple[Node, int]] = [(program, 0)]
-    while stack:
-        node, depth = stack.pop()
-        n_nodes += 1
-        kind = node.type
-        node_counts[kind] += 1
-        level_width[depth] += 1
-        if depth > max_depth:
-            max_depth = depth
-        if kind == "Identifier":
-            identifier_nodes.append(node)
-        elif kind == "Literal":
-            if isinstance(node.value, str):
-                string_literals.append(node)
-        elif kind == "ArrayExpression":
-            arrays.append(node)
-        elif kind == "ObjectExpression":
-            objects.append(node)
-        elif kind == "SequenceExpression":
-            sequences.append(node)
-        elif kind == "MemberExpression":
-            members.append(node)
-        elif kind in ("CallExpression", "NewExpression"):
-            calls.append(node)
-        elif kind in ("WhileStatement", "DoWhileStatement", "ForStatement"):
-            loops.append(node)
-        elif kind == "IfStatement":
-            ifs.append(node)
-        elif kind == "VariableDeclarator":
-            declarators.append(node)
-        elif (
-            kind == "UnaryExpression"
-            and node.operator == "!"
-            and node.argument.type == "Literal"
-            and isinstance(node.argument.value, (int, float))
-        ):
-            bang_number += 1
-        for child in iter_child_nodes(node):
-            stack.append((child, depth + 1))
+    flat = enhanced.flat
+    if flat is not None:
+        # Flat fast path: counts, depth, and breadth reduce to C-speed
+        # Counter/max scans over the pre-order arrays; one zip loop
+        # collects the per-type work lists.
+        type_names = flat.type_names
+        depths = flat.depths
+        n_nodes = len(type_names)
+        node_counts = Counter(type_names)
+        level_width = Counter(depths)
+        max_depth = max(depths) if n_nodes else 0
+        buckets = {
+            "Identifier": identifier_nodes.append,
+            "ArrayExpression": arrays.append,
+            "ObjectExpression": objects.append,
+            "SequenceExpression": sequences.append,
+            "MemberExpression": members.append,
+            "CallExpression": calls.append,
+            "NewExpression": calls.append,
+            "WhileStatement": loops.append,
+            "DoWhileStatement": loops.append,
+            "ForStatement": loops.append,
+            "IfStatement": ifs.append,
+            "VariableDeclarator": declarators.append,
+        }
+        buckets_get = buckets.get
+        for node, kind in zip(flat.nodes, type_names):
+            append = buckets_get(kind)
+            if append is not None:
+                append(node)
+            elif kind == "Literal":
+                if isinstance(node.value, str):
+                    string_literals.append(node)
+            elif (
+                kind == "UnaryExpression"
+                and node.operator == "!"
+                and node.argument.type == "Literal"
+                and isinstance(node.argument.value, (int, float))
+            ):
+                bang_number += 1
+        # The traversal fallback below visits children right-to-left, so
+        # leaf nodes arrive in reverse document order there.  Identifiers
+        # and string literals feed order-sensitive float sums (the entropy
+        # features); reversing the pre-order collections restores the
+        # legacy summation order so both paths stay bit-identical.
+        identifier_nodes.reverse()
+        string_literals.reverse()
+    else:
+        node_counts = Counter()
+        n_nodes = 0
+        max_depth = 0
+        level_width = Counter()
+        stack: list[tuple[Node, int]] = [(program, 0)]
+        while stack:
+            node, depth = stack.pop()
+            n_nodes += 1
+            kind = node.type
+            node_counts[kind] += 1
+            level_width[depth] += 1
+            if depth > max_depth:
+                max_depth = depth
+            if kind == "Identifier":
+                identifier_nodes.append(node)
+            elif kind == "Literal":
+                if isinstance(node.value, str):
+                    string_literals.append(node)
+            elif kind == "ArrayExpression":
+                arrays.append(node)
+            elif kind == "ObjectExpression":
+                objects.append(node)
+            elif kind == "SequenceExpression":
+                sequences.append(node)
+            elif kind == "MemberExpression":
+                members.append(node)
+            elif kind in ("CallExpression", "NewExpression"):
+                calls.append(node)
+            elif kind in ("WhileStatement", "DoWhileStatement", "ForStatement"):
+                loops.append(node)
+            elif kind == "IfStatement":
+                ifs.append(node)
+            elif kind == "VariableDeclarator":
+                declarators.append(node)
+            elif (
+                kind == "UnaryExpression"
+                and node.operator == "!"
+                and node.argument.type == "Literal"
+                and isinstance(node.argument.value, (int, float))
+            ):
+                bang_number += 1
+            for child in iter_child_nodes(node):
+                stack.append((child, depth + 1))
     max_breadth = max(level_width.values()) if level_width else 0
 
     features["ast_nodes"] = float(n_nodes)

@@ -79,8 +79,14 @@ def build_control_flow(program: Node) -> list[ControlFlowEdge]:
             return
         edge = ControlFlowEdge(source, target, label)
         edges.append(edge)
-        source.__dict__.setdefault("flow_out", []).append(edge)
-        target.__dict__.setdefault("flow_in", []).append(edge)
+        out = getattr(source, "flow_out", None)
+        if out is None:
+            source.flow_out = out = []
+        out.append(edge)
+        inbound = getattr(target, "flow_in", None)
+        if inbound is None:
+            target.flow_in = inbound = []
+        inbound.append(edge)
 
     def sequence(statements: list[Node]) -> None:
         for first, second in zip(statements, statements[1:]):
@@ -189,5 +195,19 @@ def _nested_flow_roots(statement: Node) -> list[Node]:
                 roots.append(node)
                 continue
         first = False
-        stack.extend(iter_child_nodes(node))
+        # Inlined iter_child_nodes: same push order, no generator frame.
+        child_fields = node._child_fields
+        if child_fields is None:
+            stack.extend(iter_child_nodes(node))
+            continue
+        for key in child_fields:
+            value = getattr(node, key, None)
+            if value is None:
+                continue
+            if value.__class__ is list:
+                for item in value:
+                    if isinstance(item, Node):
+                        stack.append(item)
+            elif isinstance(value, Node):
+                stack.append(value)
     return roots

@@ -36,6 +36,10 @@ class DataFlowTimeout(Exception):
     """Raised internally when edge construction exceeds the time budget."""
 
 
+#: How many def→use pairs to emit between deadline checks.
+_DEADLINE_CHECK_INTERVAL = 1024
+
+
 def build_data_flow(
     program: Node,
     scope: Scope | None = None,
@@ -51,19 +55,28 @@ def build_data_flow(
         scope = analyze_scopes(program)
     deadline = time.monotonic() + timeout
     edges: list[DataFlowEdge] = []
+    # The deadline check is amortized: ``time.monotonic`` is far more
+    # expensive than appending one edge, so it runs once per binding and
+    # then once per block of def×use pairs instead of per definition.
+    budget = _DEADLINE_CHECK_INTERVAL
     try:
         for binding in scope.iter_all_bindings():
             if not binding.assignments or not binding.references:
                 continue
+            if time.monotonic() > deadline:
+                raise DataFlowTimeout
             count = 0
             for definition in binding.assignments:
-                if time.monotonic() > deadline:
-                    raise DataFlowTimeout
                 for use in binding.references:
                     if use is definition:
                         continue
                     edges.append(DataFlowEdge(definition, use, binding.name))
                     count += 1
+                    budget -= 1
+                    if budget <= 0:
+                        budget = _DEADLINE_CHECK_INTERVAL
+                        if time.monotonic() > deadline:
+                            raise DataFlowTimeout
                     if count >= max_edges_per_binding:
                         break
                 if count >= max_edges_per_binding:
@@ -73,6 +86,13 @@ def build_data_flow(
         # lists, so annotation happens only after a complete build.
         return None
     for edge in edges:
-        edge.source.__dict__.setdefault("data_out", []).append(edge)
-        edge.target.__dict__.setdefault("data_in", []).append(edge)
+        source, target = edge.source, edge.target
+        out = getattr(source, "data_out", None)
+        if out is None:
+            source.data_out = out = []
+        out.append(edge)
+        inbound = getattr(target, "data_in", None)
+        if inbound is None:
+            target.data_in = inbound = []
+        inbound.append(edge)
     return edges

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from repro.flows.cfg import ControlFlowEdge, build_control_flow
 from repro.flows.dfg import DataFlowEdge, build_data_flow
 from repro.js.ast_nodes import Node
+from repro.js.flat import FlatIndex, build_flat_index
 from repro.js.parser import Parser
 from repro.js.scope import Scope, analyze_scopes
 from repro.js.tokens import Token
@@ -27,6 +28,10 @@ class EnhancedAST:
     scope: Scope
     control_flow: list[ControlFlowEdge] = field(default_factory=list)
     data_flow: list[DataFlowEdge] | None = None
+    #: Pre-order flat arrays over ``program`` (node pool, type ids/names,
+    #: parents, depths).  ``None`` for hand-assembled instances; feature
+    #: extraction falls back to tree traversal in that case.
+    flat: FlatIndex | None = None
 
     @property
     def data_flow_available(self) -> bool:
@@ -35,6 +40,8 @@ class EnhancedAST:
 
     @property
     def node_count(self) -> int:
+        if self.flat is not None:
+            return len(self.flat)
         from repro.js.visitor import count_nodes
 
         return count_nodes(self.program)
@@ -49,6 +56,7 @@ def enhance(source: str, data_flow_timeout: float = 120.0) -> EnhancedAST:
     """
     parser = Parser(source)
     program = parser.parse_program()
+    flat = build_flat_index(program)
     scope = analyze_scopes(program)
     control_flow = build_control_flow(program)
     data_flow = build_data_flow(program, scope=scope, timeout=data_flow_timeout)
@@ -60,4 +68,5 @@ def enhance(source: str, data_flow_timeout: float = 120.0) -> EnhancedAST:
         scope=scope,
         control_flow=control_flow,
         data_flow=data_flow,
+        flat=flat,
     )

@@ -14,7 +14,7 @@ breaks.
 
 from __future__ import annotations
 
-from repro.js.ast_nodes import Node
+from repro.js.ast_nodes import NODE_CLASSES, Node, fast_constructor
 from repro.js.lexer import Lexer, split_template
 from repro.js.tokens import Token, TokenType
 
@@ -64,6 +64,138 @@ _ASSIGNMENT_OPERATORS = frozenset(
 
 _UNARY_OPERATORS = frozenset({"+", "-", "~", "!", "typeof", "void", "delete"})
 
+# Interned token kinds: identity checks against locals beat repeated enum
+# attribute lookups in the hot helpers below.
+_PUNCT = TokenType.PUNCTUATOR
+_KEYWORD = TokenType.KEYWORD
+_IDENTIFIER = TokenType.IDENTIFIER
+_EOF = TokenType.EOF
+
+# Direct constructors for the generated slotted node classes: hot paths
+# skip the ``Node(type, ...)`` dispatch in ``Node.__new__`` entirely.
+_ArrayExpression = NODE_CLASSES["ArrayExpression"]
+_ArrayPattern = NODE_CLASSES["ArrayPattern"]
+_ArrowFunctionExpression = NODE_CLASSES["ArrowFunctionExpression"]
+_AssignmentExpression = NODE_CLASSES["AssignmentExpression"]
+_AssignmentPattern = NODE_CLASSES["AssignmentPattern"]
+_AwaitExpression = NODE_CLASSES["AwaitExpression"]
+_BlockStatement = NODE_CLASSES["BlockStatement"]
+_CallExpression = NODE_CLASSES["CallExpression"]
+_CatchClause = NODE_CLASSES["CatchClause"]
+_ClassBody = NODE_CLASSES["ClassBody"]
+_ConditionalExpression = NODE_CLASSES["ConditionalExpression"]
+_DebuggerStatement = NODE_CLASSES["DebuggerStatement"]
+_DoWhileStatement = NODE_CLASSES["DoWhileStatement"]
+_EmptyStatement = NODE_CLASSES["EmptyStatement"]
+_ExportAllDeclaration = NODE_CLASSES["ExportAllDeclaration"]
+_ExportDefaultDeclaration = NODE_CLASSES["ExportDefaultDeclaration"]
+_ExportNamedDeclaration = NODE_CLASSES["ExportNamedDeclaration"]
+_ExportSpecifier = NODE_CLASSES["ExportSpecifier"]
+_ExpressionStatement = NODE_CLASSES["ExpressionStatement"]
+_ForStatement = NODE_CLASSES["ForStatement"]
+_FunctionExpression = NODE_CLASSES["FunctionExpression"]
+_Identifier = NODE_CLASSES["Identifier"]
+_IfStatement = NODE_CLASSES["IfStatement"]
+_Import = NODE_CLASSES["Import"]
+_ImportDeclaration = NODE_CLASSES["ImportDeclaration"]
+_ImportDefaultSpecifier = NODE_CLASSES["ImportDefaultSpecifier"]
+_ImportNamespaceSpecifier = NODE_CLASSES["ImportNamespaceSpecifier"]
+_ImportSpecifier = NODE_CLASSES["ImportSpecifier"]
+_LabeledStatement = NODE_CLASSES["LabeledStatement"]
+_Literal = NODE_CLASSES["Literal"]
+_MemberExpression = NODE_CLASSES["MemberExpression"]
+_MetaProperty = NODE_CLASSES["MetaProperty"]
+_MethodDefinition = NODE_CLASSES["MethodDefinition"]
+_NewExpression = NODE_CLASSES["NewExpression"]
+_ObjectExpression = NODE_CLASSES["ObjectExpression"]
+_ObjectPattern = NODE_CLASSES["ObjectPattern"]
+_BinaryExpression = NODE_CLASSES["BinaryExpression"]
+_ClassDeclaration = NODE_CLASSES["ClassDeclaration"]
+_ClassExpression = NODE_CLASSES["ClassExpression"]
+_ForInStatement = NODE_CLASSES["ForInStatement"]
+_ForOfStatement = NODE_CLASSES["ForOfStatement"]
+_FunctionDeclaration = NODE_CLASSES["FunctionDeclaration"]
+_LogicalExpression = NODE_CLASSES["LogicalExpression"]
+_Program = NODE_CLASSES["Program"]
+_Property = NODE_CLASSES["Property"]
+_PropertyDefinition = NODE_CLASSES["PropertyDefinition"]
+_RestElement = NODE_CLASSES["RestElement"]
+_ReturnStatement = NODE_CLASSES["ReturnStatement"]
+_SequenceExpression = NODE_CLASSES["SequenceExpression"]
+_SpreadElement = NODE_CLASSES["SpreadElement"]
+_Super = NODE_CLASSES["Super"]
+_SwitchCase = NODE_CLASSES["SwitchCase"]
+_SwitchStatement = NODE_CLASSES["SwitchStatement"]
+_TaggedTemplateExpression = NODE_CLASSES["TaggedTemplateExpression"]
+_TemplateElement = NODE_CLASSES["TemplateElement"]
+_TemplateLiteral = NODE_CLASSES["TemplateLiteral"]
+_ThisExpression = NODE_CLASSES["ThisExpression"]
+_ThrowStatement = NODE_CLASSES["ThrowStatement"]
+_TryStatement = NODE_CLASSES["TryStatement"]
+_UnaryExpression = NODE_CLASSES["UnaryExpression"]
+_UpdateExpression = NODE_CLASSES["UpdateExpression"]
+_VariableDeclaration = NODE_CLASSES["VariableDeclaration"]
+_VariableDeclarator = NODE_CLASSES["VariableDeclarator"]
+_WhileStatement = NODE_CLASSES["WhileStatement"]
+_WithStatement = NODE_CLASSES["WithStatement"]
+_YieldExpression = NODE_CLASSES["YieldExpression"]
+
+# Positional factories for the hottest node shapes: one Python frame per
+# node, no kwargs dict, no per-field sentinel checks.  Each factory is
+# bound to the exact field set its call sites pass, so set-vs-unset
+# semantics match the keyword constructors above.
+_mk_identifier = fast_constructor("Identifier", "name", "start", "end")
+_mk_literal = fast_constructor("Literal", "value", "raw", "start", "end")
+_mk_member = fast_constructor(
+    "MemberExpression", "object", "property", "computed", "start", "end"
+)
+_mk_member_optional = fast_constructor(
+    "MemberExpression", "object", "property", "computed", "optional", "start", "end"
+)
+_mk_call = fast_constructor("CallExpression", "callee", "arguments", "start", "end")
+_mk_call_optional = fast_constructor(
+    "CallExpression", "callee", "arguments", "optional", "start", "end"
+)
+_mk_binary = fast_constructor(
+    "BinaryExpression", "operator", "left", "right", "start", "end"
+)
+_mk_logical = fast_constructor(
+    "LogicalExpression", "operator", "left", "right", "start", "end"
+)
+_mk_assignment = fast_constructor(
+    "AssignmentExpression", "operator", "left", "right", "start", "end"
+)
+_mk_conditional = fast_constructor(
+    "ConditionalExpression", "test", "consequent", "alternate", "start", "end"
+)
+_mk_unary = fast_constructor(
+    "UnaryExpression", "operator", "argument", "prefix", "start", "end"
+)
+_mk_update = fast_constructor(
+    "UpdateExpression", "operator", "argument", "prefix", "start", "end"
+)
+_mk_sequence = fast_constructor("SequenceExpression", "expressions", "start", "end")
+_mk_spread = fast_constructor("SpreadElement", "argument", "start", "end")
+_mk_array = fast_constructor("ArrayExpression", "elements", "start", "end")
+_mk_object = fast_constructor("ObjectExpression", "properties", "start", "end")
+_mk_property = fast_constructor(
+    "Property", "key", "value", "kind", "method", "shorthand", "computed", "start", "end"
+)
+_mk_block = fast_constructor("BlockStatement", "body", "start", "end")
+_mk_expression_statement = fast_constructor(
+    "ExpressionStatement", "expression", "start", "end"
+)
+_mk_variable_declaration = fast_constructor(
+    "VariableDeclaration", "declarations", "kind", "start", "end"
+)
+_mk_variable_declarator = fast_constructor(
+    "VariableDeclarator", "id", "init", "start", "end"
+)
+_mk_return = fast_constructor("ReturnStatement", "argument", "start", "end")
+_mk_if = fast_constructor(
+    "IfStatement", "test", "consequent", "alternate", "start", "end"
+)
+
 
 class Parser:
     """Parser over a pre-tokenized stream (enables cheap lookahead)."""
@@ -74,38 +206,54 @@ class Parser:
         self.tokens = lexer.scan_all()
         self.comments = lexer.comments
         self.index = 0
+        self.token = self.tokens[0]
         self.in_function = 0
         self.in_loop = 0
         self.in_switch = 0
-        self._paren_match = self._match_brackets()
+        # Built on first arrow probe — sources whose expressions never
+        # start with ``(`` skip the whole-stream bracket scan.
+        self._paren_match: dict[int, int] | None = None
 
     def _match_brackets(self) -> dict[int, int]:
         """Token index of the closer for every opening bracket token."""
         matches: dict[int, int] = {}
         stack: list[int] = []
-        for idx, token in enumerate(self.tokens):
-            if token.type is not TokenType.PUNCTUATOR:
-                continue
-            if token.value in ("(", "[", "{"):
-                stack.append(idx)
-            elif token.value in (")", "]", "}") and stack:
-                matches[stack.pop()] = idx
+        punctuator = TokenType.PUNCTUATOR
+        # Prefilter at comprehension speed; multi-char punctuator values
+        # never pass the single-char substring test.
+        brackets = [
+            (idx, token.value)
+            for idx, token in enumerate(self.tokens)
+            if token.type is punctuator and token.value in "([{)]}"
+        ]
+        push = stack.append
+        pop = stack.pop
+        for idx, value in brackets:
+            if value in "([{":
+                push(idx)
+            elif stack:
+                matches[pop()] = idx
         return matches
 
     # -- token helpers -------------------------------------------------------
-
-    @property
-    def token(self) -> Token:
-        return self.tokens[self.index]
+    #
+    # ``self.token`` is a plain attribute kept in sync by every advance (the
+    # cursor only ever moves forward), so the hot helpers below are single
+    # attribute loads plus identity checks — no property indirection.
 
     def _peek(self, offset: int = 1) -> Token:
-        idx = min(self.index + offset, len(self.tokens) - 1)
-        return self.tokens[idx]
+        tokens = self.tokens
+        idx = self.index + offset
+        if idx >= len(tokens):
+            idx = len(tokens) - 1
+        return tokens[idx]
 
     def _advance(self) -> Token:
-        token = self.tokens[self.index]
-        if token.type is not TokenType.EOF:
-            self.index += 1
+        token = self.token
+        if token.type is not _EOF:
+            index = self.index + 1
+            self.index = index
+            self.token = self.tokens[index]
         return token
 
     def _at(self, type_: TokenType, value: str | None = None) -> bool:
@@ -115,32 +263,48 @@ class Parser:
         return value is None or token.value == value
 
     def _at_punct(self, value: str) -> bool:
-        return self._at(TokenType.PUNCTUATOR, value)
+        token = self.token
+        return token.type is _PUNCT and token.value == value
 
     def _at_keyword(self, value: str) -> bool:
-        return self._at(TokenType.KEYWORD, value)
+        token = self.token
+        return token.type is _KEYWORD and token.value == value
 
     def _eat_punct(self, value: str) -> bool:
-        if self._at_punct(value):
-            self._advance()
+        token = self.token
+        if token.type is _PUNCT and token.value == value:
+            index = self.index + 1
+            self.index = index
+            self.token = self.tokens[index]
             return True
         return False
 
     def _eat_keyword(self, value: str) -> bool:
-        if self._at_keyword(value):
-            self._advance()
+        token = self.token
+        if token.type is _KEYWORD and token.value == value:
+            index = self.index + 1
+            self.index = index
+            self.token = self.tokens[index]
             return True
         return False
 
     def _expect_punct(self, value: str) -> Token:
-        if not self._at_punct(value):
-            raise ParseError(f"Expected {value!r}, got {self.token.value!r}", self.token)
-        return self._advance()
+        token = self.token
+        if token.type is not _PUNCT or token.value != value:
+            raise ParseError(f"Expected {value!r}, got {token.value!r}", token)
+        index = self.index + 1
+        self.index = index
+        self.token = self.tokens[index]
+        return token
 
     def _expect_keyword(self, value: str) -> Token:
-        if not self._at_keyword(value):
-            raise ParseError(f"Expected keyword {value!r}, got {self.token.value!r}", self.token)
-        return self._advance()
+        token = self.token
+        if token.type is not _KEYWORD or token.value != value:
+            raise ParseError(f"Expected keyword {value!r}, got {token.value!r}", token)
+        index = self.index + 1
+        self.index = index
+        self.token = self.tokens[index]
+        return token
 
     def _newline_before(self) -> bool:
         if self.index == 0:
@@ -163,8 +327,7 @@ class Parser:
         body: list[Node] = []
         while self.token.type is not TokenType.EOF:
             body.append(self._parse_statement_list_item())
-        return Node(
-            "Program",
+        return _Program(
             body=body,
             sourceType="script",
             start=0,
@@ -174,67 +337,51 @@ class Parser:
     # -- statements ----------------------------------------------------------
 
     def _parse_statement_list_item(self) -> Node:
-        if self._at_keyword("import"):
-            # Dynamic import() and import.meta are expressions.
-            nxt = self._peek()
-            if not (nxt.type is TokenType.PUNCTUATOR and nxt.value in ("(", ".")):
-                return self._parse_import_declaration()
-        if self._at_keyword("export"):
-            return self._parse_export_declaration()
+        token = self.token
+        if token.type is _KEYWORD:
+            if token.value == "import":
+                # Dynamic import() and import.meta are expressions.
+                nxt = self._peek()
+                if not (nxt.type is _PUNCT and nxt.value in ("(", ".")):
+                    return self._parse_import_declaration()
+            elif token.value == "export":
+                return self._parse_export_declaration()
         return self._parse_statement()
 
     def _parse_statement(self) -> Node:
         token = self.token
-        if token.type is TokenType.PUNCTUATOR:
+        ttype = token.type
+        if ttype is _PUNCT:
             if token.value == "{":
                 return self._parse_block()
             if token.value == ";":
                 start = self._advance()
-                return Node("EmptyStatement", start=start.start, end=start.end)
-        if token.type is TokenType.KEYWORD:
-            handler = {
-                "var": self._parse_variable_statement,
-                "let": self._parse_variable_statement,
-                "const": self._parse_variable_statement,
-                "function": self._parse_function_declaration,
-                "class": self._parse_class_declaration,
-                "if": self._parse_if,
-                "for": self._parse_for,
-                "while": self._parse_while,
-                "do": self._parse_do_while,
-                "switch": self._parse_switch,
-                "return": self._parse_return,
-                "break": self._parse_break_continue,
-                "continue": self._parse_break_continue,
-                "throw": self._parse_throw,
-                "try": self._parse_try,
-                "debugger": self._parse_debugger,
-                "with": self._parse_with,
-            }.get(token.value)
+                return _EmptyStatement(start=start.start, end=start.end)
+        elif ttype is _KEYWORD:
+            # Table-driven dispatch (built once, below the class body).
+            handler = _STATEMENT_KEYWORDS.get(token.value)
             if handler is not None:
-                if token.value in ("let", "const"):
+                if token.value == "let":
                     # `let` as identifier in sloppy mode: let[x] / let.y etc.
                     nxt = self._peek()
-                    if token.value == "let" and not (
+                    if not (
                         nxt.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
-                        or (nxt.type is TokenType.PUNCTUATOR and nxt.value in ("[", "{"))
+                        or (nxt.type is _PUNCT and nxt.value in ("[", "{"))
                     ):
                         return self._parse_expression_statement()
-                return handler()
-        if (
-            token.type is TokenType.IDENTIFIER
-            and token.value == "async"
-            and self._peek().type is TokenType.KEYWORD
-            and self._peek().value == "function"
-            and self._peek().line == token.line
-        ):
-            return self._parse_function_declaration()
-        if (
-            token.type is TokenType.IDENTIFIER
-            and self._peek().type is TokenType.PUNCTUATOR
-            and self._peek().value == ":"
-        ):
-            return self._parse_labeled_statement()
+                return handler(self)
+        elif ttype is _IDENTIFIER:
+            if token.value == "async":
+                nxt = self._peek()
+                if (
+                    nxt.type is _KEYWORD
+                    and nxt.value == "function"
+                    and nxt.line == token.line
+                ):
+                    return self._parse_function_declaration()
+            nxt = self._peek()
+            if nxt.type is _PUNCT and nxt.value == ":":
+                return self._parse_labeled_statement()
         return self._parse_expression_statement()
 
     def _parse_block(self) -> Node:
@@ -245,7 +392,7 @@ class Parser:
                 raise ParseError("Unexpected end of input in block", self.token)
             body.append(self._parse_statement_list_item())
         end = self._expect_punct("}")
-        return Node("BlockStatement", body=body, start=start.start, end=end.end)
+        return _mk_block(body, start.start, end.end)
 
     def _parse_variable_statement(self) -> Node:
         declaration = self._parse_variable_declaration()
@@ -257,12 +404,8 @@ class Parser:
         declarations = [self._parse_variable_declarator(in_for)]
         while self._eat_punct(","):
             declarations.append(self._parse_variable_declarator(in_for))
-        return Node(
-            "VariableDeclaration",
-            declarations=declarations,
-            kind=kind_token.value,
-            start=kind_token.start,
-            end=declarations[-1].end,
+        return _mk_variable_declaration(
+            declarations, kind_token.value, kind_token.start, declarations[-1].end
         )
 
     def _parse_variable_declarator(self, in_for: bool = False) -> Node:
@@ -271,13 +414,15 @@ class Parser:
         if self._eat_punct("="):
             init = self._parse_assignment_expression(no_in=in_for)
         end = init.end if init is not None else ident.end
-        return Node("VariableDeclarator", id=ident, init=init, start=ident.start, end=end)
+        return _mk_variable_declarator(ident, init, ident.start, end)
 
     def _parse_binding_target(self) -> Node:
-        if self._at_punct("["):
-            return self._reinterpret_as_pattern(self._parse_array_literal())
-        if self._at_punct("{"):
-            return self._reinterpret_as_pattern(self._parse_object_literal())
+        token = self.token
+        if token.type is _PUNCT:
+            if token.value == "[":
+                return self._reinterpret_as_pattern(self._parse_array_literal())
+            if token.value == "{":
+                return self._reinterpret_as_pattern(self._parse_object_literal())
         return self._parse_identifier_name()
 
     def _parse_identifier_name(self) -> Node:
@@ -287,7 +432,7 @@ class Parser:
             and token.value in ("let", "yield", "await", "of")
         ):
             self._advance()
-            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+            return _mk_identifier(token.value, token.start, token.end)
         raise ParseError(f"Expected identifier, got {token.value!r}", token)
 
     def _parse_function_declaration(self, allow_anonymous: bool = False) -> Node:
@@ -310,8 +455,8 @@ class Parser:
         self.in_function += 1
         body = self._parse_block()
         self.in_function -= 1
-        return Node(
-            "FunctionDeclaration" if declaration else "FunctionExpression",
+        node_cls = _FunctionDeclaration if declaration else _FunctionExpression
+        return node_cls(
             id=ident,
             params=params,
             body=body,
@@ -331,14 +476,13 @@ class Parser:
                 rest_start = self._advance()
                 argument = self._parse_binding_target()
                 params.append(
-                    Node("RestElement", argument=argument, start=rest_start.start, end=argument.end)
+                    _RestElement(argument=argument, start=rest_start.start, end=argument.end)
                 )
             else:
                 target = self._parse_binding_target()
                 if self._eat_punct("="):
                     default = self._parse_assignment_expression()
-                    target = Node(
-                        "AssignmentPattern",
+                    target = _AssignmentPattern(
                         left=target,
                         right=default,
                         start=target.start,
@@ -364,8 +508,8 @@ class Parser:
         if self._eat_keyword("extends"):
             super_class = self._parse_left_hand_side_expression()
         body = self._parse_class_body()
-        return Node(
-            "ClassDeclaration" if declaration else "ClassExpression",
+        node_cls = _ClassDeclaration if declaration else _ClassExpression
+        return node_cls(
             id=ident,
             superClass=super_class,
             body=body,
@@ -381,7 +525,7 @@ class Parser:
                 continue
             members.append(self._parse_class_member())
         end = self._expect_punct("}")
-        return Node("ClassBody", body=members, start=start.start, end=end.end)
+        return _ClassBody(body=members, start=start.start, end=end.end)
 
     def _parse_class_member(self) -> Node:
         start = self.token
@@ -418,8 +562,7 @@ class Parser:
             self.in_function += 1
             body = self._parse_block()
             self.in_function -= 1
-            value = Node(
-                "FunctionExpression",
+            value = _FunctionExpression(
                 id=None,
                 params=params,
                 body=body,
@@ -430,8 +573,7 @@ class Parser:
             )
             if kind == "method" and not computed and key.type == "Identifier" and key.name == "constructor":
                 kind = "constructor"
-            return Node(
-                "MethodDefinition",
+            return _MethodDefinition(
                 key=key,
                 value=value,
                 kind=kind,
@@ -445,8 +587,7 @@ class Parser:
         if self._eat_punct("="):
             value = self._parse_assignment_expression()
         self._consume_semicolon()
-        return Node(
-            "PropertyDefinition",
+        return _PropertyDefinition(
             key=key,
             value=value,
             static=is_static,
@@ -466,7 +607,7 @@ class Parser:
             return self._literal_from_token(token), False
         if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.BOOLEAN, TokenType.NULL):
             self._advance()
-            return Node("Identifier", name=token.value, start=token.start, end=token.end), False
+            return _mk_identifier(token.value, token.start, token.end), False
         raise ParseError(f"Invalid property key {token.value!r}", token)
 
     def _parse_if(self) -> Node:
@@ -479,14 +620,7 @@ class Parser:
         if self._eat_keyword("else"):
             alternate = self._parse_statement()
         end = alternate.end if alternate is not None else consequent.end
-        return Node(
-            "IfStatement",
-            test=test,
-            consequent=consequent,
-            alternate=alternate,
-            start=start.start,
-            end=end,
-        )
+        return _mk_if(test, consequent, alternate, start.start, end)
 
     def _parse_for(self) -> Node:
         start = self._expect_keyword("for")
@@ -511,8 +645,7 @@ class Parser:
         self.in_loop += 1
         body = self._parse_statement()
         self.in_loop -= 1
-        return Node(
-            "ForStatement",
+        return _ForStatement(
             init=init,
             test=test,
             update=update,
@@ -531,8 +664,8 @@ class Parser:
         self.in_loop += 1
         body = self._parse_statement()
         self.in_loop -= 1
-        return Node(
-            "ForOfStatement" if is_of else "ForInStatement",
+        node_cls = _ForOfStatement if is_of else _ForInStatement
+        return node_cls(
             left=left,
             right=right,
             body=body,
@@ -548,7 +681,7 @@ class Parser:
         self.in_loop += 1
         body = self._parse_statement()
         self.in_loop -= 1
-        return Node("WhileStatement", test=test, body=body, start=start.start, end=body.end)
+        return _WhileStatement(test=test, body=body, start=start.start, end=body.end)
 
     def _parse_do_while(self) -> Node:
         start = self._expect_keyword("do")
@@ -560,7 +693,7 @@ class Parser:
         test = self._parse_expression()
         end = self._expect_punct(")")
         self._eat_punct(";")
-        return Node("DoWhileStatement", body=body, test=test, start=start.start, end=end.end)
+        return _DoWhileStatement(body=body, test=test, start=start.start, end=end.end)
 
     def _parse_switch(self) -> Node:
         start = self._expect_keyword("switch")
@@ -574,8 +707,7 @@ class Parser:
             cases.append(self._parse_switch_case())
         self.in_switch -= 1
         end = self._expect_punct("}")
-        return Node(
-            "SwitchStatement",
+        return _SwitchStatement(
             discriminant=discriminant,
             cases=cases,
             start=start.start,
@@ -596,7 +728,7 @@ class Parser:
         ):
             consequent.append(self._parse_statement_list_item())
         end = consequent[-1].end if consequent else start.end
-        return Node("SwitchCase", test=test, consequent=consequent, start=start.start, end=end)
+        return _SwitchCase(test=test, consequent=consequent, start=start.start, end=end)
 
     def _parse_return(self) -> Node:
         start = self._expect_keyword("return")
@@ -610,7 +742,7 @@ class Parser:
             argument = self._parse_expression()
         self._consume_semicolon()
         end = argument.end if argument is not None else start.end
-        return Node("ReturnStatement", argument=argument, start=start.start, end=end)
+        return _mk_return(argument, start.start, end)
 
     def _parse_break_continue(self) -> Node:
         start = self._advance()
@@ -620,7 +752,7 @@ class Parser:
         self._consume_semicolon()
         kind = "BreakStatement" if start.value == "break" else "ContinueStatement"
         end = label.end if label is not None else start.end
-        return Node(kind, label=label, start=start.start, end=end)
+        return NODE_CLASSES[kind](label=label, start=start.start, end=end)
 
     def _parse_throw(self) -> Node:
         start = self._expect_keyword("throw")
@@ -628,7 +760,7 @@ class Parser:
             raise ParseError("Illegal newline after throw", self.token)
         argument = self._parse_expression()
         self._consume_semicolon()
-        return Node("ThrowStatement", argument=argument, start=start.start, end=argument.end)
+        return _ThrowStatement(argument=argument, start=start.start, end=argument.end)
 
     def _parse_try(self) -> Node:
         start = self._expect_keyword("try")
@@ -642,16 +774,15 @@ class Parser:
                 param = self._parse_binding_target()
                 self._expect_punct(")")
             body = self._parse_block()
-            handler = Node(
-                "CatchClause", param=param, body=body, start=catch_start.start, end=body.end
+            handler = _CatchClause(
+                param=param, body=body, start=catch_start.start, end=body.end
             )
         if self._eat_keyword("finally"):
             finalizer = self._parse_block()
         if handler is None and finalizer is None:
             raise ParseError("Missing catch or finally after try", self.token)
         end = (finalizer or handler).end
-        return Node(
-            "TryStatement",
+        return _TryStatement(
             block=block,
             handler=handler,
             finalizer=finalizer,
@@ -662,7 +793,7 @@ class Parser:
     def _parse_debugger(self) -> Node:
         start = self._expect_keyword("debugger")
         self._consume_semicolon()
-        return Node("DebuggerStatement", start=start.start, end=start.end)
+        return _DebuggerStatement(start=start.start, end=start.end)
 
     def _parse_with(self) -> Node:
         start = self._expect_keyword("with")
@@ -670,23 +801,18 @@ class Parser:
         obj = self._parse_expression()
         self._expect_punct(")")
         body = self._parse_statement()
-        return Node("WithStatement", object=obj, body=body, start=start.start, end=body.end)
+        return _WithStatement(object=obj, body=body, start=start.start, end=body.end)
 
     def _parse_labeled_statement(self) -> Node:
         label = self._parse_identifier_name()
         self._expect_punct(":")
         body = self._parse_statement()
-        return Node("LabeledStatement", label=label, body=body, start=label.start, end=body.end)
+        return _LabeledStatement(label=label, body=body, start=label.start, end=body.end)
 
     def _parse_expression_statement(self) -> Node:
         expression = self._parse_expression()
         self._consume_semicolon()
-        return Node(
-            "ExpressionStatement",
-            expression=expression,
-            start=expression.start,
-            end=expression.end,
-        )
+        return _mk_expression_statement(expression, expression.start, expression.end)
 
     # -- modules -------------------------------------------------------------
 
@@ -696,8 +822,7 @@ class Parser:
         if self.token.type is TokenType.STRING:
             source_token = self._advance()
             self._consume_semicolon()
-            return Node(
-                "ImportDeclaration",
+            return _ImportDeclaration(
                 specifiers=specifiers,
                 source=self._literal_from_token(source_token),
                 start=start.start,
@@ -706,7 +831,7 @@ class Parser:
         if self.token.type is TokenType.IDENTIFIER:
             local = self._parse_identifier_name()
             specifiers.append(
-                Node("ImportDefaultSpecifier", local=local, start=local.start, end=local.end)
+                _ImportDefaultSpecifier(local=local, start=local.start, end=local.end)
             )
             if self._eat_punct(","):
                 self._parse_import_rest(specifiers)
@@ -719,8 +844,7 @@ class Parser:
             raise ParseError("Expected module source string", self.token)
         source_token = self._advance()
         self._consume_semicolon()
-        return Node(
-            "ImportDeclaration",
+        return _ImportDeclaration(
             specifiers=specifiers,
             source=self._literal_from_token(source_token),
             start=start.start,
@@ -734,7 +858,7 @@ class Parser:
             self._advance()
             local = self._parse_identifier_name()
             specifiers.append(
-                Node("ImportNamespaceSpecifier", local=local, start=local.start, end=local.end)
+                _ImportNamespaceSpecifier(local=local, start=local.start, end=local.end)
             )
             return
         self._expect_punct("{")
@@ -745,8 +869,7 @@ class Parser:
                 self._advance()
                 local = self._parse_identifier_name()
             specifiers.append(
-                Node(
-                    "ImportSpecifier",
+                _ImportSpecifier(
                     imported=imported,
                     local=local,
                     start=imported.start,
@@ -771,8 +894,7 @@ class Parser:
             else:
                 declaration = self._parse_assignment_expression()
                 self._consume_semicolon()
-            return Node(
-                "ExportDefaultDeclaration",
+            return _ExportDefaultDeclaration(
                 declaration=declaration,
                 start=start.start,
                 end=declaration.end,
@@ -783,8 +905,7 @@ class Parser:
                 self._advance()
             source_token = self._advance()
             self._consume_semicolon()
-            return Node(
-                "ExportAllDeclaration",
+            return _ExportAllDeclaration(
                 source=self._literal_from_token(source_token),
                 start=start.start,
                 end=source_token.end,
@@ -799,8 +920,7 @@ class Parser:
                     self._advance()
                     exported = self._parse_identifier_name()
                 specifiers.append(
-                    Node(
-                        "ExportSpecifier",
+                    _ExportSpecifier(
                         local=local,
                         exported=exported,
                         start=local.start,
@@ -815,8 +935,7 @@ class Parser:
                 self._advance()
                 source = self._literal_from_token(self._advance())
             self._consume_semicolon()
-            return Node(
-                "ExportNamedDeclaration",
+            return _ExportNamedDeclaration(
                 declaration=None,
                 specifiers=specifiers,
                 source=source,
@@ -824,8 +943,7 @@ class Parser:
                 end=end.end,
             )
         declaration = self._parse_statement_list_item()
-        return Node(
-            "ExportNamedDeclaration",
+        return _ExportNamedDeclaration(
             declaration=declaration,
             specifiers=[],
             source=None,
@@ -841,19 +959,19 @@ class Parser:
             expressions = [expression]
             while self._eat_punct(","):
                 expressions.append(self._parse_assignment_expression(no_in=no_in))
-            return Node(
-                "SequenceExpression",
-                expressions=expressions,
-                start=expressions[0].start,
-                end=expressions[-1].end,
-            )
+            return _mk_sequence(expressions, expressions[0].start, expressions[-1].end)
         return expression
 
     def _parse_assignment_expression(self, no_in: bool = False) -> Node:
-        arrow = self._try_parse_arrow_function()
-        if arrow is not None:
-            return arrow
-        if self._at_keyword("yield") and self.in_function:
+        token = self.token
+        ttype = token.type
+        # Arrow-function heads start with an identifier or "(" — skip the
+        # probe entirely for every other token kind.
+        if ttype is _IDENTIFIER or (ttype is _PUNCT and token.value == "("):
+            arrow = self._try_parse_arrow_function()
+            if arrow is not None:
+                return arrow
+        elif ttype is _KEYWORD and token.value == "yield" and self.in_function:
             return self._parse_yield()
         left = self._parse_conditional_expression(no_in=no_in)
         if self.token.type is TokenType.PUNCTUATOR and self.token.value in _ASSIGNMENT_OPERATORS:
@@ -861,14 +979,7 @@ class Parser:
             if operator == "=":
                 left = self._reinterpret_as_pattern(left, assignment=True)
             right = self._parse_assignment_expression(no_in=no_in)
-            return Node(
-                "AssignmentExpression",
-                operator=operator,
-                left=left,
-                right=right,
-                start=left.start,
-                end=right.end,
-            )
+            return _mk_assignment(operator, left, right, left.start, right.end)
         return left
 
     def _parse_yield(self) -> Node:
@@ -886,8 +997,8 @@ class Parser:
         ):
             argument = self._parse_assignment_expression()
         end = argument.end if argument is not None else start.end
-        return Node(
-            "YieldExpression", argument=argument, delegate=delegate, start=start.start, end=end
+        return _YieldExpression(
+            argument=argument, delegate=delegate, start=start.start, end=end
         )
 
     def _try_parse_arrow_function(self) -> Node | None:
@@ -930,7 +1041,10 @@ class Parser:
         return None
 
     def _find_matching_paren(self, open_index: int) -> int | None:
-        return self._paren_match.get(open_index)
+        matches = self._paren_match
+        if matches is None:
+            matches = self._paren_match = self._match_brackets()
+        return matches.get(open_index)
 
     def _finish_arrow(self, params: list[Node], is_async: bool) -> Node:
         self._expect_punct("=>")
@@ -945,8 +1059,7 @@ class Parser:
             self.in_function -= 1
             expression = True
         start = params[0].start if params else body.start
-        return Node(
-            "ArrowFunctionExpression",
+        return _ArrowFunctionExpression(
             id=None,
             params=params,
             body=body,
@@ -963,21 +1076,18 @@ class Parser:
             consequent = self._parse_assignment_expression()
             self._expect_punct(":")
             alternate = self._parse_assignment_expression(no_in=no_in)
-            return Node(
-                "ConditionalExpression",
-                test=test,
-                consequent=consequent,
-                alternate=alternate,
-                start=test.start,
-                end=alternate.end,
-            )
+            return _mk_conditional(test, consequent, alternate, test.start, alternate.end)
         return test
 
     def _binary_op_precedence(self, no_in: bool) -> tuple[str, int] | None:
         token = self.token
-        if token.type is TokenType.PUNCTUATOR and token.value in _BINARY_PRECEDENCE:
-            return token.value, _BINARY_PRECEDENCE[token.value]
-        if token.type is TokenType.KEYWORD and token.value in ("instanceof", "in"):
+        ttype = token.type
+        if ttype is _PUNCT:
+            precedence = _BINARY_PRECEDENCE.get(token.value)
+            if precedence is not None:
+                return token.value, precedence
+            return None
+        if ttype is _KEYWORD and token.value in ("instanceof", "in"):
             if token.value == "in" and no_in:
                 return None
             return token.value, _BINARY_PRECEDENCE[token.value]
@@ -996,15 +1106,8 @@ class Parser:
             # ** is right-associative; everything else left-associative.
             next_min = precedence if operator == "**" else precedence + 1
             right = self._parse_binary_expression(next_min, no_in=no_in)
-            node_type = "LogicalExpression" if operator in ("&&", "||", "??") else "BinaryExpression"
-            left = Node(
-                node_type,
-                operator=operator,
-                left=left,
-                right=right,
-                start=left.start,
-                end=right.end,
-            )
+            make = _mk_logical if operator in ("&&", "||", "??") else _mk_binary
+            left = make(operator, left, right, left.start, right.end)
         return left
 
     def _parse_unary_expression(self) -> Node:
@@ -1016,49 +1119,31 @@ class Parser:
         ):
             self._advance()
             argument = self._parse_unary_expression()
-            return Node(
-                "UnaryExpression",
-                operator=token.value,
-                argument=argument,
-                prefix=True,
-                start=token.start,
-                end=argument.end,
-            )
+            return _mk_unary(token.value, argument, True, token.start, argument.end)
         if token.type is TokenType.PUNCTUATOR and token.value in ("++", "--"):
             self._advance()
             argument = self._parse_unary_expression()
-            return Node(
-                "UpdateExpression",
-                operator=token.value,
-                argument=argument,
-                prefix=True,
-                start=token.start,
-                end=argument.end,
-            )
+            return _mk_update(token.value, argument, True, token.start, argument.end)
         if token.type is TokenType.KEYWORD and token.value == "await" and self.in_function:
             self._advance()
             argument = self._parse_unary_expression()
-            return Node(
-                "AwaitExpression", argument=argument, start=token.start, end=argument.end
+            return _AwaitExpression(
+                argument=argument, start=token.start, end=argument.end
             )
         expression = self._parse_postfix_expression()
         return expression
 
     def _parse_postfix_expression(self) -> Node:
         expression = self._parse_left_hand_side_expression(allow_call=True)
+        token = self.token
         if (
-            self.token.type is TokenType.PUNCTUATOR
-            and self.token.value in ("++", "--")
+            token.type is _PUNCT
+            and token.value in ("++", "--")
             and not self._newline_before()
         ):
             operator = self._advance()
-            expression = Node(
-                "UpdateExpression",
-                operator=operator.value,
-                argument=expression,
-                prefix=False,
-                start=expression.start,
-                end=operator.end,
+            expression = _mk_update(
+                operator.value, expression, False, expression.start, operator.end
             )
         return expression
 
@@ -1067,79 +1152,64 @@ class Parser:
             expression = self._parse_new_expression()
         else:
             expression = self._parse_primary_expression()
+        # Suffix loop: one token fetch per iteration, dispatch on the
+        # punctuator value directly instead of chained _at_punct probes.
         while True:
-            if self._at_punct("."):
-                self._advance()
-                prop = self._parse_member_property_name()
-                expression = Node(
-                    "MemberExpression",
-                    object=expression,
-                    property=prop,
-                    computed=False,
-                    start=expression.start,
-                    end=prop.end,
-                )
-            elif self._at_punct("?."):
-                self._advance()
-                if self._at_punct("("):
-                    arguments = self._parse_arguments()
-                    expression = Node(
-                        "CallExpression",
-                        callee=expression,
-                        arguments=arguments,
-                        optional=True,
-                        start=expression.start,
-                        end=self.tokens[self.index - 1].end,
+            token = self.token
+            ttype = token.type
+            if ttype is _PUNCT:
+                value = token.value
+                if value == ".":
+                    self._advance()
+                    prop = self._parse_member_property_name()
+                    expression = _mk_member(
+                        expression, prop, False, expression.start, prop.end
                     )
-                elif self._at_punct("["):
+                elif value == "(":
+                    if not allow_call:
+                        break
+                    arguments = self._parse_arguments()
+                    expression = _mk_call(
+                        expression,
+                        arguments,
+                        expression.start,
+                        self.tokens[self.index - 1].end,
+                    )
+                elif value == "[":
                     self._advance()
                     prop = self._parse_expression()
                     end = self._expect_punct("]")
-                    expression = Node(
-                        "MemberExpression",
-                        object=expression,
-                        property=prop,
-                        computed=True,
-                        optional=True,
-                        start=expression.start,
-                        end=end.end,
+                    expression = _mk_member(
+                        expression, prop, True, expression.start, end.end
                     )
+                elif value == "?.":
+                    self._advance()
+                    if self._at_punct("("):
+                        arguments = self._parse_arguments()
+                        expression = _mk_call_optional(
+                            expression,
+                            arguments,
+                            True,
+                            expression.start,
+                            self.tokens[self.index - 1].end,
+                        )
+                    elif self._at_punct("["):
+                        self._advance()
+                        prop = self._parse_expression()
+                        end = self._expect_punct("]")
+                        expression = _mk_member_optional(
+                            expression, prop, True, True, expression.start, end.end
+                        )
+                    else:
+                        prop = self._parse_member_property_name()
+                        expression = _mk_member_optional(
+                            expression, prop, False, True, expression.start, prop.end
+                        )
                 else:
-                    prop = self._parse_member_property_name()
-                    expression = Node(
-                        "MemberExpression",
-                        object=expression,
-                        property=prop,
-                        computed=False,
-                        optional=True,
-                        start=expression.start,
-                        end=prop.end,
-                    )
-            elif self._at_punct("["):
-                self._advance()
-                prop = self._parse_expression()
-                end = self._expect_punct("]")
-                expression = Node(
-                    "MemberExpression",
-                    object=expression,
-                    property=prop,
-                    computed=True,
-                    start=expression.start,
-                    end=end.end,
-                )
-            elif allow_call and self._at_punct("("):
-                arguments = self._parse_arguments()
-                expression = Node(
-                    "CallExpression",
-                    callee=expression,
-                    arguments=arguments,
-                    start=expression.start,
-                    end=self.tokens[self.index - 1].end,
-                )
-            elif self.token.type is TokenType.TEMPLATE:
+                    break
+            elif ttype is TokenType.TEMPLATE:
                 quasi = self._parse_template_literal()
-                expression = Node(
-                    "TaggedTemplateExpression",
+                expression = _TaggedTemplateExpression(
                     tag=expression,
                     quasi=quasi,
                     start=expression.start,
@@ -1158,7 +1228,7 @@ class Parser:
             TokenType.NULL,
         ):
             self._advance()
-            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+            return _mk_identifier(token.value, token.start, token.end)
         raise ParseError(f"Expected property name, got {token.value!r}", token)
 
     def _parse_new_expression(self) -> Node:
@@ -1166,9 +1236,8 @@ class Parser:
         if self._at_punct("."):
             self._advance()
             prop = self._parse_identifier_name()
-            return Node(
-                "MetaProperty",
-                meta=Node("Identifier", name="new", start=start.start, end=start.end),
+            return _MetaProperty(
+                meta=_Identifier(name="new", start=start.start, end=start.end),
                 property=prop,
                 start=start.start,
                 end=prop.end,
@@ -1179,8 +1248,7 @@ class Parser:
         if self._at_punct("("):
             arguments = self._parse_arguments()
             end = self.tokens[self.index - 1].end
-        return Node(
-            "NewExpression",
+        return _NewExpression(
             callee=callee,
             arguments=arguments,
             start=start.start,
@@ -1195,12 +1263,7 @@ class Parser:
                 spread_start = self._advance()
                 argument = self._parse_assignment_expression()
                 arguments.append(
-                    Node(
-                        "SpreadElement",
-                        argument=argument,
-                        start=spread_start.start,
-                        end=argument.end,
-                    )
+                    _mk_spread(argument, spread_start.start, argument.end)
                 )
             else:
                 arguments.append(self._parse_assignment_expression())
@@ -1216,20 +1279,15 @@ class Parser:
             return self._literal_from_token(token)
         if token.type is TokenType.BOOLEAN:
             self._advance()
-            return Node(
-                "Literal",
-                value=token.value == "true",
-                raw=token.value,
-                start=token.start,
-                end=token.end,
+            return _mk_literal(
+                token.value == "true", token.value, token.start, token.end
             )
         if token.type is TokenType.NULL:
             self._advance()
-            return Node("Literal", value=None, raw="null", start=token.start, end=token.end)
+            return _mk_literal(None, "null", token.start, token.end)
         if token.type is TokenType.REGULAR_EXPRESSION:
             self._advance()
-            return Node(
-                "Literal",
+            return _Literal(
                 value=None,
                 raw=token.value,
                 regex={"pattern": token.extra["pattern"], "flags": token.extra["flags"]},
@@ -1247,14 +1305,14 @@ class Parser:
             ):
                 return self._parse_function(declaration=False)
             self._advance()
-            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+            return _mk_identifier(token.value, token.start, token.end)
         if token.type is TokenType.KEYWORD:
             if token.value == "this":
                 self._advance()
-                return Node("ThisExpression", start=token.start, end=token.end)
+                return _ThisExpression(start=token.start, end=token.end)
             if token.value == "super":
                 self._advance()
-                return Node("Super", start=token.start, end=token.end)
+                return _Super(start=token.start, end=token.end)
             if token.value == "function":
                 return self._parse_function(declaration=False)
             if token.value == "class":
@@ -1262,9 +1320,9 @@ class Parser:
             if token.value in ("let", "yield", "await", "import"):
                 if token.value == "import":
                     self._advance()
-                    return Node("Import", start=token.start, end=token.end)
+                    return _Import(start=token.start, end=token.end)
                 self._advance()
-                return Node("Identifier", name=token.value, start=token.start, end=token.end)
+                return _mk_identifier(token.value, token.start, token.end)
         if token.type is TokenType.PUNCTUATOR:
             if token.value == "(":
                 self._advance()
@@ -1287,6 +1345,14 @@ class Parser:
     def _literal_from_token(self, token: Token) -> Node:
         if token.type is TokenType.NUMERIC:
             raw = token.value
+            # Fast path: plain decimal integers (the overwhelming case).
+            # Mirrors the slow path exactly — including float round-trip
+            # semantics for huge literals and legacy octal handling.
+            if raw.isdigit() and (raw[0] != "0" or raw == "0"):
+                value = float(raw)
+                if value.is_integer():
+                    value = int(value)
+                return _mk_literal(value, raw, token.start, token.end)
             try:
                 lowered = raw.lower()
                 if lowered.startswith("0x"):
@@ -1303,14 +1369,10 @@ class Parser:
                         value = int(value)
             except ValueError:
                 value = 0
-            return Node("Literal", value=value, raw=raw, start=token.start, end=token.end)
+            return _mk_literal(value, raw, token.start, token.end)
         # String literal: decode escapes for `value`, keep raw.
-        return Node(
-            "Literal",
-            value=_decode_string_literal(token.value),
-            raw=token.value,
-            start=token.start,
-            end=token.end,
+        return _mk_literal(
+            _decode_string_literal(token.value), token.value, token.start, token.end
         )
 
     def _parse_array_literal(self) -> Node:
@@ -1325,19 +1387,14 @@ class Parser:
                 spread_start = self._advance()
                 argument = self._parse_assignment_expression()
                 elements.append(
-                    Node(
-                        "SpreadElement",
-                        argument=argument,
-                        start=spread_start.start,
-                        end=argument.end,
-                    )
+                    _mk_spread(argument, spread_start.start, argument.end)
                 )
             else:
                 elements.append(self._parse_assignment_expression())
             if not self._at_punct("]"):
                 self._expect_punct(",")
         end = self._expect_punct("]")
-        return Node("ArrayExpression", elements=elements, start=start.start, end=end.end)
+        return _mk_array(elements, start.start, end.end)
 
     def _parse_object_literal(self) -> Node:
         start = self._expect_punct("{")
@@ -1347,16 +1404,14 @@ class Parser:
             if not self._at_punct("}"):
                 self._expect_punct(",")
         end = self._expect_punct("}")
-        return Node("ObjectExpression", properties=properties, start=start.start, end=end.end)
+        return _mk_object(properties, start.start, end.end)
 
     def _parse_object_property(self) -> Node:
         token = self.token
         if self._at_punct("..."):
             spread_start = self._advance()
             argument = self._parse_assignment_expression()
-            return Node(
-                "SpreadElement", argument=argument, start=spread_start.start, end=argument.end
-            )
+            return _mk_spread(argument, spread_start.start, argument.end)
         is_async = False
         generator = False
         kind = "init"
@@ -1388,8 +1443,7 @@ class Parser:
             self.in_function += 1
             body = self._parse_block()
             self.in_function -= 1
-            value = Node(
-                "FunctionExpression",
+            value = _FunctionExpression(
                 id=None,
                 params=params,
                 body=body,
@@ -1398,48 +1452,31 @@ class Parser:
                 end=body.end,
                 **{"async": is_async},
             )
-            return Node(
-                "Property",
-                key=key,
-                value=value,
-                kind=kind if kind in ("get", "set") else "init",
-                method=kind == "init",
-                shorthand=False,
-                computed=computed,
-                start=key.start,
-                end=body.end,
+            return _mk_property(
+                key,
+                value,
+                kind if kind in ("get", "set") else "init",
+                kind == "init",
+                False,
+                computed,
+                key.start,
+                body.end,
             )
         if self._eat_punct(":"):
             value = self._parse_assignment_expression()
-            return Node(
-                "Property",
-                key=key,
-                value=value,
-                kind="init",
-                method=False,
-                shorthand=False,
-                computed=computed,
-                start=key.start,
-                end=value.end,
+            return _mk_property(
+                key, value, "init", False, False, computed, key.start, value.end
             )
         # Shorthand { x } or shorthand-with-default { x = 1 } (pattern form).
         value = key
         if self._at_punct("="):
             self._advance()
             default = self._parse_assignment_expression()
-            value = Node(
-                "AssignmentPattern", left=key, right=default, start=key.start, end=default.end
+            value = _AssignmentPattern(
+                left=key, right=default, start=key.start, end=default.end
             )
-        return Node(
-            "Property",
-            key=key,
-            value=value,
-            kind="init",
-            method=False,
-            shorthand=True,
-            computed=computed,
-            start=key.start,
-            end=value.end,
+        return _mk_property(
+            key, value, "init", False, True, computed, key.start, value.end
         )
 
     def _parse_template_literal(self) -> Node:
@@ -1456,8 +1493,7 @@ class Parser:
         chunks, exprs = split_template(raw)
         for pos, chunk in enumerate(chunks):
             quasis.append(
-                Node(
-                    "TemplateElement",
+                _TemplateElement(
                     value={"raw": chunk, "cooked": _decode_template_chunk(chunk)},
                     tail=pos == len(chunks) - 1,
                     start=token.start,
@@ -1474,8 +1510,7 @@ class Parser:
             expression.start = token.start
             expression.end = token.end
             expressions.append(expression)
-        return Node(
-            "TemplateLiteral",
+        return _TemplateLiteral(
             quasis=quasis,
             expressions=expressions,
             start=token.start,
@@ -1493,8 +1528,7 @@ class Parser:
                     elements.append(None)
                 elif element.type == "SpreadElement":
                     elements.append(
-                        Node(
-                            "RestElement",
+                        _RestElement(
                             argument=self._reinterpret_as_pattern(element.argument, assignment),
                             start=element.start,
                             end=element.end,
@@ -1502,14 +1536,13 @@ class Parser:
                     )
                 else:
                     elements.append(self._reinterpret_as_pattern(element, assignment))
-            return Node("ArrayPattern", elements=elements, start=node.start, end=node.end)
+            return _ArrayPattern(elements=elements, start=node.start, end=node.end)
         if node.type == "ObjectExpression":
             properties = []
             for prop in node.properties:
                 if prop.type == "SpreadElement":
                     properties.append(
-                        Node(
-                            "RestElement",
+                        _RestElement(
                             argument=self._reinterpret_as_pattern(prop.argument, assignment),
                             start=prop.start,
                             end=prop.end,
@@ -1517,8 +1550,7 @@ class Parser:
                     )
                 else:
                     properties.append(
-                        Node(
-                            "Property",
+                        _Property(
                             key=prop.key,
                             value=self._reinterpret_as_pattern(prop.value, assignment),
                             kind="init",
@@ -1529,10 +1561,9 @@ class Parser:
                             end=prop.end,
                         )
                     )
-            return Node("ObjectPattern", properties=properties, start=node.start, end=node.end)
+            return _ObjectPattern(properties=properties, start=node.start, end=node.end)
         if node.type == "AssignmentExpression" and node.operator == "=":
-            return Node(
-                "AssignmentPattern",
+            return _AssignmentPattern(
                 left=self._reinterpret_as_pattern(node.left, assignment),
                 right=node.right,
                 start=node.start,
@@ -1544,6 +1575,29 @@ class Parser:
             # e.g. `(a, b) = ...` is invalid but parenthesised member chains are fine.
             return node
         raise ParseError(f"Invalid binding target of type {node.type}")
+
+
+# Statement dispatch over interned keyword values: one shared table of
+# unbound methods instead of a dict literal rebuilt on every statement.
+_STATEMENT_KEYWORDS = {
+    "var": Parser._parse_variable_statement,
+    "let": Parser._parse_variable_statement,
+    "const": Parser._parse_variable_statement,
+    "function": Parser._parse_function_declaration,
+    "class": Parser._parse_class_declaration,
+    "if": Parser._parse_if,
+    "for": Parser._parse_for,
+    "while": Parser._parse_while,
+    "do": Parser._parse_do_while,
+    "switch": Parser._parse_switch,
+    "return": Parser._parse_return,
+    "break": Parser._parse_break_continue,
+    "continue": Parser._parse_break_continue,
+    "throw": Parser._parse_throw,
+    "try": Parser._parse_try,
+    "debugger": Parser._parse_debugger,
+    "with": Parser._parse_with,
+}
 
 
 def _decode_string_literal(raw: str) -> str:
@@ -1573,16 +1627,20 @@ _SIMPLE_ESCAPES = {
 
 
 def _decode_escapes(text: str) -> str:
+    if "\\" not in text:
+        return text
     out: list[str] = []
     index = 0
     length = len(text)
+    find = text.find
     while index < length:
-        char = text[index]
-        if char != "\\":
-            out.append(char)
-            index += 1
-            continue
-        index += 1
+        backslash = find("\\", index)
+        if backslash == -1:
+            out.append(text[index:])
+            break
+        if backslash > index:
+            out.append(text[index:backslash])
+        index = backslash + 1
         if index >= length:
             break
         esc = text[index]

@@ -144,7 +144,21 @@ class ScopeAnalyzer:
                 for declarator in current.declarations:
                     for name_node in _pattern_identifiers(declarator.id):
                         scope.declare(name_node.name, "var", name_node)
-            stack.extend(iter_child_nodes(current))
+            # Inlined iter_child_nodes: same push order, no generator frame.
+            child_fields = current._child_fields
+            if child_fields is None:
+                stack.extend(iter_child_nodes(current))
+                continue
+            for key in child_fields:
+                value = getattr(current, key, None)
+                if value is None:
+                    continue
+                if value.__class__ is list:
+                    for item in value:
+                        if isinstance(item, Node):
+                            stack.append(item)
+                elif isinstance(value, Node):
+                    stack.append(value)
 
     # -- resolution pass ----------------------------------------------------
 
@@ -176,14 +190,34 @@ class ScopeAnalyzer:
             return
         # Iterative default descent: expression chains (e.g. thousand-term
         # string concatenations in machine-generated code) must not recurse.
+        # Dispatch goes through a prebuilt type->method table (built once
+        # below the class body) instead of a per-node getattr on an f-string.
+        handlers = _VISIT_HANDLERS
+        handlers_get = handlers.get
         stack = [node]
+        pop = stack.pop
+        push = stack.append
         while stack:
-            current = stack.pop()
-            handler = getattr(self, f"_visit_{current.type}", None)
+            current = pop()
+            handler = handlers_get(current.type)
             if handler is not None:
-                handler(current, scope)
+                handler(self, current, scope)
                 continue
-            stack.extend(iter_child_nodes(current))
+            # Inlined iter_child_nodes: same push order, no generator frame.
+            child_fields = current._child_fields
+            if child_fields is None:
+                stack.extend(iter_child_nodes(current))
+                continue
+            for key in child_fields:
+                value = getattr(current, key, None)
+                if value is None:
+                    continue
+                if value.__class__ is list:
+                    for item in value:
+                        if isinstance(item, Node):
+                            push(item)
+                elif isinstance(value, Node):
+                    push(value)
 
     # Identifier resolution -------------------------------------------------
 
@@ -434,6 +468,15 @@ class ScopeAnalyzer:
             self._visit(case.test, switch_scope)
             for statement in case.consequent:
                 self._visit(statement, switch_scope)
+
+
+# node type -> unbound ScopeAnalyzer method, replacing the historical
+# ``getattr(self, f"_visit_{type}")`` probe on every visited node.
+_VISIT_HANDLERS = {
+    name[len("_visit_") :]: method
+    for name, method in vars(ScopeAnalyzer).items()
+    if name.startswith("_visit_") and callable(method)
+}
 
 
 def _pattern_identifiers(node: Node | None) -> list[Node]:

@@ -1,0 +1,2982 @@
+"""Frozen pre-rewrite parse/enhance pipeline: the differential reference.
+
+This module is a self-contained snapshot of the attribute-bag AST core as
+it stood before the flat-node rewrite (PR "Flat AST core"):
+
+- ``Node`` as a ``__dict__`` attribute bag plus the generic helpers
+  (``iter_child_nodes`` dispatching on value type, ``to_dict``/``clone``),
+- the if/elif recursive-descent parser,
+- scope analysis, control-flow and data-flow construction,
+- the hand-picked static features and the AST 4-gram vector.
+
+The live pipeline is gated on bit-identical output against this snapshot
+(tests/test_parser_diff.py): identical ``to_dict`` ASTs, identical CF/DF
+edge signatures, identical static-feature dictionaries and n-gram blocks
+over the corpus mix.  Only the lexer is shared — it was frozen (and gated)
+one PR earlier as ``tests/reference_lexer.py``.
+
+Do not modernise this file; it is intentionally the old code.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.js.lexer import Lexer, split_template
+from repro.js.tokens import Token, TokenType
+
+# ---- ast_nodes (frozen) --------------------------------------------------
+
+# Attributes that never contain child nodes; skipping them speeds traversal.
+_NON_CHILD_FIELDS = frozenset(
+    {
+        "type",
+        "start",
+        "end",
+        "loc",
+        "name",
+        "value",
+        "raw",
+        "operator",
+        "kind",
+        "computed",
+        "prefix",
+        "generator",
+        "async",
+        "static",
+        "delegate",
+        "regex",
+        "sourceType",
+        "method",
+        "shorthand",
+        "tail",
+        "cooked",
+        "optional",
+        "flow_out",
+        "flow_in",
+        "data_out",
+        "data_in",
+        "parent",
+        "scope",
+    }
+)
+
+
+class Node:
+    """One AST node.
+
+    >>> Node("Identifier", name="x").type
+    'Identifier'
+    """
+
+    __slots__ = ("__dict__",)
+
+    def __init__(self, type: str, **fields: Any) -> None:
+        self.type = type
+        for key, value in fields.items():
+            setattr(self, key, value)
+
+    def __repr__(self) -> str:
+        parts = []
+        for key, value in self.__dict__.items():
+            if key == "type" or isinstance(value, Node):
+                continue
+            if isinstance(value, list) and value and isinstance(value[0], Node):
+                continue
+            if key in ("start", "end", "parent"):
+                continue
+            parts.append(f"{key}={value!r}")
+        inner = ", ".join(parts)
+        return f"{self.type}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return to_dict(self) == to_dict(other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def get(self, field: str, default: Any = None) -> Any:
+        return self.__dict__.get(field, default)
+
+    def fields(self) -> dict[str, Any]:
+        """All attributes of this node as a dict (shared, do not mutate)."""
+        return self.__dict__
+
+
+_ANALYSIS_FIELDS = frozenset(
+    {"parent", "scope", "binding", "flow_out", "flow_in", "data_out", "data_in"}
+)
+
+
+def iter_fields(node: Node) -> Iterator[tuple[str, Any]]:
+    """Yield ``(field_name, value)`` for fields that hold child nodes.
+
+    Dispatches on the value type, not the field name: ``Property.value``
+    holds a child node while ``Literal.value`` holds a plain scalar, so a
+    name-based skip list would hide real children.  Only analysis
+    annotations (``parent``, ``scope``, flow edges) are excluded by name.
+    """
+    for key, value in node.__dict__.items():
+        if key in _ANALYSIS_FIELDS:
+            continue
+        if isinstance(value, (Node, list)):
+            yield key, value
+
+
+def iter_child_nodes(node: Node) -> Iterator[Node]:
+    """Yield direct child nodes in source order.
+
+    Hot path: dispatch on value type directly instead of field names — the
+    only Node-valued field that is *not* a child is ``parent`` (set by
+    ``attach_parents``), which is skipped explicitly.
+    """
+    for key, value in node.__dict__.items():
+        cls = value.__class__
+        if cls is Node:
+            if key != "parent":
+                yield value
+        elif cls is list:
+            for item in value:
+                if item.__class__ is Node:
+                    yield item
+
+
+def to_dict(node: Node | list | Any) -> Any:
+    """Convert a node tree to plain dicts (JSON-serializable, ESTree shape)."""
+    if isinstance(node, Node):
+        result: dict[str, Any] = {}
+        for key, value in node.__dict__.items():
+            if key in ("parent", "scope", "flow_out", "flow_in", "data_out", "data_in"):
+                continue
+            result[key] = to_dict(value)
+        return result
+    if isinstance(node, list):
+        return [to_dict(item) for item in node]
+    return node
+
+
+def from_dict(data: Any) -> Any:
+    """Inverse of :func:`to_dict` for dicts that carry a ``type`` key."""
+    if isinstance(data, dict) and "type" in data:
+        fields = {key: from_dict(value) for key, value in data.items() if key != "type"}
+        return Node(data["type"], **fields)
+    if isinstance(data, list):
+        return [from_dict(item) for item in data]
+    return data
+
+
+def clone(node: Any) -> Any:
+    """Deep-copy an AST subtree (drops parent/flow annotations)."""
+    if isinstance(node, Node):
+        fields = {}
+        for key, value in node.__dict__.items():
+            if key in ("type", "parent", "scope", "flow_out", "flow_in", "data_out", "data_in"):
+                continue
+            fields[key] = clone(value)
+        return Node(node.type, **fields)
+    if isinstance(node, list):
+        return [clone(item) for item in node]
+    return node
+
+
+# ---- parser (frozen) -----------------------------------------------------
+
+class ParseError(SyntaxError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token | None = None) -> None:
+        if token is not None:
+            message = f"{message} at line {token.line}, column {token.column}"
+        super().__init__(message)
+        self.token = token
+
+
+# Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "??": 1,
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7,
+    "!=": 7,
+    "===": 7,
+    "!==": 7,
+    "<": 8,
+    ">": 8,
+    "<=": 8,
+    ">=": 8,
+    "instanceof": 8,
+    "in": 8,
+    "<<": 9,
+    ">>": 9,
+    ">>>": 9,
+    "+": 10,
+    "-": 10,
+    "*": 11,
+    "/": 11,
+    "%": 11,
+    "**": 12,
+}
+
+_ASSIGNMENT_OPERATORS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", ">>>=", "&=", "|=", "^=", "**=", "&&=", "||=", "??="}
+)
+
+_UNARY_OPERATORS = frozenset({"+", "-", "~", "!", "typeof", "void", "delete"})
+
+
+class Parser:
+    """Parser over a pre-tokenized stream (enables cheap lookahead)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        lexer = Lexer(source)
+        self.tokens = lexer.scan_all()
+        self.comments = lexer.comments
+        self.index = 0
+        self.in_function = 0
+        self.in_loop = 0
+        self.in_switch = 0
+        self._paren_match = self._match_brackets()
+
+    def _match_brackets(self) -> dict[int, int]:
+        """Token index of the closer for every opening bracket token."""
+        matches: dict[int, int] = {}
+        stack: list[int] = []
+        for idx, token in enumerate(self.tokens):
+            if token.type is not TokenType.PUNCTUATOR:
+                continue
+            if token.value in ("(", "[", "{"):
+                stack.append(idx)
+            elif token.value in (")", "]", "}") and stack:
+                matches[stack.pop()] = idx
+        return matches
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def token(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        idx = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _at(self, type_: TokenType, value: str | None = None) -> bool:
+        token = self.token
+        if token.type is not type_:
+            return False
+        return value is None or token.value == value
+
+    def _at_punct(self, value: str) -> bool:
+        return self._at(TokenType.PUNCTUATOR, value)
+
+    def _at_keyword(self, value: str) -> bool:
+        return self._at(TokenType.KEYWORD, value)
+
+    def _eat_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _eat_keyword(self, value: str) -> bool:
+        if self._at_keyword(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> Token:
+        if not self._at_punct(value):
+            raise ParseError(f"Expected {value!r}, got {self.token.value!r}", self.token)
+        return self._advance()
+
+    def _expect_keyword(self, value: str) -> Token:
+        if not self._at_keyword(value):
+            raise ParseError(f"Expected keyword {value!r}, got {self.token.value!r}", self.token)
+        return self._advance()
+
+    def _newline_before(self) -> bool:
+        if self.index == 0:
+            return False
+        return self.token.line > self.tokens[self.index - 1].line
+
+    def _consume_semicolon(self) -> None:
+        """Apply automatic semicolon insertion."""
+        if self._eat_punct(";"):
+            return
+        if self._at_punct("}") or self.token.type is TokenType.EOF:
+            return
+        if self._newline_before():
+            return
+        raise ParseError(f"Expected ';', got {self.token.value!r}", self.token)
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse_program(self) -> Node:
+        body: list[Node] = []
+        while self.token.type is not TokenType.EOF:
+            body.append(self._parse_statement_list_item())
+        return Node(
+            "Program",
+            body=body,
+            sourceType="script",
+            start=0,
+            end=len(self.source),
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_statement_list_item(self) -> Node:
+        if self._at_keyword("import"):
+            # Dynamic import() and import.meta are expressions.
+            nxt = self._peek()
+            if not (nxt.type is TokenType.PUNCTUATOR and nxt.value in ("(", ".")):
+                return self._parse_import_declaration()
+        if self._at_keyword("export"):
+            return self._parse_export_declaration()
+        return self._parse_statement()
+
+    def _parse_statement(self) -> Node:
+        token = self.token
+        if token.type is TokenType.PUNCTUATOR:
+            if token.value == "{":
+                return self._parse_block()
+            if token.value == ";":
+                start = self._advance()
+                return Node("EmptyStatement", start=start.start, end=start.end)
+        if token.type is TokenType.KEYWORD:
+            handler = {
+                "var": self._parse_variable_statement,
+                "let": self._parse_variable_statement,
+                "const": self._parse_variable_statement,
+                "function": self._parse_function_declaration,
+                "class": self._parse_class_declaration,
+                "if": self._parse_if,
+                "for": self._parse_for,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "switch": self._parse_switch,
+                "return": self._parse_return,
+                "break": self._parse_break_continue,
+                "continue": self._parse_break_continue,
+                "throw": self._parse_throw,
+                "try": self._parse_try,
+                "debugger": self._parse_debugger,
+                "with": self._parse_with,
+            }.get(token.value)
+            if handler is not None:
+                if token.value in ("let", "const"):
+                    # `let` as identifier in sloppy mode: let[x] / let.y etc.
+                    nxt = self._peek()
+                    if token.value == "let" and not (
+                        nxt.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+                        or (nxt.type is TokenType.PUNCTUATOR and nxt.value in ("[", "{"))
+                    ):
+                        return self._parse_expression_statement()
+                return handler()
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and self._peek().type is TokenType.KEYWORD
+            and self._peek().value == "function"
+            and self._peek().line == token.line
+        ):
+            return self._parse_function_declaration()
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek().type is TokenType.PUNCTUATOR
+            and self._peek().value == ":"
+        ):
+            return self._parse_labeled_statement()
+        return self._parse_expression_statement()
+
+    def _parse_block(self) -> Node:
+        start = self._expect_punct("{")
+        body: list[Node] = []
+        while not self._at_punct("}"):
+            if self.token.type is TokenType.EOF:
+                raise ParseError("Unexpected end of input in block", self.token)
+            body.append(self._parse_statement_list_item())
+        end = self._expect_punct("}")
+        return Node("BlockStatement", body=body, start=start.start, end=end.end)
+
+    def _parse_variable_statement(self) -> Node:
+        declaration = self._parse_variable_declaration()
+        self._consume_semicolon()
+        return declaration
+
+    def _parse_variable_declaration(self, in_for: bool = False) -> Node:
+        kind_token = self._advance()
+        declarations = [self._parse_variable_declarator(in_for)]
+        while self._eat_punct(","):
+            declarations.append(self._parse_variable_declarator(in_for))
+        return Node(
+            "VariableDeclaration",
+            declarations=declarations,
+            kind=kind_token.value,
+            start=kind_token.start,
+            end=declarations[-1].end,
+        )
+
+    def _parse_variable_declarator(self, in_for: bool = False) -> Node:
+        ident = self._parse_binding_target()
+        init = None
+        if self._eat_punct("="):
+            init = self._parse_assignment_expression(no_in=in_for)
+        end = init.end if init is not None else ident.end
+        return Node("VariableDeclarator", id=ident, init=init, start=ident.start, end=end)
+
+    def _parse_binding_target(self) -> Node:
+        if self._at_punct("["):
+            return self._reinterpret_as_pattern(self._parse_array_literal())
+        if self._at_punct("{"):
+            return self._reinterpret_as_pattern(self._parse_object_literal())
+        return self._parse_identifier_name()
+
+    def _parse_identifier_name(self) -> Node:
+        token = self.token
+        if token.type is TokenType.IDENTIFIER or (
+            token.type is TokenType.KEYWORD
+            and token.value in ("let", "yield", "await", "of")
+        ):
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        raise ParseError(f"Expected identifier, got {token.value!r}", token)
+
+    def _parse_function_declaration(self, allow_anonymous: bool = False) -> Node:
+        return self._parse_function(declaration=True, allow_anonymous=allow_anonymous)
+
+    def _parse_function(self, declaration: bool, allow_anonymous: bool = False) -> Node:
+        start = self.token
+        is_async = False
+        if self.token.type is TokenType.IDENTIFIER and self.token.value == "async":
+            is_async = True
+            self._advance()
+        self._expect_keyword("function")
+        generator = self._eat_punct("*")
+        ident = None
+        if not self._at_punct("("):
+            ident = self._parse_identifier_name()
+        elif declaration and not allow_anonymous:
+            raise ParseError("Function declarations require a name", self.token)
+        params = self._parse_function_params()
+        self.in_function += 1
+        body = self._parse_block()
+        self.in_function -= 1
+        return Node(
+            "FunctionDeclaration" if declaration else "FunctionExpression",
+            id=ident,
+            params=params,
+            body=body,
+            generator=generator,
+            # `async` is a reserved attribute name in Python only via keyword
+            # use; fine as a plain attribute.
+            start=start.start,
+            end=body.end,
+            **{"async": is_async},
+        )
+
+    def _parse_function_params(self) -> list[Node]:
+        self._expect_punct("(")
+        params: list[Node] = []
+        while not self._at_punct(")"):
+            if self._at_punct("..."):
+                rest_start = self._advance()
+                argument = self._parse_binding_target()
+                params.append(
+                    Node("RestElement", argument=argument, start=rest_start.start, end=argument.end)
+                )
+            else:
+                target = self._parse_binding_target()
+                if self._eat_punct("="):
+                    default = self._parse_assignment_expression()
+                    target = Node(
+                        "AssignmentPattern",
+                        left=target,
+                        right=default,
+                        start=target.start,
+                        end=default.end,
+                    )
+                params.append(target)
+            if not self._at_punct(")"):
+                self._expect_punct(",")
+        self._expect_punct(")")
+        return params
+
+    def _parse_class_declaration(self, allow_anonymous: bool = False) -> Node:
+        return self._parse_class(declaration=True, allow_anonymous=allow_anonymous)
+
+    def _parse_class(self, declaration: bool, allow_anonymous: bool = False) -> Node:
+        start = self._expect_keyword("class")
+        ident = None
+        if self.token.type is TokenType.IDENTIFIER:
+            ident = self._parse_identifier_name()
+        elif declaration and not allow_anonymous:
+            raise ParseError("Class declarations require a name", self.token)
+        super_class = None
+        if self._eat_keyword("extends"):
+            super_class = self._parse_left_hand_side_expression()
+        body = self._parse_class_body()
+        return Node(
+            "ClassDeclaration" if declaration else "ClassExpression",
+            id=ident,
+            superClass=super_class,
+            body=body,
+            start=start.start,
+            end=body.end,
+        )
+
+    def _parse_class_body(self) -> Node:
+        start = self._expect_punct("{")
+        members: list[Node] = []
+        while not self._at_punct("}"):
+            if self._eat_punct(";"):
+                continue
+            members.append(self._parse_class_member())
+        end = self._expect_punct("}")
+        return Node("ClassBody", body=members, start=start.start, end=end.end)
+
+    def _parse_class_member(self) -> Node:
+        start = self.token
+        is_static = False
+        if (
+            self.token.type is TokenType.IDENTIFIER
+            and self.token.value == "static"
+            and not (self._peek().type is TokenType.PUNCTUATOR and self._peek().value in ("(", "="))
+        ):
+            is_static = True
+            self._advance()
+        kind = "method"
+        is_async = False
+        generator = False
+        if (
+            self.token.type is TokenType.IDENTIFIER
+            and self.token.value in ("get", "set")
+            and not (self._peek().type is TokenType.PUNCTUATOR and self._peek().value in ("(", "=", ";", "}"))
+        ):
+            kind = self.token.value
+            self._advance()
+        elif (
+            self.token.type is TokenType.IDENTIFIER
+            and self.token.value == "async"
+            and not (self._peek().type is TokenType.PUNCTUATOR and self._peek().value in ("(", "=", ";", "}"))
+        ):
+            is_async = True
+            self._advance()
+        if self._eat_punct("*"):
+            generator = True
+        key, computed = self._parse_property_key()
+        if self._at_punct("(") :
+            params = self._parse_function_params()
+            self.in_function += 1
+            body = self._parse_block()
+            self.in_function -= 1
+            value = Node(
+                "FunctionExpression",
+                id=None,
+                params=params,
+                body=body,
+                generator=generator,
+                start=key.start,
+                end=body.end,
+                **{"async": is_async},
+            )
+            if kind == "method" and not computed and key.type == "Identifier" and key.name == "constructor":
+                kind = "constructor"
+            return Node(
+                "MethodDefinition",
+                key=key,
+                value=value,
+                kind=kind,
+                static=is_static,
+                computed=computed,
+                start=start.start,
+                end=body.end,
+            )
+        # Class field (ES2022); common enough in the wild to support.
+        value = None
+        if self._eat_punct("="):
+            value = self._parse_assignment_expression()
+        self._consume_semicolon()
+        return Node(
+            "PropertyDefinition",
+            key=key,
+            value=value,
+            static=is_static,
+            computed=computed,
+            start=start.start,
+            end=value.end if value is not None else key.end,
+        )
+
+    def _parse_property_key(self) -> tuple[Node, bool]:
+        token = self.token
+        if self._eat_punct("["):
+            key = self._parse_assignment_expression()
+            self._expect_punct("]")
+            return key, True
+        if token.type in (TokenType.STRING, TokenType.NUMERIC):
+            self._advance()
+            return self._literal_from_token(token), False
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.BOOLEAN, TokenType.NULL):
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end), False
+        raise ParseError(f"Invalid property key {token.value!r}", token)
+
+    def _parse_if(self) -> Node:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        consequent = self._parse_statement()
+        alternate = None
+        if self._eat_keyword("else"):
+            alternate = self._parse_statement()
+        end = alternate.end if alternate is not None else consequent.end
+        return Node(
+            "IfStatement",
+            test=test,
+            consequent=consequent,
+            alternate=alternate,
+            start=start.start,
+            end=end,
+        )
+
+    def _parse_for(self) -> Node:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Node | None = None
+        if self._at_punct(";"):
+            self._advance()
+        else:
+            if self._at_keyword("var") or self._at_keyword("let") or self._at_keyword("const"):
+                init = self._parse_variable_declaration(in_for=True)
+            else:
+                init = self._parse_expression(no_in=True)
+            if self._at_keyword("in") or (
+                self.token.type is TokenType.IDENTIFIER and self.token.value == "of"
+            ):
+                return self._parse_for_in_of(start, init)
+            self._expect_punct(";")
+        test = None if self._at_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        update = None if self._at_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        return Node(
+            "ForStatement",
+            init=init,
+            test=test,
+            update=update,
+            body=body,
+            start=start.start,
+            end=body.end,
+        )
+
+    def _parse_for_in_of(self, start: Token, left: Node) -> Node:
+        is_of = self.token.value == "of"
+        self._advance()
+        if left.type not in ("VariableDeclaration",):
+            left = self._reinterpret_as_pattern(left)
+        right = self._parse_assignment_expression() if is_of else self._parse_expression()
+        self._expect_punct(")")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        return Node(
+            "ForOfStatement" if is_of else "ForInStatement",
+            left=left,
+            right=right,
+            body=body,
+            start=start.start,
+            end=body.end,
+        )
+
+    def _parse_while(self) -> Node:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        return Node("WhileStatement", test=test, body=body, start=start.start, end=body.end)
+
+    def _parse_do_while(self) -> Node:
+        start = self._expect_keyword("do")
+        self.in_loop += 1
+        body = self._parse_statement()
+        self.in_loop -= 1
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        end = self._expect_punct(")")
+        self._eat_punct(";")
+        return Node("DoWhileStatement", body=body, test=test, start=start.start, end=end.end)
+
+    def _parse_switch(self) -> Node:
+        start = self._expect_keyword("switch")
+        self._expect_punct("(")
+        discriminant = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: list[Node] = []
+        self.in_switch += 1
+        while not self._at_punct("}"):
+            cases.append(self._parse_switch_case())
+        self.in_switch -= 1
+        end = self._expect_punct("}")
+        return Node(
+            "SwitchStatement",
+            discriminant=discriminant,
+            cases=cases,
+            start=start.start,
+            end=end.end,
+        )
+
+    def _parse_switch_case(self) -> Node:
+        start = self.token
+        test = None
+        if self._eat_keyword("case"):
+            test = self._parse_expression()
+        else:
+            self._expect_keyword("default")
+        self._expect_punct(":")
+        consequent: list[Node] = []
+        while not (
+            self._at_punct("}") or self._at_keyword("case") or self._at_keyword("default")
+        ):
+            consequent.append(self._parse_statement_list_item())
+        end = consequent[-1].end if consequent else start.end
+        return Node("SwitchCase", test=test, consequent=consequent, start=start.start, end=end)
+
+    def _parse_return(self) -> Node:
+        start = self._expect_keyword("return")
+        argument = None
+        if (
+            not self._at_punct(";")
+            and not self._at_punct("}")
+            and self.token.type is not TokenType.EOF
+            and not self._newline_before()
+        ):
+            argument = self._parse_expression()
+        self._consume_semicolon()
+        end = argument.end if argument is not None else start.end
+        return Node("ReturnStatement", argument=argument, start=start.start, end=end)
+
+    def _parse_break_continue(self) -> Node:
+        start = self._advance()
+        label = None
+        if self.token.type is TokenType.IDENTIFIER and not self._newline_before():
+            label = self._parse_identifier_name()
+        self._consume_semicolon()
+        kind = "BreakStatement" if start.value == "break" else "ContinueStatement"
+        end = label.end if label is not None else start.end
+        return Node(kind, label=label, start=start.start, end=end)
+
+    def _parse_throw(self) -> Node:
+        start = self._expect_keyword("throw")
+        if self._newline_before():
+            raise ParseError("Illegal newline after throw", self.token)
+        argument = self._parse_expression()
+        self._consume_semicolon()
+        return Node("ThrowStatement", argument=argument, start=start.start, end=argument.end)
+
+    def _parse_try(self) -> Node:
+        start = self._expect_keyword("try")
+        block = self._parse_block()
+        handler = None
+        finalizer = None
+        if self._at_keyword("catch"):
+            catch_start = self._advance()
+            param = None
+            if self._eat_punct("("):
+                param = self._parse_binding_target()
+                self._expect_punct(")")
+            body = self._parse_block()
+            handler = Node(
+                "CatchClause", param=param, body=body, start=catch_start.start, end=body.end
+            )
+        if self._eat_keyword("finally"):
+            finalizer = self._parse_block()
+        if handler is None and finalizer is None:
+            raise ParseError("Missing catch or finally after try", self.token)
+        end = (finalizer or handler).end
+        return Node(
+            "TryStatement",
+            block=block,
+            handler=handler,
+            finalizer=finalizer,
+            start=start.start,
+            end=end,
+        )
+
+    def _parse_debugger(self) -> Node:
+        start = self._expect_keyword("debugger")
+        self._consume_semicolon()
+        return Node("DebuggerStatement", start=start.start, end=start.end)
+
+    def _parse_with(self) -> Node:
+        start = self._expect_keyword("with")
+        self._expect_punct("(")
+        obj = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return Node("WithStatement", object=obj, body=body, start=start.start, end=body.end)
+
+    def _parse_labeled_statement(self) -> Node:
+        label = self._parse_identifier_name()
+        self._expect_punct(":")
+        body = self._parse_statement()
+        return Node("LabeledStatement", label=label, body=body, start=label.start, end=body.end)
+
+    def _parse_expression_statement(self) -> Node:
+        expression = self._parse_expression()
+        self._consume_semicolon()
+        return Node(
+            "ExpressionStatement",
+            expression=expression,
+            start=expression.start,
+            end=expression.end,
+        )
+
+    # -- modules -------------------------------------------------------------
+
+    def _parse_import_declaration(self) -> Node:
+        start = self._expect_keyword("import")
+        specifiers: list[Node] = []
+        if self.token.type is TokenType.STRING:
+            source_token = self._advance()
+            self._consume_semicolon()
+            return Node(
+                "ImportDeclaration",
+                specifiers=specifiers,
+                source=self._literal_from_token(source_token),
+                start=start.start,
+                end=source_token.end,
+            )
+        if self.token.type is TokenType.IDENTIFIER:
+            local = self._parse_identifier_name()
+            specifiers.append(
+                Node("ImportDefaultSpecifier", local=local, start=local.start, end=local.end)
+            )
+            if self._eat_punct(","):
+                self._parse_import_rest(specifiers)
+        else:
+            self._parse_import_rest(specifiers)
+        if not (self.token.type is TokenType.IDENTIFIER and self.token.value == "from"):
+            raise ParseError("Expected 'from' in import declaration", self.token)
+        self._advance()
+        if self.token.type is not TokenType.STRING:
+            raise ParseError("Expected module source string", self.token)
+        source_token = self._advance()
+        self._consume_semicolon()
+        return Node(
+            "ImportDeclaration",
+            specifiers=specifiers,
+            source=self._literal_from_token(source_token),
+            start=start.start,
+            end=source_token.end,
+        )
+
+    def _parse_import_rest(self, specifiers: list[Node]) -> None:
+        if self._eat_punct("*"):
+            if not (self.token.type is TokenType.IDENTIFIER and self.token.value == "as"):
+                raise ParseError("Expected 'as' in namespace import", self.token)
+            self._advance()
+            local = self._parse_identifier_name()
+            specifiers.append(
+                Node("ImportNamespaceSpecifier", local=local, start=local.start, end=local.end)
+            )
+            return
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            imported = self._parse_identifier_name()
+            local = imported
+            if self.token.type is TokenType.IDENTIFIER and self.token.value == "as":
+                self._advance()
+                local = self._parse_identifier_name()
+            specifiers.append(
+                Node(
+                    "ImportSpecifier",
+                    imported=imported,
+                    local=local,
+                    start=imported.start,
+                    end=local.end,
+                )
+            )
+            if not self._at_punct("}"):
+                self._expect_punct(",")
+        self._expect_punct("}")
+
+    def _parse_export_declaration(self) -> Node:
+        start = self._expect_keyword("export")
+        if self._eat_keyword("default"):
+            if self._at_keyword("function") or (
+                self.token.type is TokenType.IDENTIFIER
+                and self.token.value == "async"
+                and self._peek().value == "function"
+            ):
+                declaration = self._parse_function_declaration(allow_anonymous=True)
+            elif self._at_keyword("class"):
+                declaration = self._parse_class_declaration(allow_anonymous=True)
+            else:
+                declaration = self._parse_assignment_expression()
+                self._consume_semicolon()
+            return Node(
+                "ExportDefaultDeclaration",
+                declaration=declaration,
+                start=start.start,
+                end=declaration.end,
+            )
+        if self._at_punct("*"):
+            self._advance()
+            if self.token.type is TokenType.IDENTIFIER and self.token.value == "from":
+                self._advance()
+            source_token = self._advance()
+            self._consume_semicolon()
+            return Node(
+                "ExportAllDeclaration",
+                source=self._literal_from_token(source_token),
+                start=start.start,
+                end=source_token.end,
+            )
+        if self._at_punct("{"):
+            self._expect_punct("{")
+            specifiers = []
+            while not self._at_punct("}"):
+                local = self._parse_identifier_name()
+                exported = local
+                if self.token.type is TokenType.IDENTIFIER and self.token.value == "as":
+                    self._advance()
+                    exported = self._parse_identifier_name()
+                specifiers.append(
+                    Node(
+                        "ExportSpecifier",
+                        local=local,
+                        exported=exported,
+                        start=local.start,
+                        end=exported.end,
+                    )
+                )
+                if not self._at_punct("}"):
+                    self._expect_punct(",")
+            end = self._expect_punct("}")
+            source = None
+            if self.token.type is TokenType.IDENTIFIER and self.token.value == "from":
+                self._advance()
+                source = self._literal_from_token(self._advance())
+            self._consume_semicolon()
+            return Node(
+                "ExportNamedDeclaration",
+                declaration=None,
+                specifiers=specifiers,
+                source=source,
+                start=start.start,
+                end=end.end,
+            )
+        declaration = self._parse_statement_list_item()
+        return Node(
+            "ExportNamedDeclaration",
+            declaration=declaration,
+            specifiers=[],
+            source=None,
+            start=start.start,
+            end=declaration.end,
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self, no_in: bool = False) -> Node:
+        expression = self._parse_assignment_expression(no_in=no_in)
+        if self._at_punct(","):
+            expressions = [expression]
+            while self._eat_punct(","):
+                expressions.append(self._parse_assignment_expression(no_in=no_in))
+            return Node(
+                "SequenceExpression",
+                expressions=expressions,
+                start=expressions[0].start,
+                end=expressions[-1].end,
+            )
+        return expression
+
+    def _parse_assignment_expression(self, no_in: bool = False) -> Node:
+        arrow = self._try_parse_arrow_function()
+        if arrow is not None:
+            return arrow
+        if self._at_keyword("yield") and self.in_function:
+            return self._parse_yield()
+        left = self._parse_conditional_expression(no_in=no_in)
+        if self.token.type is TokenType.PUNCTUATOR and self.token.value in _ASSIGNMENT_OPERATORS:
+            operator = self._advance().value
+            if operator == "=":
+                left = self._reinterpret_as_pattern(left, assignment=True)
+            right = self._parse_assignment_expression(no_in=no_in)
+            return Node(
+                "AssignmentExpression",
+                operator=operator,
+                left=left,
+                right=right,
+                start=left.start,
+                end=right.end,
+            )
+        return left
+
+    def _parse_yield(self) -> Node:
+        start = self._expect_keyword("yield")
+        delegate = self._eat_punct("*")
+        argument = None
+        if (
+            not self._newline_before()
+            and not self._at_punct(")")
+            and not self._at_punct("]")
+            and not self._at_punct("}")
+            and not self._at_punct(",")
+            and not self._at_punct(";")
+            and self.token.type is not TokenType.EOF
+        ):
+            argument = self._parse_assignment_expression()
+        end = argument.end if argument is not None else start.end
+        return Node(
+            "YieldExpression", argument=argument, delegate=delegate, start=start.start, end=end
+        )
+
+    def _try_parse_arrow_function(self) -> Node | None:
+        """Detect `x => ...`, `(a, b) => ...` and `async (...) => ...`."""
+        token = self.token
+        is_async = False
+        offset = 0
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and self._peek().line == token.line
+            and (
+                self._peek().type is TokenType.IDENTIFIER
+                or (self._peek().type is TokenType.PUNCTUATOR and self._peek().value == "(")
+            )
+        ):
+            # Only treat as async-arrow if the parameter list is followed by =>.
+            is_async = True
+            offset = 1
+        probe = self._peek(offset) if offset else token
+        if probe.type is TokenType.IDENTIFIER:
+            after = self._peek(offset + 1)
+            if after.type is TokenType.PUNCTUATOR and after.value == "=>":
+                if is_async:
+                    self._advance()
+                param = self._parse_identifier_name()
+                return self._finish_arrow([param], is_async)
+            return None
+        if probe.type is TokenType.PUNCTUATOR and probe.value == "(":
+            close = self._find_matching_paren(self.index + offset)
+            if close is None:
+                return None
+            after = self.tokens[min(close + 1, len(self.tokens) - 1)]
+            if not (after.type is TokenType.PUNCTUATOR and after.value == "=>"):
+                return None
+            if is_async:
+                self._advance()
+            params = self._parse_function_params()
+            return self._finish_arrow(params, is_async)
+        return None
+
+    def _find_matching_paren(self, open_index: int) -> int | None:
+        return self._paren_match.get(open_index)
+
+    def _finish_arrow(self, params: list[Node], is_async: bool) -> Node:
+        self._expect_punct("=>")
+        if self._at_punct("{"):
+            self.in_function += 1
+            body = self._parse_block()
+            self.in_function -= 1
+            expression = False
+        else:
+            self.in_function += 1
+            body = self._parse_assignment_expression()
+            self.in_function -= 1
+            expression = True
+        start = params[0].start if params else body.start
+        return Node(
+            "ArrowFunctionExpression",
+            id=None,
+            params=params,
+            body=body,
+            expression=expression,
+            generator=False,
+            start=start,
+            end=body.end,
+            **{"async": is_async},
+        )
+
+    def _parse_conditional_expression(self, no_in: bool = False) -> Node:
+        test = self._parse_binary_expression(0, no_in=no_in)
+        if self._eat_punct("?"):
+            consequent = self._parse_assignment_expression()
+            self._expect_punct(":")
+            alternate = self._parse_assignment_expression(no_in=no_in)
+            return Node(
+                "ConditionalExpression",
+                test=test,
+                consequent=consequent,
+                alternate=alternate,
+                start=test.start,
+                end=alternate.end,
+            )
+        return test
+
+    def _binary_op_precedence(self, no_in: bool) -> tuple[str, int] | None:
+        token = self.token
+        if token.type is TokenType.PUNCTUATOR and token.value in _BINARY_PRECEDENCE:
+            return token.value, _BINARY_PRECEDENCE[token.value]
+        if token.type is TokenType.KEYWORD and token.value in ("instanceof", "in"):
+            if token.value == "in" and no_in:
+                return None
+            return token.value, _BINARY_PRECEDENCE[token.value]
+        return None
+
+    def _parse_binary_expression(self, min_precedence: int, no_in: bool = False) -> Node:
+        left = self._parse_unary_expression()
+        while True:
+            op_info = self._binary_op_precedence(no_in)
+            if op_info is None:
+                break
+            operator, precedence = op_info
+            if precedence < min_precedence:
+                break
+            self._advance()
+            # ** is right-associative; everything else left-associative.
+            next_min = precedence if operator == "**" else precedence + 1
+            right = self._parse_binary_expression(next_min, no_in=no_in)
+            node_type = "LogicalExpression" if operator in ("&&", "||", "??") else "BinaryExpression"
+            left = Node(
+                node_type,
+                operator=operator,
+                left=left,
+                right=right,
+                start=left.start,
+                end=right.end,
+            )
+        return left
+
+    def _parse_unary_expression(self) -> Node:
+        token = self.token
+        if (
+            token.type is TokenType.PUNCTUATOR and token.value in ("+", "-", "~", "!")
+        ) or (
+            token.type is TokenType.KEYWORD and token.value in ("typeof", "void", "delete")
+        ):
+            self._advance()
+            argument = self._parse_unary_expression()
+            return Node(
+                "UnaryExpression",
+                operator=token.value,
+                argument=argument,
+                prefix=True,
+                start=token.start,
+                end=argument.end,
+            )
+        if token.type is TokenType.PUNCTUATOR and token.value in ("++", "--"):
+            self._advance()
+            argument = self._parse_unary_expression()
+            return Node(
+                "UpdateExpression",
+                operator=token.value,
+                argument=argument,
+                prefix=True,
+                start=token.start,
+                end=argument.end,
+            )
+        if token.type is TokenType.KEYWORD and token.value == "await" and self.in_function:
+            self._advance()
+            argument = self._parse_unary_expression()
+            return Node(
+                "AwaitExpression", argument=argument, start=token.start, end=argument.end
+            )
+        expression = self._parse_postfix_expression()
+        return expression
+
+    def _parse_postfix_expression(self) -> Node:
+        expression = self._parse_left_hand_side_expression(allow_call=True)
+        if (
+            self.token.type is TokenType.PUNCTUATOR
+            and self.token.value in ("++", "--")
+            and not self._newline_before()
+        ):
+            operator = self._advance()
+            expression = Node(
+                "UpdateExpression",
+                operator=operator.value,
+                argument=expression,
+                prefix=False,
+                start=expression.start,
+                end=operator.end,
+            )
+        return expression
+
+    def _parse_left_hand_side_expression(self, allow_call: bool = True) -> Node:
+        if self._at_keyword("new"):
+            expression = self._parse_new_expression()
+        else:
+            expression = self._parse_primary_expression()
+        while True:
+            if self._at_punct("."):
+                self._advance()
+                prop = self._parse_member_property_name()
+                expression = Node(
+                    "MemberExpression",
+                    object=expression,
+                    property=prop,
+                    computed=False,
+                    start=expression.start,
+                    end=prop.end,
+                )
+            elif self._at_punct("?."):
+                self._advance()
+                if self._at_punct("("):
+                    arguments = self._parse_arguments()
+                    expression = Node(
+                        "CallExpression",
+                        callee=expression,
+                        arguments=arguments,
+                        optional=True,
+                        start=expression.start,
+                        end=self.tokens[self.index - 1].end,
+                    )
+                elif self._at_punct("["):
+                    self._advance()
+                    prop = self._parse_expression()
+                    end = self._expect_punct("]")
+                    expression = Node(
+                        "MemberExpression",
+                        object=expression,
+                        property=prop,
+                        computed=True,
+                        optional=True,
+                        start=expression.start,
+                        end=end.end,
+                    )
+                else:
+                    prop = self._parse_member_property_name()
+                    expression = Node(
+                        "MemberExpression",
+                        object=expression,
+                        property=prop,
+                        computed=False,
+                        optional=True,
+                        start=expression.start,
+                        end=prop.end,
+                    )
+            elif self._at_punct("["):
+                self._advance()
+                prop = self._parse_expression()
+                end = self._expect_punct("]")
+                expression = Node(
+                    "MemberExpression",
+                    object=expression,
+                    property=prop,
+                    computed=True,
+                    start=expression.start,
+                    end=end.end,
+                )
+            elif allow_call and self._at_punct("("):
+                arguments = self._parse_arguments()
+                expression = Node(
+                    "CallExpression",
+                    callee=expression,
+                    arguments=arguments,
+                    start=expression.start,
+                    end=self.tokens[self.index - 1].end,
+                )
+            elif self.token.type is TokenType.TEMPLATE:
+                quasi = self._parse_template_literal()
+                expression = Node(
+                    "TaggedTemplateExpression",
+                    tag=expression,
+                    quasi=quasi,
+                    start=expression.start,
+                    end=quasi.end,
+                )
+            else:
+                break
+        return expression
+
+    def _parse_member_property_name(self) -> Node:
+        token = self.token
+        if token.type in (
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.BOOLEAN,
+            TokenType.NULL,
+        ):
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        raise ParseError(f"Expected property name, got {token.value!r}", token)
+
+    def _parse_new_expression(self) -> Node:
+        start = self._expect_keyword("new")
+        if self._at_punct("."):
+            self._advance()
+            prop = self._parse_identifier_name()
+            return Node(
+                "MetaProperty",
+                meta=Node("Identifier", name="new", start=start.start, end=start.end),
+                property=prop,
+                start=start.start,
+                end=prop.end,
+            )
+        callee = self._parse_left_hand_side_expression(allow_call=False)
+        arguments: list[Node] = []
+        end = callee.end
+        if self._at_punct("("):
+            arguments = self._parse_arguments()
+            end = self.tokens[self.index - 1].end
+        return Node(
+            "NewExpression",
+            callee=callee,
+            arguments=arguments,
+            start=start.start,
+            end=end,
+        )
+
+    def _parse_arguments(self) -> list[Node]:
+        self._expect_punct("(")
+        arguments: list[Node] = []
+        while not self._at_punct(")"):
+            if self._at_punct("..."):
+                spread_start = self._advance()
+                argument = self._parse_assignment_expression()
+                arguments.append(
+                    Node(
+                        "SpreadElement",
+                        argument=argument,
+                        start=spread_start.start,
+                        end=argument.end,
+                    )
+                )
+            else:
+                arguments.append(self._parse_assignment_expression())
+            if not self._at_punct(")"):
+                self._expect_punct(",")
+        self._expect_punct(")")
+        return arguments
+
+    def _parse_primary_expression(self) -> Node:
+        token = self.token
+        if token.type is TokenType.NUMERIC or token.type is TokenType.STRING:
+            self._advance()
+            return self._literal_from_token(token)
+        if token.type is TokenType.BOOLEAN:
+            self._advance()
+            return Node(
+                "Literal",
+                value=token.value == "true",
+                raw=token.value,
+                start=token.start,
+                end=token.end,
+            )
+        if token.type is TokenType.NULL:
+            self._advance()
+            return Node("Literal", value=None, raw="null", start=token.start, end=token.end)
+        if token.type is TokenType.REGULAR_EXPRESSION:
+            self._advance()
+            return Node(
+                "Literal",
+                value=None,
+                raw=token.value,
+                regex={"pattern": token.extra["pattern"], "flags": token.extra["flags"]},
+                start=token.start,
+                end=token.end,
+            )
+        if token.type is TokenType.TEMPLATE:
+            return self._parse_template_literal()
+        if token.type is TokenType.IDENTIFIER:
+            if (
+                token.value == "async"
+                and self._peek().type is TokenType.KEYWORD
+                and self._peek().value == "function"
+                and self._peek().line == token.line
+            ):
+                return self._parse_function(declaration=False)
+            self._advance()
+            return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        if token.type is TokenType.KEYWORD:
+            if token.value == "this":
+                self._advance()
+                return Node("ThisExpression", start=token.start, end=token.end)
+            if token.value == "super":
+                self._advance()
+                return Node("Super", start=token.start, end=token.end)
+            if token.value == "function":
+                return self._parse_function(declaration=False)
+            if token.value == "class":
+                return self._parse_class(declaration=False)
+            if token.value in ("let", "yield", "await", "import"):
+                if token.value == "import":
+                    self._advance()
+                    return Node("Import", start=token.start, end=token.end)
+                self._advance()
+                return Node("Identifier", name=token.value, start=token.start, end=token.end)
+        if token.type is TokenType.PUNCTUATOR:
+            if token.value == "(":
+                self._advance()
+                expression = self._parse_expression()
+                self._expect_punct(")")
+                return expression
+            if token.value == "[":
+                return self._parse_array_literal()
+            if token.value == "{":
+                return self._parse_object_literal()
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and self._peek().type is TokenType.KEYWORD
+            and self._peek().value == "function"
+        ):
+            return self._parse_function(declaration=False)
+        raise ParseError(f"Unexpected token {token.value!r}", token)
+
+    def _literal_from_token(self, token: Token) -> Node:
+        if token.type is TokenType.NUMERIC:
+            raw = token.value
+            try:
+                lowered = raw.lower()
+                if lowered.startswith("0x"):
+                    value: float | int = int(raw, 16)
+                elif lowered.startswith("0o"):
+                    value = int(raw[2:], 8)
+                elif lowered.startswith("0b"):
+                    value = int(raw[2:], 2)
+                elif raw.startswith("0") and raw.isdigit() and raw != "0" and all(c in "01234567" for c in raw[1:]):
+                    value = int(raw, 8)
+                else:
+                    value = float(raw)
+                    if value.is_integer() and "e" not in lowered and "." not in raw:
+                        value = int(value)
+            except ValueError:
+                value = 0
+            return Node("Literal", value=value, raw=raw, start=token.start, end=token.end)
+        # String literal: decode escapes for `value`, keep raw.
+        return Node(
+            "Literal",
+            value=_decode_string_literal(token.value),
+            raw=token.value,
+            start=token.start,
+            end=token.end,
+        )
+
+    def _parse_array_literal(self) -> Node:
+        start = self._expect_punct("[")
+        elements: list[Node | None] = []
+        while not self._at_punct("]"):
+            if self._at_punct(","):
+                self._advance()
+                elements.append(None)
+                continue
+            if self._at_punct("..."):
+                spread_start = self._advance()
+                argument = self._parse_assignment_expression()
+                elements.append(
+                    Node(
+                        "SpreadElement",
+                        argument=argument,
+                        start=spread_start.start,
+                        end=argument.end,
+                    )
+                )
+            else:
+                elements.append(self._parse_assignment_expression())
+            if not self._at_punct("]"):
+                self._expect_punct(",")
+        end = self._expect_punct("]")
+        return Node("ArrayExpression", elements=elements, start=start.start, end=end.end)
+
+    def _parse_object_literal(self) -> Node:
+        start = self._expect_punct("{")
+        properties: list[Node] = []
+        while not self._at_punct("}"):
+            properties.append(self._parse_object_property())
+            if not self._at_punct("}"):
+                self._expect_punct(",")
+        end = self._expect_punct("}")
+        return Node("ObjectExpression", properties=properties, start=start.start, end=end.end)
+
+    def _parse_object_property(self) -> Node:
+        token = self.token
+        if self._at_punct("..."):
+            spread_start = self._advance()
+            argument = self._parse_assignment_expression()
+            return Node(
+                "SpreadElement", argument=argument, start=spread_start.start, end=argument.end
+            )
+        is_async = False
+        generator = False
+        kind = "init"
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value in ("get", "set")
+            and not (
+                self._peek().type is TokenType.PUNCTUATOR
+                and self._peek().value in (",", ":", "}", "(")
+            )
+        ):
+            kind = token.value
+            self._advance()
+        elif (
+            token.type is TokenType.IDENTIFIER
+            and token.value == "async"
+            and not (
+                self._peek().type is TokenType.PUNCTUATOR
+                and self._peek().value in (",", ":", "}", "(")
+            )
+        ):
+            is_async = True
+            self._advance()
+        if self._eat_punct("*"):
+            generator = True
+        key, computed = self._parse_property_key()
+        if kind in ("get", "set") or self._at_punct("("):
+            params = self._parse_function_params()
+            self.in_function += 1
+            body = self._parse_block()
+            self.in_function -= 1
+            value = Node(
+                "FunctionExpression",
+                id=None,
+                params=params,
+                body=body,
+                generator=generator,
+                start=key.start,
+                end=body.end,
+                **{"async": is_async},
+            )
+            return Node(
+                "Property",
+                key=key,
+                value=value,
+                kind=kind if kind in ("get", "set") else "init",
+                method=kind == "init",
+                shorthand=False,
+                computed=computed,
+                start=key.start,
+                end=body.end,
+            )
+        if self._eat_punct(":"):
+            value = self._parse_assignment_expression()
+            return Node(
+                "Property",
+                key=key,
+                value=value,
+                kind="init",
+                method=False,
+                shorthand=False,
+                computed=computed,
+                start=key.start,
+                end=value.end,
+            )
+        # Shorthand { x } or shorthand-with-default { x = 1 } (pattern form).
+        value = key
+        if self._at_punct("="):
+            self._advance()
+            default = self._parse_assignment_expression()
+            value = Node(
+                "AssignmentPattern", left=key, right=default, start=key.start, end=default.end
+            )
+        return Node(
+            "Property",
+            key=key,
+            value=value,
+            kind="init",
+            method=False,
+            shorthand=True,
+            computed=computed,
+            start=key.start,
+            end=value.end,
+        )
+
+    def _parse_template_literal(self) -> Node:
+        token = self.token
+        if token.type is not TokenType.TEMPLATE:
+            raise ParseError("Expected template literal", token)
+        self._advance()
+        raw = token.value
+        quasis: list[Node] = []
+        expressions: list[Node] = []
+        # Split the raw template on top-level ${...} substitutions.  The
+        # lexer's splitter understands strings, comments and nested
+        # templates inside substitutions, so `${"}"}` cannot desync it.
+        chunks, exprs = split_template(raw)
+        for pos, chunk in enumerate(chunks):
+            quasis.append(
+                Node(
+                    "TemplateElement",
+                    value={"raw": chunk, "cooked": _decode_template_chunk(chunk)},
+                    tail=pos == len(chunks) - 1,
+                    start=token.start,
+                    end=token.end,
+                )
+            )
+        for expr_src in exprs:
+            sub = Parser(expr_src)
+            sub.in_function = self.in_function
+            expression = sub._parse_expression()
+            if sub.token.type is not TokenType.EOF:
+                raise ParseError("Trailing tokens in template substitution", sub.token)
+            # Offset positions so they stay within the outer token's range.
+            expression.start = token.start
+            expression.end = token.end
+            expressions.append(expression)
+        return Node(
+            "TemplateLiteral",
+            quasis=quasis,
+            expressions=expressions,
+            start=token.start,
+            end=token.end,
+        )
+
+    # -- patterns ------------------------------------------------------------
+
+    def _reinterpret_as_pattern(self, node: Node, assignment: bool = False) -> Node:
+        """Convert an expression parsed in a binding position into a pattern."""
+        if node.type == "ArrayExpression":
+            elements = []
+            for element in node.elements:
+                if element is None:
+                    elements.append(None)
+                elif element.type == "SpreadElement":
+                    elements.append(
+                        Node(
+                            "RestElement",
+                            argument=self._reinterpret_as_pattern(element.argument, assignment),
+                            start=element.start,
+                            end=element.end,
+                        )
+                    )
+                else:
+                    elements.append(self._reinterpret_as_pattern(element, assignment))
+            return Node("ArrayPattern", elements=elements, start=node.start, end=node.end)
+        if node.type == "ObjectExpression":
+            properties = []
+            for prop in node.properties:
+                if prop.type == "SpreadElement":
+                    properties.append(
+                        Node(
+                            "RestElement",
+                            argument=self._reinterpret_as_pattern(prop.argument, assignment),
+                            start=prop.start,
+                            end=prop.end,
+                        )
+                    )
+                else:
+                    properties.append(
+                        Node(
+                            "Property",
+                            key=prop.key,
+                            value=self._reinterpret_as_pattern(prop.value, assignment),
+                            kind="init",
+                            method=False,
+                            shorthand=prop.shorthand,
+                            computed=prop.computed,
+                            start=prop.start,
+                            end=prop.end,
+                        )
+                    )
+            return Node("ObjectPattern", properties=properties, start=node.start, end=node.end)
+        if node.type == "AssignmentExpression" and node.operator == "=":
+            return Node(
+                "AssignmentPattern",
+                left=self._reinterpret_as_pattern(node.left, assignment),
+                right=node.right,
+                start=node.start,
+                end=node.end,
+            )
+        if node.type in ("Identifier", "MemberExpression", "AssignmentPattern", "ArrayPattern", "ObjectPattern", "RestElement"):
+            return node
+        if assignment:
+            # e.g. `(a, b) = ...` is invalid but parenthesised member chains are fine.
+            return node
+        raise ParseError(f"Invalid binding target of type {node.type}")
+
+
+def _decode_string_literal(raw: str) -> str:
+    """Decode a quoted JS string literal into its runtime value."""
+    return _decode_escapes(raw[1:-1])
+
+
+def _decode_template_chunk(raw: str) -> str:
+    return _decode_escapes(raw)
+
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "`": "`",
+    "\\": "\\",
+    "\n": "",
+    "\r": "",
+}
+
+
+def _decode_escapes(text: str) -> str:
+    out: list[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        index += 1
+        if index >= length:
+            break
+        esc = text[index]
+        if esc == "x" and index + 2 < length + 1:
+            hex_digits = text[index + 1 : index + 3]
+            try:
+                out.append(chr(int(hex_digits, 16)))
+                index += 3
+                continue
+            except ValueError:
+                pass
+        if esc == "u":
+            if index + 1 < length and text[index + 1] == "{":
+                close = text.find("}", index + 1)
+                if close != -1:
+                    try:
+                        out.append(chr(int(text[index + 2 : close], 16)))
+                        index = close + 1
+                        continue
+                    except ValueError:
+                        pass
+            hex_digits = text[index + 1 : index + 5]
+            try:
+                out.append(chr(int(hex_digits, 16)))
+                index += 5
+                continue
+            except ValueError:
+                pass
+        out.append(_SIMPLE_ESCAPES.get(esc, esc))
+        index += 1
+    return "".join(out)
+
+
+def parse(source: str) -> Node:
+    """Parse JavaScript source text into an ESTree ``Program`` node."""
+    return Parser(source).parse_program()
+
+
+# ---- scope (frozen) ------------------------------------------------------
+
+FUNCTION_TYPES = frozenset(
+    {"FunctionDeclaration", "FunctionExpression", "ArrowFunctionExpression"}
+)
+
+_SCOPE_CREATING_BLOCKS = frozenset(
+    {
+        "BlockStatement",
+        "ForStatement",
+        "ForInStatement",
+        "ForOfStatement",
+        "CatchClause",
+        "SwitchStatement",
+    }
+)
+
+
+@dataclass
+class Binding:
+    """One declared name with its definition and reference sites."""
+
+    name: str
+    kind: str  # var | let | const | function | class | param | catch | import
+    scope: "Scope"
+    declarations: list[Node] = field(default_factory=list)
+    references: list[Node] = field(default_factory=list)
+    assignments: list[Node] = field(default_factory=list)
+
+    @property
+    def is_renameable(self) -> bool:
+        """Whether a renamer may safely change this name."""
+        return self.kind != "global"
+
+
+class Scope:
+    """One lexical scope and its bindings."""
+
+    def __init__(self, kind: str, node: Node, parent: "Scope | None") -> None:
+        self.kind = kind  # global | function | block | catch | class
+        self.node = node
+        self.parent = parent
+        self.children: list[Scope] = []
+        self.bindings: dict[str, Binding] = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    def declare(self, name: str, kind: str, node: Node) -> Binding:
+        target = self
+        if kind in ("var", "function") and self.kind not in ("function", "global"):
+            target = self.function_scope()
+        binding = target.bindings.get(name)
+        if binding is None:
+            binding = Binding(name=name, kind=kind, scope=target)
+            target.bindings[name] = binding
+        binding.declarations.append(node)
+        return binding
+
+    def function_scope(self) -> "Scope":
+        scope: Scope = self
+        while scope.kind not in ("function", "global"):
+            assert scope.parent is not None
+            scope = scope.parent
+        return scope
+
+    def resolve(self, name: str) -> Binding | None:
+        scope: Scope | None = self
+        while scope is not None:
+            binding = scope.bindings.get(name)
+            if binding is not None:
+                return binding
+            scope = scope.parent
+        return None
+
+    def iter_all_bindings(self):
+        yield from self.bindings.values()
+        for child in self.children:
+            yield from child.iter_all_bindings()
+
+    def names_in_scope(self) -> set[str]:
+        """Every name visible from this scope (for collision-free renaming)."""
+        names: set[str] = set()
+        scope: Scope | None = self
+        while scope is not None:
+            names.update(scope.bindings)
+            scope = scope.parent
+        return names
+
+
+class ScopeAnalyzer:
+    """Two-pass analysis: declare bindings, then resolve references."""
+
+    def __init__(self) -> None:
+        self.global_scope: Scope | None = None
+        self.unresolved: list[Node] = []
+
+    def analyze(self, program: Node) -> Scope:
+        self.global_scope = Scope("global", program, None)
+        program.scope = self.global_scope
+        self._hoist_declarations(program, self.global_scope)
+        self._visit_statements(program.body, self.global_scope)
+        return self.global_scope
+
+    # -- declaration pass ---------------------------------------------------
+
+    def _hoist_declarations(self, node: Node, scope: Scope) -> None:
+        """Register `var` and function declarations for a function body."""
+        for child in iter_child_nodes(node):
+            self._hoist_walk(child, scope)
+
+    def _hoist_walk(self, node: Node, scope: Scope) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            kind = current.type
+            if kind == "FunctionDeclaration":
+                # Hoist the name, but not the body (its own pass later).
+                if current.get("id") is not None:
+                    scope.declare(current.id.name, "function", current.id)
+                continue
+            if kind in FUNCTION_TYPES:
+                continue  # nested function: its own hoisting pass later
+            if kind == "VariableDeclaration" and current.kind == "var":
+                for declarator in current.declarations:
+                    for name_node in _pattern_identifiers(declarator.id):
+                        scope.declare(name_node.name, "var", name_node)
+            stack.extend(iter_child_nodes(current))
+
+    # -- resolution pass ----------------------------------------------------
+
+    def _visit_statements(self, body: list[Node], scope: Scope) -> None:
+        # Lexical declarations in this statement list (let/const/class) are
+        # visible to the whole list.
+        for statement in body:
+            self._declare_lexical(statement, scope)
+        for statement in body:
+            self._visit(statement, scope)
+
+    def _declare_lexical(self, node: Node, scope: Scope) -> None:
+        if node.type == "VariableDeclaration" and node.kind in ("let", "const"):
+            for declarator in node.declarations:
+                for name_node in _pattern_identifiers(declarator.id):
+                    scope.declare(name_node.name, node.kind, name_node)
+        elif node.type == "ClassDeclaration" and node.get("id") is not None:
+            scope.declare(node.id.name, "class", node.id)
+        elif node.type == "ImportDeclaration":
+            for spec in node.specifiers:
+                scope.declare(spec.local.name, "import", spec.local)
+        elif node.type in ("ExportNamedDeclaration", "ExportDefaultDeclaration") and node.get(
+            "declaration"
+        ):
+            self._declare_lexical(node.declaration, scope)
+
+    def _visit(self, node: Node | None, scope: Scope) -> None:
+        if node is None:
+            return
+        # Iterative default descent: expression chains (e.g. thousand-term
+        # string concatenations in machine-generated code) must not recurse.
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            handler = getattr(self, f"_visit_{current.type}", None)
+            if handler is not None:
+                handler(current, scope)
+                continue
+            stack.extend(iter_child_nodes(current))
+
+    # Identifier resolution -------------------------------------------------
+
+    def _reference(self, node: Node, scope: Scope, is_write: bool = False) -> None:
+        binding = scope.resolve(node.name)
+        if binding is None:
+            # Implicit global (or browser/Node builtin).
+            assert self.global_scope is not None
+            binding = Binding(name=node.name, kind="global", scope=self.global_scope)
+            self.global_scope.bindings[node.name] = binding
+            self.unresolved.append(node)
+        node.binding = binding
+        if is_write:
+            binding.assignments.append(node)
+        else:
+            binding.references.append(node)
+
+    def _visit_Identifier(self, node: Node, scope: Scope) -> None:
+        self._reference(node, scope)
+
+    def _visit_MemberExpression(self, node: Node, scope: Scope) -> None:
+        self._visit(node.object, scope)
+        if node.get("computed"):
+            self._visit(node.property, scope)
+        # Non-computed property names are not variable references.
+
+    def _visit_Property(self, node: Node, scope: Scope) -> None:
+        if node.get("computed"):
+            self._visit(node.key, scope)
+        elif node.get("shorthand") and node.value is node.key:
+            # `{ x }` reads variable x.
+            self._visit(node.value, scope)
+            return
+        self._visit(node.value, scope)
+
+    def _visit_MethodDefinition(self, node: Node, scope: Scope) -> None:
+        if node.get("computed"):
+            self._visit(node.key, scope)
+        self._visit(node.value, scope)
+
+    def _visit_PropertyDefinition(self, node: Node, scope: Scope) -> None:
+        if node.get("computed"):
+            self._visit(node.key, scope)
+        self._visit(node.get("value"), scope)
+
+    def _visit_LabeledStatement(self, node: Node, scope: Scope) -> None:
+        self._visit(node.body, scope)  # label is not a variable
+
+    def _visit_BreakStatement(self, node: Node, scope: Scope) -> None:
+        pass
+
+    def _visit_ContinueStatement(self, node: Node, scope: Scope) -> None:
+        pass
+
+    # Assignment tracking ----------------------------------------------------
+
+    def _visit_AssignmentExpression(self, node: Node, scope: Scope) -> None:
+        self._visit_pattern_writes(node.left, scope)
+        self._visit(node.right, scope)
+
+    def _visit_UpdateExpression(self, node: Node, scope: Scope) -> None:
+        if node.argument.type == "Identifier":
+            self._reference(node.argument, scope, is_write=True)
+            binding = node.argument.get("binding")
+            if binding is not None:
+                binding.references.append(node.argument)  # read-modify-write
+        else:
+            self._visit(node.argument, scope)
+
+    def _visit_pattern_writes(self, node: Node, scope: Scope) -> None:
+        if node.type == "Identifier":
+            self._reference(node, scope, is_write=True)
+            return
+        if node.type == "MemberExpression":
+            self._visit_MemberExpression(node, scope)
+            return
+        if node.type in ("ArrayPattern", "ArrayExpression"):
+            for element in node.elements:
+                if element is not None:
+                    self._visit_pattern_writes(element, scope)
+            return
+        if node.type in ("ObjectPattern", "ObjectExpression"):
+            for prop in node.properties:
+                if prop.type == "RestElement":
+                    self._visit_pattern_writes(prop.argument, scope)
+                else:
+                    if prop.get("computed"):
+                        self._visit(prop.key, scope)
+                    self._visit_pattern_writes(prop.value, scope)
+            return
+        if node.type in ("RestElement", "SpreadElement"):
+            self._visit_pattern_writes(node.argument, scope)
+            return
+        if node.type == "AssignmentPattern":
+            self._visit_pattern_writes(node.left, scope)
+            self._visit(node.right, scope)
+            return
+        self._visit(node, scope)
+
+    # Declarations -----------------------------------------------------------
+
+    def _visit_VariableDeclaration(self, node: Node, scope: Scope) -> None:
+        for declarator in node.declarations:
+            for name_node in _pattern_identifiers(declarator.id):
+                binding = scope.resolve(name_node.name)
+                if binding is None:
+                    binding = scope.declare(name_node.name, node.kind, name_node)
+                name_node.binding = binding
+                if declarator.init is not None or node.kind != "var":
+                    binding.assignments.append(name_node)
+            self._visit_pattern_defaults(declarator.id, scope)
+            self._visit(declarator.init, scope)
+
+    def _visit_pattern_defaults(self, node: Node, scope: Scope) -> None:
+        """Visit default-value expressions inside a binding pattern."""
+        if node.type == "AssignmentPattern":
+            self._visit_pattern_defaults(node.left, scope)
+            self._visit(node.right, scope)
+        elif node.type == "ArrayPattern":
+            for element in node.elements:
+                if element is not None:
+                    self._visit_pattern_defaults(element, scope)
+        elif node.type == "ObjectPattern":
+            for prop in node.properties:
+                if prop.type == "RestElement":
+                    self._visit_pattern_defaults(prop.argument, scope)
+                else:
+                    if prop.get("computed"):
+                        self._visit(prop.key, scope)
+                    self._visit_pattern_defaults(prop.value, scope)
+        elif node.type == "RestElement":
+            self._visit_pattern_defaults(node.argument, scope)
+
+    def _visit_FunctionDeclaration(self, node: Node, scope: Scope) -> None:
+        if node.get("id") is not None:
+            binding = scope.resolve(node.id.name) or scope.declare(
+                node.id.name, "function", node.id
+            )
+            node.id.binding = binding
+            binding.assignments.append(node.id)
+        self._enter_function(node, scope)
+
+    def _visit_FunctionExpression(self, node: Node, scope: Scope) -> None:
+        self._enter_function(node, scope)
+
+    def _visit_ArrowFunctionExpression(self, node: Node, scope: Scope) -> None:
+        self._enter_function(node, scope)
+
+    def _enter_function(self, node: Node, scope: Scope) -> None:
+        fn_scope = Scope("function", node, scope)
+        node.scope = fn_scope
+        if node.type == "FunctionExpression" and node.get("id") is not None:
+            binding = fn_scope.declare(node.id.name, "function", node.id)
+            node.id.binding = binding
+        for param in node.params:
+            for name_node in _pattern_identifiers(param):
+                binding = fn_scope.declare(name_node.name, "param", name_node)
+                name_node.binding = binding
+                binding.assignments.append(name_node)
+            self._visit_pattern_defaults(param, fn_scope)
+        body = node.body
+        if body.type == "BlockStatement":
+            self._hoist_declarations(body, fn_scope)
+            self._visit_statements(body.body, fn_scope)
+        else:
+            self._visit(body, fn_scope)
+
+    def _visit_ClassDeclaration(self, node: Node, scope: Scope) -> None:
+        if node.get("id") is not None:
+            binding = scope.resolve(node.id.name) or scope.declare(
+                node.id.name, "class", node.id
+            )
+            node.id.binding = binding
+        self._visit(node.get("superClass"), scope)
+        class_scope = Scope("class", node, scope)
+        node.scope = class_scope
+        self._visit(node.body, class_scope)
+
+    def _visit_ClassExpression(self, node: Node, scope: Scope) -> None:
+        class_scope = Scope("class", node, scope)
+        node.scope = class_scope
+        if node.get("id") is not None:
+            binding = class_scope.declare(node.id.name, "class", node.id)
+            node.id.binding = binding
+        self._visit(node.get("superClass"), scope)
+        self._visit(node.body, class_scope)
+
+    # Blocks ------------------------------------------------------------------
+
+    def _visit_BlockStatement(self, node: Node, scope: Scope) -> None:
+        block_scope = Scope("block", node, scope)
+        node.scope = block_scope
+        self._visit_statements(node.body, block_scope)
+
+    def _visit_ForStatement(self, node: Node, scope: Scope) -> None:
+        for_scope = Scope("block", node, scope)
+        node.scope = for_scope
+        if node.init is not None and node.init.type == "VariableDeclaration":
+            self._declare_lexical(node.init, for_scope)
+        self._visit(node.init, for_scope)
+        self._visit(node.test, for_scope)
+        self._visit(node.update, for_scope)
+        self._visit_loop_body(node.body, for_scope)
+
+    def _visit_ForInStatement(self, node: Node, scope: Scope) -> None:
+        self._visit_for_in_of(node, scope)
+
+    def _visit_ForOfStatement(self, node: Node, scope: Scope) -> None:
+        self._visit_for_in_of(node, scope)
+
+    def _visit_for_in_of(self, node: Node, scope: Scope) -> None:
+        for_scope = Scope("block", node, scope)
+        node.scope = for_scope
+        if node.left.type == "VariableDeclaration":
+            self._declare_lexical(node.left, for_scope)
+            self._visit(node.left, for_scope)
+        else:
+            self._visit_pattern_writes(node.left, for_scope)
+        self._visit(node.right, for_scope)
+        self._visit_loop_body(node.body, for_scope)
+
+    def _visit_loop_body(self, body: Node, scope: Scope) -> None:
+        if body.type == "BlockStatement":
+            self._visit_BlockStatement(body, scope)
+        else:
+            self._visit(body, scope)
+
+    def _visit_CatchClause(self, node: Node, scope: Scope) -> None:
+        catch_scope = Scope("catch", node, scope)
+        node.scope = catch_scope
+        if node.get("param") is not None:
+            for name_node in _pattern_identifiers(node.param):
+                binding = catch_scope.declare(name_node.name, "catch", name_node)
+                name_node.binding = binding
+                binding.assignments.append(name_node)
+        self._visit_BlockStatement(node.body, catch_scope)
+
+    def _visit_SwitchStatement(self, node: Node, scope: Scope) -> None:
+        self._visit(node.discriminant, scope)
+        switch_scope = Scope("block", node, scope)
+        node.scope = switch_scope
+        all_statements = [
+            statement for case in node.cases for statement in case.consequent
+        ]
+        for statement in all_statements:
+            self._declare_lexical(statement, switch_scope)
+        for case in node.cases:
+            self._visit(case.test, switch_scope)
+            for statement in case.consequent:
+                self._visit(statement, switch_scope)
+
+
+def _pattern_identifiers(node: Node | None) -> list[Node]:
+    """All Identifier nodes that a binding pattern declares."""
+    if node is None:
+        return []
+    if node.type == "Identifier":
+        return [node]
+    if node.type == "AssignmentPattern":
+        return _pattern_identifiers(node.left)
+    if node.type == "ArrayPattern":
+        result: list[Node] = []
+        for element in node.elements:
+            if element is not None:
+                result.extend(_pattern_identifiers(element))
+        return result
+    if node.type == "ObjectPattern":
+        result = []
+        for prop in node.properties:
+            if prop.type == "RestElement":
+                result.extend(_pattern_identifiers(prop.argument))
+            else:
+                result.extend(_pattern_identifiers(prop.value))
+        return result
+    if node.type == "RestElement":
+        return _pattern_identifiers(node.argument)
+    return []
+
+
+def analyze_scopes(program: Node) -> Scope:
+    """Analyze a ``Program`` and return its global scope (tree root)."""
+    return ScopeAnalyzer().analyze(program)
+
+
+def pattern_identifiers(node: Node | None) -> list[Node]:
+    """Public alias of the pattern-identifier extractor."""
+    return _pattern_identifiers(node)
+
+
+# ---- control flow (frozen) -----------------------------------------------
+
+# Statement-level node types (ESTree); these participate in control flow.
+STATEMENT_TYPES = frozenset(
+    {
+        "Program",
+        "ExpressionStatement",
+        "BlockStatement",
+        "EmptyStatement",
+        "DebuggerStatement",
+        "WithStatement",
+        "ReturnStatement",
+        "LabeledStatement",
+        "BreakStatement",
+        "ContinueStatement",
+        "IfStatement",
+        "SwitchStatement",
+        "SwitchCase",
+        "ThrowStatement",
+        "TryStatement",
+        "WhileStatement",
+        "DoWhileStatement",
+        "ForStatement",
+        "ForInStatement",
+        "ForOfStatement",
+        "VariableDeclaration",
+        "FunctionDeclaration",
+        "ClassDeclaration",
+        "ImportDeclaration",
+        "ExportNamedDeclaration",
+        "ExportDefaultDeclaration",
+        "ExportAllDeclaration",
+    }
+)
+
+CONTROL_FLOW_TYPES = STATEMENT_TYPES | {"CatchClause", "ConditionalExpression"}
+
+
+class ControlFlowEdge:
+    """One directed control-flow edge."""
+
+    __slots__ = ("source", "target", "label")
+
+    def __init__(self, source: Node, target: Node, label: str) -> None:
+        self.source = source
+        self.target = target
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CF({self.source.type} -{self.label}-> {self.target.type})"
+
+
+def build_control_flow(program: Node) -> list[ControlFlowEdge]:
+    """Build the control-flow edge list for a parsed program.
+
+    Edges are also attached to nodes as ``flow_out`` / ``flow_in`` lists so
+    graph traversals can run without the global edge list.
+    """
+    edges: list[ControlFlowEdge] = []
+
+    def add(source: Node, target: Node | None, label: str) -> None:
+        if target is None:
+            return
+        edge = ControlFlowEdge(source, target, label)
+        edges.append(edge)
+        source.__dict__.setdefault("flow_out", []).append(edge)
+        target.__dict__.setdefault("flow_in", []).append(edge)
+
+    def sequence(statements: list[Node]) -> None:
+        for first, second in zip(statements, statements[1:]):
+            add(first, second, "next")
+        for statement in statements:
+            visit(statement)
+
+    def visit(node: Node | None) -> None:
+        if node is None:
+            return
+        kind = node.type
+        if kind in ("Program", "BlockStatement"):
+            if node.body:
+                add(node, node.body[0], "enter")
+                sequence(node.body)
+            return
+        if kind == "IfStatement":
+            add(node, node.consequent, "true")
+            visit(node.consequent)
+            if node.alternate is not None:
+                add(node, node.alternate, "false")
+                visit(node.alternate)
+            return
+        if kind in ("WhileStatement", "DoWhileStatement"):
+            add(node, node.body, "true")
+            add(node.body, node, "loop")
+            visit(node.body)
+            return
+        if kind in ("ForStatement", "ForInStatement", "ForOfStatement"):
+            add(node, node.body, "true")
+            add(node.body, node, "loop")
+            if kind == "ForStatement" and node.init is not None and node.init.type == "VariableDeclaration":
+                add(node, node.init, "init")
+            visit(node.body)
+            return
+        if kind == "SwitchStatement":
+            for case in node.cases:
+                add(node, case, "case")
+                if case.consequent:
+                    add(case, case.consequent[0], "enter")
+                    sequence(case.consequent)
+            return
+        if kind == "TryStatement":
+            add(node, node.block, "try")
+            visit(node.block)
+            if node.handler is not None:
+                add(node, node.handler, "catch")
+                add(node.handler, node.handler.body, "enter")
+                visit(node.handler.body)
+            if node.finalizer is not None:
+                add(node, node.finalizer, "finally")
+                visit(node.finalizer)
+            return
+        if kind == "LabeledStatement":
+            add(node, node.body, "label")
+            visit(node.body)
+            return
+        if kind == "WithStatement":
+            add(node, node.body, "with")
+            visit(node.body)
+            return
+        if kind in ("FunctionDeclaration",):
+            add(node, node.body, "function")
+            visit(node.body)
+            return
+        # Expression-bearing statements: descend to find nested functions,
+        # conditional expressions, and function expressions.
+        for child in _nested_flow_roots(node):
+            if child.type == "ConditionalExpression":
+                add(node, child, "test")
+                _conditional_edges(child, add)
+            else:
+                add(node, child.body, "function")
+                visit(child.body)
+        return
+
+    def _conditional_edges(cond: Node, adder) -> None:
+        for arm, label in ((cond.consequent, "true"), (cond.alternate, "false")):
+            target = arm if arm.type == "ConditionalExpression" else None
+            if target is not None:
+                adder(cond, target, label)
+                _conditional_edges(target, adder)
+
+    visit(program)
+    return edges
+
+
+def _nested_flow_roots(statement: Node) -> list[Node]:
+    """Find flow-relevant nodes nested inside an expression statement.
+
+    Returns function-like nodes with block bodies and top conditional
+    expressions, without descending into nested functions (they are visited
+    when reached).
+    """
+    roots: list[Node] = []
+    stack = [statement]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first:
+            if node.type in ("FunctionExpression", "ArrowFunctionExpression", "FunctionDeclaration"):
+                if node.body.type == "BlockStatement":
+                    roots.append(node)
+                    continue
+            if node.type == "ConditionalExpression":
+                roots.append(node)
+                continue
+        first = False
+        stack.extend(iter_child_nodes(node))
+    return roots
+
+
+# ---- data flow (frozen) --------------------------------------------------
+
+class DataFlowEdge:
+    """One def→use edge between two Identifier nodes of the same binding."""
+
+    __slots__ = ("source", "target", "name")
+
+    def __init__(self, source: Node, target: Node, name: str) -> None:
+        self.source = source
+        self.target = target
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DF({self.name}: {self.source.start}->{self.target.start})"
+
+
+class DataFlowTimeout(Exception):
+    """Raised internally when edge construction exceeds the time budget."""
+
+
+def build_data_flow(
+    program: Node,
+    scope: Scope | None = None,
+    timeout: float = 120.0,
+    max_edges_per_binding: int = 4096,
+) -> list[DataFlowEdge] | None:
+    """Build def→use edges; returns ``None`` on timeout (CF-only fallback).
+
+    ``max_edges_per_binding`` bounds the quadratic blow-up for bindings with
+    thousands of definitions and uses (seen in machine-generated code).
+    """
+    if scope is None:
+        scope = analyze_scopes(program)
+    deadline = time.monotonic() + timeout
+    edges: list[DataFlowEdge] = []
+    try:
+        for binding in scope.iter_all_bindings():
+            if not binding.assignments or not binding.references:
+                continue
+            count = 0
+            for definition in binding.assignments:
+                if time.monotonic() > deadline:
+                    raise DataFlowTimeout
+                for use in binding.references:
+                    if use is definition:
+                        continue
+                    edges.append(DataFlowEdge(definition, use, binding.name))
+                    count += 1
+                    if count >= max_edges_per_binding:
+                        break
+                if count >= max_edges_per_binding:
+                    break
+    except DataFlowTimeout:
+        # CF-only fallback: nodes must not keep partial data_in/data_out
+        # lists, so annotation happens only after a complete build.
+        return None
+    for edge in edges:
+        edge.source.__dict__.setdefault("data_out", []).append(edge)
+        edge.target.__dict__.setdefault("data_in", []).append(edge)
+    return edges
+
+
+# ---- enhanced AST (frozen) -----------------------------------------------
+
+@dataclass
+class EnhancedAST:
+    """Frozen counterpart of ``repro.flows.graph.EnhancedAST``."""
+
+    source: str
+    program: Node
+    tokens: list[Token]
+    comments: list[Token]
+    scope: Scope
+    control_flow: list[ControlFlowEdge] = field(default_factory=list)
+    data_flow: list[DataFlowEdge] | None = None
+
+    @property
+    def data_flow_available(self) -> bool:
+        return self.data_flow is not None
+
+
+def enhance(source: str, data_flow_timeout: float = 120.0) -> EnhancedAST:
+    """Frozen parse + scope + CF + DF pipeline."""
+    parser = Parser(source)
+    program = parser.parse_program()
+    scope = analyze_scopes(program)
+    control_flow = build_control_flow(program)
+    data_flow = build_data_flow(program, scope=scope, timeout=data_flow_timeout)
+    return EnhancedAST(
+        source=source,
+        program=program,
+        tokens=parser.tokens,
+        comments=parser.comments,
+        scope=scope,
+        control_flow=control_flow,
+        data_flow=data_flow,
+    )
+
+
+# ---- n-grams (frozen) ----------------------------------------------------
+
+import zlib
+
+
+def ast_unit_sequence(program: Node) -> list[str]:
+    """Pre-order sequence of node types (the paper's syntactic units)."""
+    sequence: list[str] = []
+    stack = [program]
+    while stack:
+        node = stack.pop()
+        sequence.append(node.type)
+        children = list(iter_child_nodes(node))
+        stack.extend(reversed(children))
+    return sequence
+
+
+def ast_ngram_vector(
+    program: Node,
+    n: int = 4,
+    n_dims: int = 512,
+    max_units: int = 200_000,
+) -> np.ndarray:
+    """Hashed, frequency-normalised n-gram vector of length ``n_dims``.
+
+    ``max_units`` caps the traversal on pathological inputs (multi-megabyte
+    machine-generated files) — the prefix is representative since n-gram
+    frequencies stabilise quickly.
+    """
+    sequence = ast_unit_sequence(program)
+    return _hashed_ngrams(sequence, n, n_dims, max_units)
+
+
+def _hashed_ngrams(
+    sequence: list[str], n: int, n_dims: int, max_units: int
+) -> np.ndarray:
+    if len(sequence) > max_units:
+        sequence = sequence[:max_units]
+    vector = np.zeros(n_dims, dtype=np.float64)
+    if len(sequence) < n:
+        return vector
+    joined = [f"{a}\x00{b}\x00{c}\x00{d}" for a, b, c, d in zip(
+        sequence, sequence[1:], sequence[2:], sequence[3:]
+    )] if n == 4 else [
+        "\x00".join(sequence[i : i + n]) for i in range(len(sequence) - n + 1)
+    ]
+    for gram in joined:
+        bucket = zlib.crc32(gram.encode("utf-8")) % n_dims
+        vector[bucket] += 1.0
+    total = vector.sum()
+    if total > 0:
+        vector /= total
+    return vector
+
+
+# ---- static features (frozen) --------------------------------------------
+
+_HEX_NAME_RE = re.compile(r"^_0x[0-9a-fA-F]+$")
+
+_STRING_OP_NAMES = (
+    "split",
+    "concat",
+    "join",
+    "reverse",
+    "replace",
+    "charAt",
+    "charCodeAt",
+    "fromCharCode",
+    "substr",
+    "substring",
+    "slice",
+    "toString",
+)
+
+_SUSPICIOUS_BUILTINS = (
+    "eval",
+    "unescape",
+    "escape",
+    "atob",
+    "btoa",
+    "setInterval",
+    "setTimeout",
+    "parseInt",
+    "Function",
+)
+
+_COUNTED_NODE_TYPES = (
+    "Literal",
+    "Identifier",
+    "CallExpression",
+    "MemberExpression",
+    "BinaryExpression",
+    "LogicalExpression",
+    "ConditionalExpression",
+    "UnaryExpression",
+    "UpdateExpression",
+    "AssignmentExpression",
+    "SequenceExpression",
+    "VariableDeclaration",
+    "VariableDeclarator",
+    "FunctionDeclaration",
+    "FunctionExpression",
+    "ArrowFunctionExpression",
+    "IfStatement",
+    "ForStatement",
+    "WhileStatement",
+    "DoWhileStatement",
+    "SwitchStatement",
+    "SwitchCase",
+    "TryStatement",
+    "CatchClause",
+    "ArrayExpression",
+    "ObjectExpression",
+    "Property",
+    "NewExpression",
+    "ReturnStatement",
+    "BlockStatement",
+    "ExpressionStatement",
+    "ThrowStatement",
+    "DebuggerStatement",
+    "TemplateLiteral",
+    "SpreadElement",
+    "ClassDeclaration",
+)
+
+
+def _entropy(text: str) -> float:
+    if not text:
+        return 0.0
+    counts = Counter(text)
+    total = len(text)
+    return -sum((c / total) * math.log2(c / total) for c in counts.values())
+
+
+def _safe_div(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def compute_static_features(enhanced: EnhancedAST) -> dict[str, float]:
+    """All hand-picked features for one enhanced AST, keyed by name."""
+    source = enhanced.source
+    program = enhanced.program
+    features: dict[str, float] = {}
+
+    # ---- source text ------------------------------------------------------
+    n_chars = len(source)
+    lines = source.split("\n")
+    n_lines = len(lines)
+    features["src_chars"] = float(n_chars)
+    features["src_lines"] = float(n_lines)
+    features["src_avg_line_length"] = _safe_div(n_chars, n_lines)
+    features["src_max_line_length"] = float(max((len(l) for l in lines), default=0))
+    whitespace = sum(1 for ch in source if ch in " \t\n\r")
+    features["src_whitespace_ratio"] = _safe_div(whitespace, n_chars)
+    alnum = sum(1 for ch in source if ch.isalnum())
+    features["src_non_alnum_ratio"] = 1.0 - _safe_div(alnum, n_chars)
+    jsfuck_chars = sum(1 for ch in source if ch in "[]()!+")
+    features["src_jsfuck_char_ratio"] = _safe_div(jsfuck_chars, n_chars)
+    comment_chars = sum(len(c.value) for c in enhanced.comments)
+    features["src_comment_ratio"] = _safe_div(comment_chars, n_chars)
+    features["src_comments_per_line"] = _safe_div(len(enhanced.comments), n_lines)
+
+    # ---- tokens -----------------------------------------------------------
+    tokens = [t for t in enhanced.tokens if t.type is not TokenType.EOF]
+    n_tokens = len(tokens)
+    features["tok_per_char"] = _safe_div(n_tokens, n_chars)
+    by_type = Counter(t.type for t in tokens)
+    for token_type, key in (
+        (TokenType.IDENTIFIER, "tok_identifier_ratio"),
+        (TokenType.PUNCTUATOR, "tok_punctuator_ratio"),
+        (TokenType.STRING, "tok_string_ratio"),
+        (TokenType.NUMERIC, "tok_numeric_ratio"),
+        (TokenType.KEYWORD, "tok_keyword_ratio"),
+        (TokenType.REGULAR_EXPRESSION, "tok_regex_ratio"),
+    ):
+        features[key] = _safe_div(by_type.get(token_type, 0), n_tokens)
+
+    string_tokens = [t for t in tokens if t.type is TokenType.STRING]
+    string_chars = sum(len(t.value) for t in string_tokens)
+    escape_chars = sum(t.value.count("\\") for t in string_tokens)
+    features["str_chars_ratio"] = _safe_div(string_chars, n_chars)
+    features["str_escape_density"] = _safe_div(escape_chars, string_chars)
+    features["str_avg_length"] = _safe_div(string_chars, len(string_tokens))
+    features["str_max_length"] = float(
+        max((len(t.value) for t in string_tokens), default=0)
+    )
+
+    # ---- AST shape (single traversal collecting per-type buckets) ----------
+    node_counts: Counter[str] = Counter()
+    n_nodes = 0
+    max_depth = 0
+    level_width: Counter[int] = Counter()
+    identifier_nodes: list[Node] = []
+    string_literals: list[Node] = []
+    arrays: list[Node] = []
+    objects: list[Node] = []
+    sequences: list[Node] = []
+    members: list[Node] = []
+    calls: list[Node] = []
+    loops: list[Node] = []
+    ifs: list[Node] = []
+    declarators: list[Node] = []
+    bang_number = 0
+    stack: list[tuple[Node, int]] = [(program, 0)]
+    while stack:
+        node, depth = stack.pop()
+        n_nodes += 1
+        kind = node.type
+        node_counts[kind] += 1
+        level_width[depth] += 1
+        if depth > max_depth:
+            max_depth = depth
+        if kind == "Identifier":
+            identifier_nodes.append(node)
+        elif kind == "Literal":
+            if isinstance(node.value, str):
+                string_literals.append(node)
+        elif kind == "ArrayExpression":
+            arrays.append(node)
+        elif kind == "ObjectExpression":
+            objects.append(node)
+        elif kind == "SequenceExpression":
+            sequences.append(node)
+        elif kind == "MemberExpression":
+            members.append(node)
+        elif kind in ("CallExpression", "NewExpression"):
+            calls.append(node)
+        elif kind in ("WhileStatement", "DoWhileStatement", "ForStatement"):
+            loops.append(node)
+        elif kind == "IfStatement":
+            ifs.append(node)
+        elif kind == "VariableDeclarator":
+            declarators.append(node)
+        elif (
+            kind == "UnaryExpression"
+            and node.operator == "!"
+            and node.argument.type == "Literal"
+            and isinstance(node.argument.value, (int, float))
+        ):
+            bang_number += 1
+        for child in iter_child_nodes(node):
+            stack.append((child, depth + 1))
+    max_breadth = max(level_width.values()) if level_width else 0
+
+    features["ast_nodes"] = float(n_nodes)
+    features["ast_depth"] = float(max_depth)
+    features["ast_breadth"] = float(max_breadth)
+    features["ast_depth_per_line"] = _safe_div(max_depth, n_lines)
+    features["ast_breadth_per_line"] = _safe_div(max_breadth, n_lines)
+    features["ast_nodes_per_line"] = _safe_div(n_nodes, n_lines)
+    features["ast_nodes_per_char"] = _safe_div(n_nodes, n_chars)
+
+    for node_type in _COUNTED_NODE_TYPES:
+        features[f"ast_prop_{node_type}"] = _safe_div(node_counts[node_type], n_nodes)
+
+    # ---- identifiers ------------------------------------------------------
+    names = [n.name for n in identifier_nodes]
+    unique_names = set(names)
+    features["id_unique_ratio"] = _safe_div(len(unique_names), len(names))
+    features["id_avg_length"] = _safe_div(sum(len(n) for n in names), len(names))
+    features["id_single_char_ratio"] = _safe_div(
+        sum(1 for n in unique_names if len(n) == 1), len(unique_names)
+    )
+    features["id_hex_ratio"] = _safe_div(
+        sum(1 for n in unique_names if _HEX_NAME_RE.match(n)), len(unique_names)
+    )
+    features["id_digit_ratio"] = _safe_div(
+        sum(1 for n in unique_names if any(c.isdigit() for c in n)), len(unique_names)
+    )
+    features["id_entropy"] = _entropy("".join(unique_names))
+    features["member_per_unique_id"] = _safe_div(
+        node_counts["MemberExpression"], len(unique_names)
+    )
+
+    # ---- literals ---------------------------------------------------------
+    features["lit_string_entropy"] = (
+        sum(_entropy(n.value) for n in string_literals) / len(string_literals)
+        if string_literals
+        else 0.0
+    )
+    hexish = sum(
+        1
+        for n in string_literals
+        if n.value and all(c in "0123456789abcdefABCDEF" for c in n.value)
+    )
+    features["lit_hexish_string_ratio"] = _safe_div(hexish, len(string_literals))
+
+    # ---- structures (arrays / objects / ternaries / sequences) ------------
+    array_sizes = [len(a.elements) for a in arrays]
+    features["arr_count_per_node"] = _safe_div(len(arrays), n_nodes)
+    features["arr_avg_size"] = _safe_div(sum(array_sizes), len(array_sizes))
+    features["arr_max_size"] = float(max(array_sizes, default=0))
+    features["arr_empty_ratio"] = _safe_div(
+        sum(1 for s in array_sizes if s == 0), len(array_sizes)
+    )
+    features["obj_avg_size"] = _safe_div(
+        sum(len(o.properties) for o in objects), len(objects)
+    )
+    statements = sum(
+        node_counts[t]
+        for t in (
+            "ExpressionStatement",
+            "VariableDeclaration",
+            "ReturnStatement",
+            "IfStatement",
+            "ForStatement",
+            "WhileStatement",
+            "BlockStatement",
+        )
+    )
+    features["ternary_per_statement"] = _safe_div(
+        node_counts["ConditionalExpression"], statements
+    )
+    features["seq_avg_length"] = _safe_div(
+        sum(len(s.expressions) for s in sequences), len(sequences)
+    )
+    features["bang_number_ratio"] = _safe_div(bang_number, n_nodes)
+
+    # ---- member access style ---------------------------------------------
+    computed = sum(1 for m in members if m.get("computed"))
+    features["member_bracket_ratio"] = _safe_div(computed, len(members))
+    features["member_per_node"] = _safe_div(len(members), n_nodes)
+
+    # ---- calls and built-ins ----------------------------------------------
+    string_op_counts = Counter()
+    builtin_counts = Counter()
+    constructor_access = 0
+    for call_node in calls:
+        callee = call_node.callee
+        if callee.type == "Identifier":
+            if callee.name in _SUSPICIOUS_BUILTINS:
+                builtin_counts[callee.name] += 1
+        elif callee.type == "MemberExpression":
+            prop = callee.property
+            prop_name = None
+            if not callee.get("computed") and prop.type == "Identifier":
+                prop_name = prop.name
+            elif callee.get("computed") and prop.type == "Literal" and isinstance(prop.value, str):
+                prop_name = prop.value
+            if prop_name in _STRING_OP_NAMES:
+                string_op_counts[prop_name] += 1
+    for member_node in members:
+        prop = member_node.property
+        if (
+            not member_node.get("computed")
+            and prop.type == "Identifier"
+            and prop.name == "constructor"
+        ) or (
+            member_node.get("computed")
+            and prop.type == "Literal"
+            and prop.value == "constructor"
+        ):
+            constructor_access += 1
+    features["calls_per_node"] = _safe_div(len(calls), n_nodes)
+    features["string_ops_per_call"] = _safe_div(
+        sum(string_op_counts.values()), len(calls)
+    )
+    for op in ("split", "fromCharCode", "reverse", "join", "charCodeAt", "replace"):
+        features[f"op_{op}_per_node"] = _safe_div(string_op_counts[op], n_nodes)
+    for builtin in _SUSPICIOUS_BUILTINS:
+        features[f"builtin_{builtin}"] = float(builtin_counts[builtin] > 0)
+    features["builtin_eval_per_node"] = _safe_div(builtin_counts["eval"], n_nodes)
+    features["constructor_access_per_node"] = _safe_div(constructor_access, n_nodes)
+    features["debugger_per_node"] = _safe_div(node_counts["DebuggerStatement"], n_nodes)
+
+    # ---- logic-structure signals ------------------------------------------
+    while_true = 0
+    switch_in_loop = 0
+    literal_test_ifs = 0
+    for node in loops:
+        test = node.get("test")
+        if test is not None and (
+            (test.type == "Literal" and test.value is True)
+            or (
+                test.type == "UnaryExpression"
+                and test.operator == "!"
+                and test.argument.type == "Literal"
+            )
+        ):
+            while_true += 1
+        body = node.get("body")
+        if body is not None:
+            direct = body.body if body.type == "BlockStatement" else [body]
+            if any(s.type == "SwitchStatement" for s in direct):
+                switch_in_loop += 1
+    for node in ifs:
+        test = node.test
+        if test.type == "Literal" or (
+            test.type == "BinaryExpression"
+            and test.left.type == "Literal"
+            and test.right.type == "Literal"
+        ):
+            literal_test_ifs += 1
+    features["while_true_per_node"] = _safe_div(while_true, n_nodes)
+    features["switch_dispatch_per_node"] = _safe_div(switch_in_loop, n_nodes)
+    features["cff_dispatch_present"] = float(switch_in_loop > 0)
+    features["opaque_if_per_node"] = _safe_div(literal_test_ifs, n_nodes)
+    switch_count = node_counts["SwitchStatement"]
+    features["cases_per_switch"] = _safe_div(node_counts["SwitchCase"], switch_count)
+
+    # ---- scope / flow features ---------------------------------------------
+    bindings = list(enhanced.scope.iter_all_bindings())
+    local_bindings = [b for b in bindings if b.kind != "global"]
+    unused = sum(1 for b in local_bindings if not b.references)
+    features["bind_local_count"] = float(len(local_bindings))
+    features["bind_unused_ratio"] = _safe_div(unused, len(local_bindings))
+    features["cf_edges_per_node"] = _safe_div(len(enhanced.control_flow), n_nodes)
+    if enhanced.data_flow is not None:
+        features["df_edges_per_node"] = _safe_div(len(enhanced.data_flow), n_nodes)
+        features["df_available"] = 1.0
+    else:
+        features["df_edges_per_node"] = 0.0
+        features["df_available"] = 0.0
+
+    # Variables fetched from arrays/global dictionaries (data-flow based,
+    # per the paper): bindings whose definition reads an indexed structure,
+    # weighted by how often their value then flows to a use site.
+    _attach_declarator_info(declarators)
+    fetched_uses = 0
+    total_uses = 0
+    array_binding_count = 0
+    for binding in local_bindings:
+        uses = len(binding.references)
+        total_uses += uses
+        kinds = {decl.get("decl_init_kind") for decl in binding.declarations}
+        if "indexed" in kinds:
+            fetched_uses += uses
+        if "array" in kinds:
+            array_binding_count += 1
+    features["df_fetched_from_array_ratio"] = _safe_div(fetched_uses, total_uses)
+    features["bind_array_ratio"] = _safe_div(array_binding_count, len(local_bindings))
+
+    return features
+
+
+def _attach_declarator_info(declarators: list[Node]) -> None:
+    """Annotate declaration identifiers with their initialiser kind.
+
+    Sets ``decl_init_kind`` on the pattern identifier:
+    ``"array"`` for array-literal inits, ``"indexed"`` for computed member
+    reads or single-argument calls (the global-array accessor shape).
+    """
+    for node in declarators:
+        if node.get("init") is None:
+            continue
+        target = node.id
+        if target.type != "Identifier":
+            continue
+        init = node.init
+        if init.type == "ArrayExpression":
+            target.decl_init_kind = "array"
+        elif init.type == "MemberExpression" and init.get("computed"):
+            target.decl_init_kind = "indexed"
+        elif init.type == "CallExpression" and len(init.arguments) == 1 and init.arguments[0].type == "Literal":
+            target.decl_init_kind = "indexed"

@@ -117,8 +117,8 @@ class TestDataFlow:
         edges = build_data_flow(program)
         assert edges
         for edge in edges:
-            assert edge in edge.source.__dict__.get("data_out", [])
-            assert edge in edge.target.__dict__.get("data_in", [])
+            assert edge in edge.source.get("data_out", [])
+            assert edge in edge.target.get("data_in", [])
 
     def test_timeout_leaves_no_partial_annotations(self):
         """A timed-out build must not leave data_in/data_out on nodes."""
@@ -127,8 +127,8 @@ class TestDataFlow:
         program = parse("var x = 1; x = 2; f(x, x); var y = 3; g(y);")
         assert build_data_flow(program, timeout=0.0) is None
         for node in walk(program):
-            assert "data_in" not in node.__dict__
-            assert "data_out" not in node.__dict__
+            assert node.get("data_in") is None
+            assert node.get("data_out") is None
 
     def test_midflight_timeout_rolls_back(self, monkeypatch):
         """Timeout after some edges were built: no stale partial annotations."""
@@ -146,8 +146,8 @@ class TestDataFlow:
         assert build_data_flow(program, timeout=100.0) is None
         assert calls["n"] >= 3  # timed out mid-build, not before the first edge
         for node in walk(program):
-            assert "data_in" not in node.__dict__
-            assert "data_out" not in node.__dict__
+            assert node.get("data_in") is None
+            assert node.get("data_out") is None
 
 
 class TestEnhance:

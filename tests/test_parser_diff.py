@@ -1,0 +1,162 @@
+"""Differential parsing: the flat-AST parser vs the frozen pre-rewrite one.
+
+The table-driven parser with positional node factories and the fused
+flat-index enhance pipeline are gated on identity with the frozen
+reference implementation (``tests/reference_parser.py``): on every
+source the corpus generator and the transformation pipeline emit, the
+rewrite must be a pure optimisation.  Identity is checked at four
+layers — serialized ASTs, control/data-flow edge signatures, the full
+static-feature dict, and hashed AST n-gram vectors — plus finiteness of
+the complete level-1/level-2 vectors, so a drift anywhere in the fused
+pipeline fails here before it can skew a trained model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.features.extractor import FeatureExtractor
+from repro.features.ngrams import ast_ngram_vector, hashed_ngram_vector
+from repro.features.static_features import compute_static_features
+from repro.flows.graph import enhance
+from repro.js.ast_nodes import to_dict
+from repro.js.parser import parse
+from repro.transform import get_transformer
+from tests import reference_parser
+
+# ES2015+ corners that exercise the rewritten dispatch paths: optional
+# chaining, template nesting, classes, generators/async, destructuring.
+ES2015_CORNERS = [
+    "const f = (a = 1, {b, c: [d] = []} = {}) => a + b + d;",
+    "class Point { static origin = null; get x() { return this._x; } "
+    "set x(v) { this._x = v; } ['computed' + key]() { return 1; } "
+    "constructor(x, y) { this.y = y; } static from({x, y}) { return new Point(x, y); } }",
+    "async function load(url) { const r = await fetch(url); return r?.body ?? null; }",
+    "function* walk(tree) { for (const child of tree.children) { yield* walk(child); } yield tree; }",
+    "const msg = `outer ${`inner ${1 + 2} ${'lit'}`} tail`;",
+    "let [a = 10, , ...rest] = xs; ({p: q = a, ...others} = obj);",
+    "const m = obj?.deep?.[key]?.(arg1, ...spread)?.tail;",
+    "label: for (const k in o) { if (k === 'stop') break label; else continue label; }",
+    "var x = cond ? a ? b : c : d ? e : f;",
+    "new.target; const t = tag`a${b}c`; export default class extends Base {};",
+    "try { throw {code: 1}; } catch ({code}) { } finally { done(); }",
+    "switch (v) { case 1: case 2: f(); break; default: g(); }",
+]
+
+TRANSFORMS = [
+    "identifier_obfuscation",
+    "string_obfuscation",
+    "global_array",
+    "no_alphanumeric",
+    "dead_code_injection",
+    "control_flow_flattening",
+    "self_defending",
+    "debug_protection",
+    "minification_simple",
+    "minification_advanced",
+]
+
+
+def _corpus_mix() -> list[str]:
+    base = generate_corpus(6, seed=1306)
+    sources = list(base)
+    rng = random.Random(77)
+    for name in TRANSFORMS:
+        transformer = get_transformer(name)
+        sources.append(transformer.transform(base[len(sources) % len(base)], rng))
+    return sources
+
+
+@pytest.fixture(scope="module")
+def corpus_mix() -> list[str]:
+    return _corpus_mix()
+
+
+def _cf_signature(edges):
+    return sorted((e.source.start, e.target.start, e.label) for e in edges)
+
+
+def _df_signature(edges):
+    if edges is None:
+        return None
+    return sorted((e.source.start, e.target.start, e.name) for e in edges)
+
+
+class TestAstIdentity:
+    @pytest.mark.parametrize("source", ES2015_CORNERS)
+    def test_es2015_corner_matches_reference(self, source):
+        assert to_dict(parse(source)) == reference_parser.to_dict(
+            reference_parser.parse(source)
+        )
+
+    def test_corpus_mix_matches_reference(self, corpus_mix):
+        for source in corpus_mix:
+            assert to_dict(parse(source)) == reference_parser.to_dict(
+                reference_parser.parse(source)
+            )
+
+    def test_parse_errors_agree(self):
+        for source in ["var x = ;", "function ( {", "a b c ===", "({,})"]:
+            with pytest.raises(SyntaxError):
+                parse(source)
+            with pytest.raises(SyntaxError):
+                reference_parser.parse(source)
+
+
+class TestEnhancedIdentity:
+    def test_flow_edges_match_reference(self, corpus_mix):
+        for source in corpus_mix:
+            live = enhance(source)
+            ref = reference_parser.enhance(source)
+            assert _cf_signature(live.control_flow) == _cf_signature(ref.control_flow)
+            assert _df_signature(live.data_flow) == _df_signature(ref.data_flow)
+
+    def test_static_features_bit_identical(self, corpus_mix):
+        for source in corpus_mix:
+            live = compute_static_features(enhance(source))
+            ref = reference_parser.compute_static_features(
+                reference_parser.enhance(source)
+            )
+            assert set(live) == set(ref)
+            diff = {k: (live[k], ref[k]) for k in live if live[k] != ref[k]}
+            assert not diff
+
+    def test_ngram_vectors_bit_identical(self, corpus_mix):
+        for source in corpus_mix:
+            live = enhance(source)
+            ref_vec = reference_parser.ast_ngram_vector(
+                reference_parser.parse(source), n_dims=256
+            )
+            flat_vec = hashed_ngram_vector(live.flat.type_names, n_dims=256)
+            walk_vec = ast_ngram_vector(live.program, n_dims=256)
+            assert np.array_equal(flat_vec, ref_vec)
+            assert np.array_equal(walk_vec, ref_vec)
+
+    def test_full_vectors_finite(self, corpus_mix):
+        for level in (1, 2):
+            extractor = FeatureExtractor(level=level)
+            for source in corpus_mix[::4]:
+                vector = extractor.extract_from_enhanced(enhance(source))
+                assert np.all(np.isfinite(vector))
+
+
+class TestFlatIndexInvariants:
+    def test_preorder_parent_depth_consistency(self, corpus_mix):
+        for source in corpus_mix:
+            flat = enhance(source).flat
+            assert flat is not None
+            assert flat.parents[0] == -1 and flat.depths[0] == 0
+            for i in range(1, len(flat)):
+                parent = flat.parents[i]
+                assert 0 <= parent < i  # parents precede children in pre-order
+                assert flat.depths[i] == flat.depths[parent] + 1
+
+    def test_type_names_match_nodes(self, corpus_mix):
+        source = corpus_mix[0]
+        flat = enhance(source).flat
+        assert [n.type for n in flat.nodes] == list(flat.type_names)
+        assert len(flat.type_ids) == len(flat)
