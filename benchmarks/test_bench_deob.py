@@ -1,0 +1,79 @@
+"""Deobfuscation-pipeline benchmarks: throughput and technique removal.
+
+Two numbers feed the ``BENCH_deob.json`` history.  ``files_per_sec`` is
+the fixpoint-engine throughput over a mixed obfuscated stream — deob is
+the expensive opt-in path (parse → rewrite → regenerate per iteration),
+so regressions here directly inflate the serve-side ``deob_s``
+histogram.  ``removal_rate`` is the round-trip quality score from
+``repro.deob.score``: the fraction of transform→deob→re-classify trips
+where the injected technique's rule confidence drops below the removal
+threshold.  Throughput gains that trade away removal rate show up as a
+pair in the same record.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.deob import DeobEngine
+from repro.deob.score import round_trip
+from repro.transform.base import TECHNIQUES, get_transformer
+
+
+@pytest.fixture(scope="module")
+def obfuscated_stream() -> list[str]:
+    """One corpus script per technique, transformed — a worst-case batch."""
+    base = generate_corpus(len(TECHNIQUES), seed=7, min_bytes=1200)
+    rng = random.Random(99)
+    return [
+        get_transformer(technique).transform(source, rng)
+        for technique, source in zip(TECHNIQUES, base)
+    ]
+
+
+def _throughput(benchmark, n_files: int) -> None:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is not None and mean.mean:
+        benchmark.extra_info["files_per_sec"] = round(n_files / mean.mean, 2)
+
+
+def test_bench_deob_fixpoint_throughput(benchmark, obfuscated_stream):
+    """Full normalize-to-fixpoint over one obfuscated file per technique."""
+    engine = DeobEngine()
+
+    def run() -> int:
+        removed = 0
+        for source in obfuscated_stream:
+            removed += len(engine.run(source).report.techniques_removed)
+        return removed
+
+    removed = benchmark(run)
+    assert removed >= len(obfuscated_stream)  # every file loses ≥1 technique
+    _throughput(benchmark, len(obfuscated_stream))
+    benchmark.extra_info["techniques_removed"] = removed
+
+
+def test_bench_deob_round_trip_removal_rate(benchmark, obfuscated_stream):
+    """Normalize-then-reclassify score across all monitored techniques.
+
+    ``extra_info["removal_rate"]`` is the acceptance number: the mean
+    fraction of round trips where deob pushes the injected technique's
+    rule confidence below ``REMOVAL_THRESHOLD``.  ``reparse_rate``
+    tracks that every emitted normal form is stable under
+    parse→generate (bit-clean re-emission).
+    """
+    corpus = generate_corpus(2, seed=7, min_bytes=1200)
+
+    report = benchmark.pedantic(
+        lambda: round_trip(corpus, seed=1312), rounds=1, iterations=1
+    )
+    benchmark.extra_info["removal_rate"] = round(report.mean_removal_rate, 4)
+    reparse = [t.reparse_rate for t in report.techniques.values()]
+    benchmark.extra_info["reparse_rate"] = round(sum(reparse) / len(reparse), 4)
+    benchmark.extra_info["techniques"] = {
+        name: round(entry.removal_rate, 4)
+        for name, entry in report.techniques.items()
+    }
+    assert report.mean_removal_rate >= 0.9
+    assert all(rate == 1.0 for rate in reparse)

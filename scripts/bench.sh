@@ -4,6 +4,7 @@
 #   BENCH_serve.json — benchmarks/test_bench_serve.py (service latency/throughput)
 #   BENCH_rules.json — benchmarks/test_bench_rules.py (signature engine / triage)
 #   BENCH_parse.json — benchmarks/test_bench_parse.py (lexer / single-pass features)
+#   BENCH_deob.json  — benchmarks/test_bench_deob.py (deob throughput / removal rate)
 #   BENCH_train.json — everything else
 #
 # Usage:
@@ -12,6 +13,7 @@
 #   scripts/bench.sh benchmarks/test_bench_serve.py   # serving suite only
 #   scripts/bench.sh benchmarks/test_bench_rules.py   # signature-engine suite only
 #   scripts/bench.sh benchmarks/test_bench_parse.py   # parse-layer suite only
+#   scripts/bench.sh benchmarks/test_bench_deob.py    # deobfuscation suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +44,7 @@ suites = {
     "BENCH_serve.json": [],
     "BENCH_rules.json": [],
     "BENCH_parse.json": [],
+    "BENCH_deob.json": [],
     "BENCH_train.json": [],
 }
 for bench in raw.get("benchmarks", []):
@@ -58,6 +61,8 @@ for bench in raw.get("benchmarks", []):
         out = "BENCH_rules.json"
     elif "test_bench_parse" in bench["fullname"]:
         out = "BENCH_parse.json"
+    elif "test_bench_deob" in bench["fullname"]:
+        out = "BENCH_deob.json"
     else:
         out = "BENCH_train.json"
     suites[out].append(entry)

@@ -45,6 +45,56 @@ if grep -rnE 'Node\("' src/repro/js --include='*.py' \
   exit 1
 fi
 
+# Deob purity gate: deobfuscation passes must never mutate the AST they
+# are handed — they scan read-only and rewrite a clone().  A pass that
+# edits in place corrupts the engine's fixpoint bookkeeping (and any
+# caller still holding the tree), so this runs each registered pass
+# against a transformed sample and asserts the input tree is bit-identical
+# afterwards.  Pure stdlib + repro, so it always runs.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'PY'
+import random
+import sys
+
+from repro.deob import default_passes
+from repro.deob.base import PassContext
+from repro.js.ast_nodes import to_dict
+from repro.js.parser import parse
+from repro.rules.engine import default_engine
+from repro.transform.base import TECHNIQUES, get_transformer
+
+SAMPLE = """
+var secret = "abc" + "def";
+function dispatch(op, x) {
+  switch (op) {
+    case "inc": return x + 1;
+    case "dec": return x - 1;
+    default: return x;
+  }
+}
+for (var i = 0; i < 10; i++) { dispatch("inc", i); }
+"""
+
+rules = default_engine()
+failures = []
+for technique in TECHNIQUES:
+    source = get_transformer(technique).transform(SAMPLE, random.Random(5))
+    program = parse(source)
+    snapshot = to_dict(program)
+    ctx = PassContext(source=source, findings=rules.analyze_source(source, data_flow=False))
+    for deob_pass in default_passes():
+        deob_pass.rewrite(program, ctx)
+        if to_dict(program) != snapshot:
+            failures.append(f"{deob_pass.name} mutated its input on {technique.value}")
+            snapshot = to_dict(program)  # report each offending pass once
+
+if failures:
+    print("[lint] deob pass purity violations:", file=sys.stderr)
+    for failure in failures:
+        print(f"[lint]   {failure}", file=sys.stderr)
+    sys.exit(1)
+print("[lint] deob purity gate: all passes leave their input AST untouched")
+PY
+
 if command -v ruff >/dev/null 2>&1; then
   run_ruff ruff
 elif python -c "import ruff" >/dev/null 2>&1; then

@@ -6,6 +6,7 @@ Usage::
     python -m repro classify --model detector.pkl file1.js [file2.js ...]
     python -m repro serve --model detector.pkl --port 8377
     python -m repro transform --technique minification_simple file.js
+    python -m repro deob file.js [--json] [--out normalized.js]
     python -m repro experiments [--scale small]
 
 ``classify``/``serve`` without ``--model`` train a small detector on the fly.
@@ -85,6 +86,14 @@ def _result_jsonl(name: str, result) -> str:
         ]
     record["triaged"] = result.triaged
     record["findings"] = [finding.to_json() for finding in result.findings]
+    if result.deob is not None:
+        report = result.deob.report
+        record["deob"] = {
+            "changed": result.deob.changed,
+            "passes_applied": report.passes_applied,
+            "techniques_removed": report.techniques_removed,
+            "total_rewrites": report.total_rewrites,
+        }
     return json.dumps(record, sort_keys=True)
 
 
@@ -116,7 +125,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         sources.append(source)
     if not sources:
         return exit_code
-    batch = engine.classify(sources, k=args.k, threshold=args.threshold)
+    batch = engine.classify(sources, k=args.k, threshold=args.threshold, deob=args.deob)
     for name, result in zip(names, batch.results):
         if result.error is not None:
             exit_code = 1
@@ -132,8 +141,51 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
                 shallow = replace(result, findings=[])
             print(_result_line(name, shallow))
+        if args.deob and not args.jsonl and result.deob is not None:
+            report = result.deob.report
+            removed = ", ".join(report.techniques_removed) or "none"
+            print(
+                f"  [deob] {'normalized' if result.deob.changed else 'unchanged'}; "
+                f"removed: {removed}"
+            )
     print(f"[batch] {batch.stats}", file=sys.stderr)
     return exit_code
+
+
+def _cmd_deob(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.deob import Budget, deobfuscate
+
+    try:
+        source = Path(args.file).read_text(errors="replace")
+    except OSError as error:
+        print(f"{args.file}: cannot read ({error})", file=sys.stderr)
+        return 1
+    budget = Budget(max_seconds=args.max_seconds) if args.max_seconds else None
+    result = deobfuscate(source, budget=budget)
+    if args.json:
+        print(json.dumps(result.to_json(), sort_keys=True))
+    else:
+        if args.out:
+            Path(args.out).write_text(result.source)
+        else:
+            print(result.source, end="")
+        report = result.report
+        removed = ", ".join(report.techniques_removed) or "none"
+        print(
+            f"[deob] {args.file}: {'normalized' if result.changed else 'unchanged'} "
+            f"in {report.iterations} iteration(s), {report.total_rewrites} rewrites; "
+            f"passes: {', '.join(report.passes_applied) or 'none'}; "
+            f"techniques removed: {removed}",
+            file=sys.stderr,
+        )
+        for note in report.notes:
+            print(f"[deob]   note: {note}", file=sys.stderr)
+    if result.report.error is not None:
+        print(f"[deob] error: {result.report.error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -239,7 +291,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="one JSON record per file on stdout (findings included)",
     )
+    classify.add_argument(
+        "--deob",
+        action="store_true",
+        help="normalize each file through the deobfuscation pipeline first "
+        "and classify the normal form",
+    )
     classify.set_defaults(func=_cmd_classify)
+
+    deob = commands.add_parser(
+        "deob", help="deobfuscate one file and print the normalized source"
+    )
+    deob.add_argument("file")
+    deob.add_argument("--out", default=None, help="write normalized source here")
+    deob.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full DeobResult (source + report) as JSON on stdout",
+    )
+    deob.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for the whole run (default 20s)",
+    )
+    deob.set_defaults(func=_cmd_deob)
 
     serve = commands.add_parser(
         "serve", help="serve /classify over HTTP with micro-batched inference"

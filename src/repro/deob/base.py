@@ -1,0 +1,162 @@
+"""Pass protocol, safety budgets, and shared context for ``repro.deob``.
+
+A deobfuscation pass is a *pure* AST rewrite: it receives the current
+program plus a :class:`PassContext` and returns a :class:`PassResult`
+whose ``program`` is either the input (untouched, zero rewrites) or a
+fresh tree.  Passes must never mutate the input AST in place — the lint
+gate in ``scripts/lint.sh`` runs every registered pass against a canned
+sample and fails the build if the input tree changed.  The idiomatic
+implementation is: scan read-only for applicability, and only when the
+pass will fire, ``clone()`` the program and rewrite the clone.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.js.ast_nodes import Node
+from repro.rules.findings import Finding
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Safety limits for one :class:`~repro.deob.engine.DeobEngine` run.
+
+    The engine bails out (leaving the input unchanged, or stopping with
+    partial progress) rather than ever looping or scanning unboundedly on
+    adversarial input.
+    """
+
+    max_nodes: int = 400_000  #: refuse files whose AST exceeds this size
+    max_iterations: int = 8  #: fixpoint iterations before giving up
+    max_seconds: float = 20.0  #: wall-clock ceiling for the whole run
+    max_pass_seconds: float = 5.0  #: a pass exceeding this is disabled
+    max_eval_depth: int = 3  #: nested eval/Function payload unwraps
+    max_eval_ops: int = 2_000_000  #: JSFuck evaluator operation ceiling
+
+
+@dataclass
+class PassContext:
+    """Per-iteration state shared by the passes.
+
+    ``findings`` are the rule engine's findings for the *current* program
+    state — passes consume the typed evidence on them (dispatcher order
+    strings, string-array offsets) instead of re-deriving it.
+    """
+
+    source: str  #: source text of the current program state
+    findings: list[Finding] = field(default_factory=list)
+    budget: Budget = field(default_factory=Budget)
+    eval_unwraps: int = 0  #: payload unwraps performed so far (all passes)
+    notes: list[str] = field(default_factory=list)
+
+    def dispatcher_order(self, state_variable: str) -> list[str] | None:
+        """Execution-order case labels recovered for a dispatcher, if any."""
+        for finding in self.findings:
+            evidence = finding.dispatcher
+            if (
+                evidence is not None
+                and evidence.state_variable == state_variable
+                and evidence.order_string
+            ):
+                return evidence.order
+        return None
+
+    def string_array_evidence(self) -> list[Any]:
+        """Every typed string-array evidence record in the findings."""
+        return [
+            finding.string_array
+            for finding in self.findings
+            if finding.string_array is not None
+        ]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass application."""
+
+    program: Node  #: input program (unchanged) or a fresh rewritten tree
+    rewrites: int = 0  #: number of nodes rewritten/removed/inlined
+
+    @property
+    def changed(self) -> bool:
+        return self.rewrites > 0
+
+
+class DeobPass(ABC):
+    """One invertible normalization step.
+
+    ``techniques`` names the monitored techniques the pass targets (used
+    in reports); ``late`` passes (cosmetic renaming) only run once the
+    structural passes have reached fixpoint, so structural evidence is
+    consumed before names change.
+    """
+
+    name: str = "pass"
+    techniques: tuple[str, ...] = ()
+    late: bool = False
+
+    @abstractmethod
+    def rewrite(self, program: Node, ctx: PassContext) -> PassResult:
+        """Return the (possibly) rewritten program; never mutate the input."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DeobPass {self.name}>"
+
+
+_PURE_LITERAL_CALLS = frozenset({"split", "reverse", "join", "concat", "slice"})
+
+
+def is_pure_expression(node: Node | None) -> bool:
+    """Conservatively true when evaluating ``node`` cannot have effects.
+
+    Used by dead-code elimination to decide whether an unused declaration
+    can be dropped.  Identifier reads are treated as pure (worst case a
+    ReferenceError in code that never ran anyway).
+    """
+    if node is None:
+        return True
+    node_type = node.type
+    if node_type == "Literal":
+        return True
+    if node_type == "Identifier":
+        return True
+    if node_type in ("FunctionExpression", "ArrowFunctionExpression"):
+        return True
+    if node_type == "UnaryExpression":
+        return node.operator != "delete" and is_pure_expression(node.argument)
+    if node_type in ("BinaryExpression", "LogicalExpression"):
+        return is_pure_expression(node.left) and is_pure_expression(node.right)
+    if node_type == "ConditionalExpression":
+        return (
+            is_pure_expression(node.test)
+            and is_pure_expression(node.consequent)
+            and is_pure_expression(node.alternate)
+        )
+    if node_type == "ArrayExpression":
+        return all(is_pure_expression(el) for el in node.elements if el is not None)
+    if node_type == "MemberExpression":
+        return is_pure_expression(node.object) and (
+            not node.get("computed") or is_pure_expression(node.property)
+        )
+    if node_type == "CallExpression":
+        # String-method chains on literals ("ab".split("")) are pure.
+        callee = node.callee
+        if callee.type != "MemberExpression":
+            return False
+        prop = callee.property
+        method = (
+            prop.value
+            if callee.get("computed") and prop.type == "Literal"
+            else prop.get("name")
+            if prop.type == "Identifier"
+            else None
+        )
+        if method not in _PURE_LITERAL_CALLS:
+            return False
+        return is_pure_expression(callee.object) and all(
+            is_pure_expression(arg) for arg in node.arguments
+        )
+    return False

@@ -1,0 +1,236 @@
+"""Constant folding and string rebuilding (inverts ``string_obfuscation``).
+
+The pure-simplification direction only — unlike the advanced minifier's
+folder this pass never introduces minifier idioms (``true`` stays
+``true``).  It rebuilds plain string literals from:
+
+- ``"ab" + "cd"`` concatenation chains (and literal arithmetic),
+- ``String.fromCharCode(104, 105)``,
+- ``"fedcba".split("").reverse().join("")`` chains,
+- ``atob("aGk=")`` / ``unescape("%68%69")`` over literals,
+- escape-saturated literal ``raw`` text (``"\\x68\\x69"`` → plain
+  quoting) and hex number raws (``0x1f`` → ``31``).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import re
+
+from repro.deob.base import DeobPass, PassContext, PassResult
+from repro.js.ast_nodes import Node, clone
+from repro.js.builder import literal, string
+from repro.js.visitor import NodeTransformer, walk
+
+_ESCAPE_RE = re.compile(r"\\x[0-9a-fA-F]{2}|\\u[0-9a-fA-F]{4}")
+
+
+def _literal_value(node: Node):
+    if node.type == "Literal" and node.get("regex") is None:
+        return node.value
+    if node.type == "UnaryExpression" and node.operator == "-" and node.get("prefix"):
+        inner = _literal_value(node.argument)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return -inner
+    return _MISS
+
+
+_MISS = object()
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _method_name(call: Node) -> str | None:
+    """The method of a ``receiver.method(…)`` / ``receiver["method"](…)`` call."""
+    callee = call.callee
+    if callee.type != "MemberExpression":
+        return None
+    prop = callee.property
+    if callee.get("computed"):
+        return prop.value if prop.type == "Literal" and isinstance(prop.value, str) else None
+    return prop.name if prop.type == "Identifier" else None
+
+
+def _decode_unescape(value: str) -> str:
+    def _sub(match: re.Match) -> str:
+        text = match.group(0)
+        if text[1] in "uU":
+            return chr(int(text[2:6], 16))
+        return chr(int(text[1:3], 16))
+
+    return re.sub(r"%u[0-9a-fA-F]{4}|%[0-9a-fA-F]{2}", _sub, value)
+
+
+class _Folder(NodeTransformer):
+    def __init__(self) -> None:
+        self.rewrites = 0
+
+    def _fold(self, node: Node) -> Node:
+        self.rewrites += 1
+        return node
+
+    def visit_BinaryExpression(self, node: Node) -> Node | None:
+        left = _literal_value(node.left)
+        right = _literal_value(node.right)
+        if left is _MISS or right is _MISS:
+            return None
+        try:
+            if node.operator == "+":
+                if isinstance(left, str) and isinstance(right, str):
+                    return self._fold(string(left + right))
+                if _is_number(left) and _is_number(right):
+                    return self._fold(literal(left + right))
+                return None
+            if node.operator == "-" and _is_number(left) and _is_number(right):
+                return self._fold(literal(left - right))
+            if node.operator == "*" and _is_number(left) and _is_number(right):
+                return self._fold(literal(left * right))
+        except (TypeError, OverflowError):  # pragma: no cover - defensive
+            return None
+        return None
+
+    def visit_CallExpression(self, node: Node) -> Node | None:
+        folded = self._fold_from_char_code(node)
+        if folded is None:
+            folded = self._fold_reverse_join(node)
+        if folded is None:
+            folded = self._fold_decoder(node)
+        return folded
+
+    def _fold_from_char_code(self, node: Node) -> Node | None:
+        callee = node.callee
+        if (
+            callee.type != "MemberExpression"
+            or callee.object.type != "Identifier"
+            or callee.object.name != "String"
+            or _method_name(node) != "fromCharCode"
+            or not node.arguments
+        ):
+            return None
+        codes = [_literal_value(argument) for argument in node.arguments]
+        if not all(_is_number(code) and 0 <= code <= 0x10FFFF for code in codes):
+            return None
+        return self._fold(string("".join(chr(int(code)) for code in codes)))
+
+    def _fold_reverse_join(self, node: Node) -> Node | None:
+        # "fedcba".split("").reverse().join("")
+        if _method_name(node) != "join" or not _args_are(node, [""]):
+            return None
+        reverse = node.callee.object
+        if (
+            reverse.type != "CallExpression"
+            or _method_name(reverse) != "reverse"
+            or reverse.arguments
+        ):
+            return None
+        split = reverse.callee.object
+        if (
+            split.type != "CallExpression"
+            or _method_name(split) != "split"
+            or not _args_are(split, [""])
+        ):
+            return None
+        source = split.callee.object
+        if source.type != "Literal" or not isinstance(source.value, str):
+            return None
+        return self._fold(string(source.value[::-1]))
+
+    def _fold_decoder(self, node: Node) -> Node | None:
+        callee = node.callee
+        if callee.type != "Identifier" or len(node.arguments) != 1:
+            return None
+        argument = node.arguments[0]
+        if argument.type != "Literal" or not isinstance(argument.value, str):
+            return None
+        if callee.name == "atob":
+            try:
+                decoded = base64.b64decode(
+                    argument.value.encode("ascii"), validate=True
+                ).decode("utf-8")
+            except (binascii.Error, UnicodeDecodeError, ValueError):
+                return None
+            return self._fold(string(decoded))
+        if callee.name == "unescape":
+            decoded = _decode_unescape(argument.value)
+            if decoded == argument.value:
+                return None
+            return self._fold(string(decoded))
+        return None
+
+    def visit_Literal(self, node: Node) -> Node | None:
+        if not _raw_needs_normalizing(node):
+            return None
+        if isinstance(node.value, str):
+            return self._fold(string(node.value))
+        return self._fold(literal(node.value))
+
+
+def _raw_needs_normalizing(node: Node) -> bool:
+    """True when the literal's raw text hides the value behind escapes.
+
+    The canonical-quoting comparison keeps this idempotent: a literal the
+    codegen already prints plainly never re-fires.
+    """
+    raw = node.get("raw")
+    if raw is None:
+        return False
+    if isinstance(node.value, str):
+        return raw != json.dumps(node.value) and bool(_ESCAPE_RE.search(raw))
+    if _is_number(node.value):
+        return raw[:2].lower() in ("0x", "0o", "0b")
+    return False
+
+
+def _args_are(call: Node, values: list) -> bool:
+    if len(call.arguments) != len(values):
+        return False
+    return all(
+        argument.type == "Literal" and argument.value == value
+        for argument, value in zip(call.arguments, values)
+    )
+
+
+def _would_fold(program: Node) -> bool:
+    """Cheap read-only applicability scan (no clone unless it will fire)."""
+    for node in walk(program):
+        node_type = node.type
+        if node_type == "BinaryExpression":
+            if _literal_value(node.left) is not _MISS and _literal_value(node.right) is not _MISS:
+                if node.operator in ("+", "-", "*"):
+                    left = _literal_value(node.left)
+                    right = _literal_value(node.right)
+                    if (_is_number(left) and _is_number(right)) or (
+                        node.operator == "+"
+                        and isinstance(left, str)
+                        and isinstance(right, str)
+                    ):
+                        return True
+        elif node_type == "Literal":
+            if _raw_needs_normalizing(node):
+                return True
+        elif node_type == "CallExpression":
+            method = _method_name(node)
+            if method == "fromCharCode" or method == "join":
+                return True
+            callee = node.callee
+            if callee.type == "Identifier" and callee.name in ("atob", "unescape"):
+                return True
+    return False
+
+
+class ConstantFoldPass(DeobPass):
+    name = "constant-fold"
+    techniques = ("string_obfuscation",)
+
+    def rewrite(self, program: Node, ctx: PassContext) -> PassResult:
+        if not _would_fold(program):
+            return PassResult(program)
+        folder = _Folder()
+        work = folder.transform(clone(program))
+        if folder.rewrites == 0:
+            return PassResult(program)
+        return PassResult(work, folder.rewrites)

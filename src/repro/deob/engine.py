@@ -1,0 +1,294 @@
+"""Fixpoint pass scheduler, safety budgets, and the deobfuscation report.
+
+:class:`DeobEngine` drives the pass pipeline source-to-source: parse the
+current state, hand every pass a fresh tree plus the rule engine's typed
+evidence, regenerate, and repeat until nothing changes (or a budget
+trips).  Working source-level keeps the pass contract honest — each
+iteration starts from a clean, annotation-free AST, and the emitted
+normal form is by construction re-parseable.
+
+The report measures removal the model-free way: rule-engine confidences
+per technique before and after, with *removed* meaning a technique that
+was evidenced at or above the triage threshold before normalization and
+is not after.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.deob.base import Budget, DeobPass, PassContext, PassResult
+from repro.deob.constant_fold import ConstantFoldPass
+from repro.deob.dead_code import DeadCodePass
+from repro.deob.jsfuck import JsfuckDecodePass
+from repro.deob.rename import RenamePass
+from repro.deob.string_array import StringArrayInlinePass
+from repro.deob.traps import TrapRemovalPass
+from repro.deob.unflatten import UnflattenPass
+from repro.deob.unminify import UnminifyPass
+from repro.deob.unpack import EvalUnwrapPass
+from repro.js.codegen import generate
+from repro.js.parser import parse
+from repro.js.visitor import count_nodes
+from repro.rules.engine import RuleEngine, default_engine
+from repro.rules.findings import max_confidence_by_technique
+
+#: confidence bar a technique must drop below to count as *removed*.
+#: Lower than the triage threshold on purpose: every rule fires at ≥ 0.8
+#: confidence when its signature is present, so 0.5 cleanly separates
+#: "evidenced" from "gone" for all twelve rules.
+REMOVAL_THRESHOLD = 0.5
+
+
+def default_passes() -> list[DeobPass]:
+    """The standard pipeline, in schedule order (payload reveals first)."""
+    return [
+        EvalUnwrapPass(),
+        JsfuckDecodePass(),
+        StringArrayInlinePass(),
+        UnflattenPass(),
+        ConstantFoldPass(),
+        DeadCodePass(),
+        TrapRemovalPass(),
+        UnminifyPass(),
+        RenamePass(),
+    ]
+
+
+@dataclass
+class PassStats:
+    """Aggregate activity of one pass across all iterations."""
+
+    name: str
+    applications: int = 0  #: iterations in which the pass changed the tree
+    rewrites: int = 0  #: total nodes rewritten/removed/inlined
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "applications": self.applications,
+            "rewrites": self.rewrites,
+        }
+
+
+@dataclass
+class DeobReport:
+    """What the engine did and what it removed."""
+
+    iterations: int = 0
+    passes: list[PassStats] = field(default_factory=list)
+    nodes_before: int = 0
+    nodes_after: int = 0
+    eval_unwraps: int = 0
+    techniques_before: dict[str, float] = field(default_factory=dict)
+    techniques_after: dict[str, float] = field(default_factory=dict)
+    techniques_removed: list[str] = field(default_factory=list)
+    bailed: str | None = None  #: budget that tripped, if any
+    error: str | None = None  #: fatal condition (input did not parse)
+    wall_time_ms: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(stats.rewrites for stats in self.passes)
+
+    @property
+    def passes_applied(self) -> list[str]:
+        return [stats.name for stats in self.passes if stats.applications]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "iterations": self.iterations,
+            "passes": [stats.to_json() for stats in self.passes if stats.applications],
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "eval_unwraps": self.eval_unwraps,
+            "total_rewrites": self.total_rewrites,
+            "techniques_before": {
+                technique: round(confidence, 4)
+                for technique, confidence in sorted(self.techniques_before.items())
+            },
+            "techniques_after": {
+                technique: round(confidence, 4)
+                for technique, confidence in sorted(self.techniques_after.items())
+            },
+            "techniques_removed": self.techniques_removed,
+            "bailed": self.bailed,
+            "error": self.error,
+            "wall_time_ms": round(self.wall_time_ms, 3),
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class DeobResult:
+    """Normalized source plus the report describing how it got there."""
+
+    source: str
+    report: DeobReport
+    changed: bool
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "changed": self.changed,
+            "report": self.report.to_json(),
+        }
+
+
+class DeobEngine:
+    """Schedules deobfuscation passes to fixpoint under safety budgets.
+
+    ``removal_threshold`` is the confidence bar a technique must drop
+    below to count as removed (defaults to the rules triage threshold).
+    """
+
+    def __init__(
+        self,
+        passes: list[DeobPass] | None = None,
+        budget: Budget | None = None,
+        rules: RuleEngine | None = None,
+        removal_threshold: float = REMOVAL_THRESHOLD,
+    ) -> None:
+        self.passes = passes if passes is not None else default_passes()
+        self.budget = budget if budget is not None else Budget()
+        self.rules = rules if rules is not None else default_engine()
+        self.removal_threshold = removal_threshold
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, source: str) -> DeobResult:
+        """Normalize ``source``; never raises on malformed input."""
+        started = time.perf_counter()
+        report = DeobReport(passes=[PassStats(p.name) for p in self.passes])
+        stats_by_name = {stats.name: stats for stats in report.passes}
+
+        try:
+            program = parse(source)
+        except Exception as exc:
+            report.error = f"input does not parse: {exc}"
+            report.wall_time_ms = (time.perf_counter() - started) * 1000
+            return DeobResult(source=source, report=report, changed=False)
+
+        report.nodes_before = count_nodes(program)
+        if report.nodes_before > self.budget.max_nodes:
+            report.bailed = "node-budget"
+            report.nodes_after = report.nodes_before
+            report.wall_time_ms = (time.perf_counter() - started) * 1000
+            return DeobResult(source=source, report=report, changed=False)
+
+        report.techniques_before = self._confidences(source)
+
+        current_source = source
+        seen_sources = {source}
+        eval_unwraps = 0
+        disabled: set[str] = set()
+        structural = [p for p in self.passes if not p.late]
+        late = [p for p in self.passes if p.late]
+
+        for _ in range(self.budget.max_iterations):
+            if self._out_of_time(started):
+                report.bailed = "time-budget"
+                break
+            report.iterations += 1
+            ctx = PassContext(
+                source=current_source,
+                findings=self._findings(current_source),
+                budget=self.budget,
+                eval_unwraps=eval_unwraps,
+            )
+            changed = self._run_passes(structural, program, ctx, stats_by_name, disabled, started, report)
+            if changed is None:  # time budget tripped mid-iteration
+                break
+            if not changed:
+                changed = self._run_passes(late, program, ctx, stats_by_name, disabled, started, report)
+                if changed is None:
+                    break
+            eval_unwraps = ctx.eval_unwraps
+            report.notes.extend(ctx.notes)
+            if not changed:
+                break
+            program = changed
+            new_source = generate(program)
+            if new_source == current_source or new_source in seen_sources:
+                current_source = new_source
+                break
+            seen_sources.add(new_source)
+            current_source = new_source
+        else:
+            report.bailed = report.bailed or "iteration-budget"
+
+        report.eval_unwraps = eval_unwraps
+        normalized = generate(program)
+        report.nodes_after = count_nodes(program)
+        report.techniques_after = self._confidences(normalized)
+        report.techniques_removed = sorted(
+            technique
+            for technique, confidence in report.techniques_before.items()
+            if confidence >= self.removal_threshold
+            and report.techniques_after.get(technique, 0.0) < self.removal_threshold
+        )
+        report.wall_time_ms = (time.perf_counter() - started) * 1000
+        return DeobResult(
+            source=normalized, report=report, changed=normalized != source
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_passes(self, passes, program, ctx, stats_by_name, disabled, started, report):
+        """Apply one round of passes; the rewritten program or False/None."""
+        changed = False
+        for deob_pass in passes:
+            if deob_pass.name in disabled:
+                continue
+            if self._out_of_time(started):
+                report.bailed = "time-budget"
+                return program if changed else None
+            pass_started = time.perf_counter()
+            try:
+                result: PassResult = deob_pass.rewrite(program, ctx)
+            except RecursionError:
+                report.notes.append(f"{deob_pass.name}: recursion limit; disabled")
+                disabled.add(deob_pass.name)
+                continue
+            elapsed = time.perf_counter() - pass_started
+            if elapsed > self.budget.max_pass_seconds:
+                disabled.add(deob_pass.name)
+                report.notes.append(
+                    f"{deob_pass.name}: exceeded per-pass budget "
+                    f"({elapsed:.2f}s); disabled"
+                )
+            if result.changed:
+                stats = stats_by_name[deob_pass.name]
+                stats.applications += 1
+                stats.rewrites += result.rewrites
+                program = result.program
+                changed = True
+        return program if changed else False
+
+    def _out_of_time(self, started: float) -> bool:
+        return (time.perf_counter() - started) > self.budget.max_seconds
+
+    def _findings(self, source: str):
+        try:
+            return self.rules.analyze_source(source, data_flow=False)
+        except Exception:
+            return []
+
+    def _confidences(self, source: str) -> dict[str, float]:
+        try:
+            findings = self.rules.analyze_source(source, data_flow=False)
+        except Exception:
+            return {}
+        return max_confidence_by_technique(findings)
+
+
+def deobfuscate(
+    source: str,
+    budget: Budget | None = None,
+    passes: list[DeobPass] | None = None,
+) -> DeobResult:
+    """One-shot convenience wrapper around :class:`DeobEngine`."""
+    return DeobEngine(passes=passes, budget=budget).run(source)

@@ -1,0 +1,414 @@
+"""JSFuck decoding (inverts ``no_alphanumeric``).
+
+A restricted static evaluator for the six-character ``[]()!+`` value
+grammar: array/boolean/number atoms, JS string coercion, indexing into
+the string forms of natives (``[]["find"]+[]``), ``toString(36)``,
+the ``escape``/``unescape`` bootstrap, and the final
+``[]["flat"]["constructor"](<payload>)()`` invocation.  When the whole
+expression statement evaluates to a Function-constructor call the pass
+re-parses the recovered payload and splices it in; any construct outside
+the modelled subset aborts the evaluation and leaves the code unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import re
+import sys
+
+from repro.deob.base import DeobPass, PassContext, PassResult
+from repro.js.ast_nodes import Node, clone, iter_child_nodes
+from repro.js.parser import parse
+from repro.js.visitor import NodeTransformer, walk
+
+
+class _Unsupported(Exception):
+    """Construct outside the modelled JSFuck subset."""
+
+
+class _Undefined:
+    _instance: "_Undefined | None" = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+UNDEFINED = _Undefined()
+
+
+class _Native:
+    """A native function reached as a member (``[]["find"]`` …)."""
+
+    def __init__(self, name: str, this=None):
+        self.name = name
+        self.this = this
+
+    @property
+    def native_string(self) -> str:
+        return f"function {self.name}() {{ [native code] }}"
+
+
+class _FunctionCtor:
+    native_string = "function Function() { [native code] }"
+
+
+class _StringCtor:
+    native_string = "function String() { [native code] }"
+
+
+class _CodeFn:
+    """Result of ``Function(source)`` — calling it yields the payload."""
+
+    def __init__(self, source: str):
+        self.source = source
+
+
+class _Bootstrap:
+    """``escape`` / ``unescape`` obtained through the Function bootstrap."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class _ArrayIterator:
+    native_string = "[object Array Iterator]"
+
+
+class _Payload:
+    """Terminal value: source code the JSFuck expression would execute."""
+
+    def __init__(self, source: str):
+        self.source = source
+
+
+_KEEP = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789@*_+-./"
+)
+
+
+def _js_escape(value: str) -> str:
+    out = []
+    for char in value:
+        if char in _KEEP:
+            out.append(char)
+        elif ord(char) <= 0xFF:
+            out.append(f"%{ord(char):02X}")
+        else:
+            out.append(f"%u{ord(char):04X}")
+    return "".join(out)
+
+
+def _js_unescape(value: str) -> str:
+    def _sub(match: re.Match) -> str:
+        text = match.group(0)
+        if text[1] in "uU":
+            return chr(int(text[2:6], 16))
+        return chr(int(text[1:3], 16))
+
+    return re.sub(r"%u[0-9a-fA-F]{4}|%[0-9a-fA-F]{2}", _sub, value)
+
+
+def _to_base(value: int, radix: int) -> str:
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+    if value == 0:
+        return "0"
+    negative = value < 0
+    value = abs(value)
+    out = ""
+    while value:
+        value, rem = divmod(value, radix)
+        out = digits[rem] + out
+    return ("-" if negative else "") + out
+
+
+def _to_string(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is UNDEFINED:
+        return "undefined"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return ",".join(
+            "" if item is UNDEFINED or item is None else _to_string(item)
+            for item in value
+        )
+    if isinstance(value, (_Native, _FunctionCtor, _StringCtor, _ArrayIterator)):
+        return value.native_string
+    raise _Unsupported("string coercion")
+
+
+def _to_number(value) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            return float(text)
+        except ValueError:
+            return float("nan")
+    if isinstance(value, list):
+        return _to_number(_to_string(value))
+    if value is UNDEFINED:
+        return float("nan")
+    raise _Unsupported("number coercion")
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    if value is UNDEFINED:
+        return False
+    return True  # arrays and function-like markers
+
+
+def _js_add(left, right):
+    left_prim = _to_string(left) if isinstance(left, (list, _Native, _FunctionCtor, _StringCtor, _ArrayIterator)) else left
+    right_prim = _to_string(right) if isinstance(right, (list, _Native, _FunctionCtor, _StringCtor, _ArrayIterator)) else right
+    if isinstance(left_prim, str) or isinstance(right_prim, str):
+        return _to_string(left_prim) + _to_string(right_prim)
+    return _to_number(left_prim) + _to_number(right_prim)
+
+
+_ARRAY_NATIVES = frozenset({"flat", "find", "entries", "filter", "concat", "fill", "sort"})
+
+
+class _Evaluator:
+    def __init__(self, max_ops: int):
+        self.max_ops = max_ops
+        self.ops = 0
+
+    def eval(self, node: Node):
+        self.ops += 1
+        if self.ops > self.max_ops:
+            raise _Unsupported("operation budget exceeded")
+        node_type = node.type
+        if node_type == "ArrayExpression":
+            return [
+                UNDEFINED if element is None else self.eval(element)
+                for element in node.elements
+            ]
+        if node_type == "UnaryExpression":
+            if node.operator == "!":
+                return not _truthy(self.eval(node.argument))
+            if node.operator == "+":
+                value = self.eval(node.argument)
+                if isinstance(value, (list, _Native)):
+                    value = _to_string(value)
+                return _to_number(value)
+            raise _Unsupported(f"unary {node.operator}")
+        if node_type == "BinaryExpression":
+            # Flatten the left spine: spelled strings are +-chains with one
+            # term per character, far deeper than the recursion limit.
+            terms: list[Node] = []
+            current = node
+            while current.type == "BinaryExpression":
+                if current.operator != "+":
+                    raise _Unsupported(f"binary {current.operator}")
+                terms.append(current.right)
+                current = current.left
+            terms.append(current)
+            terms.reverse()
+            value = self.eval(terms[0])
+            for term in terms[1:]:
+                value = _js_add(value, self.eval(term))
+            return value
+        if node_type == "MemberExpression":
+            return self._member(self.eval(node.object), self._key(node))
+        if node_type == "CallExpression":
+            callee = self.eval(node.callee)
+            args = [self.eval(argument) for argument in node.arguments]
+            return self._call(callee, args)
+        raise _Unsupported(node_type)
+
+    def _key(self, node: Node) -> str:
+        if not node.get("computed"):
+            raise _Unsupported("dot member access")
+        return _to_string(self.eval(node.property))
+
+    def _member(self, obj, key: str):
+        if isinstance(obj, list):
+            if key.lstrip("-").isdigit():
+                index = int(key)
+                if 0 <= index < len(obj):
+                    return obj[index]
+                return UNDEFINED
+            if key == "":
+                return UNDEFINED
+            if key == "length":
+                return float(len(obj))
+            if key == "constructor":
+                return _Native("Array")
+            if key in _ARRAY_NATIVES:
+                return _Native(key, this=obj)
+            return UNDEFINED
+        if isinstance(obj, str):
+            if key.isdigit():
+                index = int(key)
+                if 0 <= index < len(obj):
+                    return obj[index]
+                return UNDEFINED
+            if key == "length":
+                return float(len(obj))
+            if key == "constructor":
+                return _StringCtor()
+            raise _Unsupported(f"string member {key!r}")
+        if isinstance(obj, float):
+            if key == "toString":
+                return _Native("toString", this=obj)
+            raise _Unsupported(f"number member {key!r}")
+        if isinstance(obj, _Native):
+            if key == "constructor":
+                return _FunctionCtor()
+            raise _Unsupported(f"native member {key!r}")
+        raise _Unsupported(f"member access on {type(obj).__name__}")
+
+    def _call(self, callee, args):
+        if isinstance(callee, _FunctionCtor):
+            if len(args) == 1 and isinstance(args[0], str):
+                return _CodeFn(args[0])
+            raise _Unsupported("Function(…) with non-string body")
+        if isinstance(callee, _CodeFn):
+            body = callee.source.strip()
+            if body == "return escape":
+                return _Bootstrap("escape")
+            if body == "return unescape":
+                return _Bootstrap("unescape")
+            return _Payload(callee.source)
+        if isinstance(callee, _Bootstrap):
+            if len(args) != 1:
+                raise _Unsupported("bootstrap arity")
+            text = _to_string(args[0])
+            return _js_escape(text) if callee.name == "escape" else _js_unescape(text)
+        if isinstance(callee, _Native):
+            if callee.name == "entries" and not args:
+                return _ArrayIterator()
+            if callee.name == "toString" and isinstance(callee.this, float):
+                radix = int(_to_number(args[0])) if args else 10
+                if not 2 <= radix <= 36 or not float(callee.this).is_integer():
+                    raise _Unsupported("toString radix")
+                return _to_base(int(callee.this), radix)
+            raise _Unsupported(f"native call {callee.name}")
+        raise _Unsupported(f"call on {type(callee).__name__}")
+
+
+_ALLOWED_TYPES = frozenset(
+    {
+        "ExpressionStatement",
+        "CallExpression",
+        "MemberExpression",
+        "ArrayExpression",
+        "UnaryExpression",
+        "BinaryExpression",
+    }
+)
+
+
+def _is_jsfuck_statement(statement: Node) -> bool:
+    """Purely-symbolic expression statement (no identifiers or literals)."""
+    if statement.type != "ExpressionStatement":
+        return False
+    count = 0
+    for node in walk(statement):
+        if node.type not in _ALLOWED_TYPES:
+            return False
+        if node.type == "UnaryExpression" and node.operator not in ("!", "+"):
+            return False
+        if node.type == "BinaryExpression" and node.operator != "+":
+            return False
+        count += 1
+    return count >= 8  # tiny symbol soups ([] + []) are not worth decoding
+
+
+#: JSFuck nests the AST far deeper than CPython's default recursion
+#: limit even after the +-chain spine flattening (escape/unescape
+#: bootstrap arguments are themselves spelled expressions).  The op
+#: budget bounds the work; the limit only has to admit the depth.
+_EVAL_RECURSION_LIMIT = 40_000
+
+
+@contextlib.contextmanager
+def _deep_recursion():
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous, _EVAL_RECURSION_LIMIT))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+class _Decoder(NodeTransformer):
+    def __init__(self, evaluator: _Evaluator, allowance: int):
+        self.evaluator = evaluator
+        self.allowance = allowance
+        self.unwraps = 0
+        self.rewrites = 0
+        self.failures = 0
+
+    def visit_ExpressionStatement(self, node: Node) -> list | None:
+        if self.unwraps >= self.allowance or not _is_jsfuck_statement(node):
+            return None
+        try:
+            result = self.evaluator.eval(node.expression)
+        except (_Unsupported, RecursionError, OverflowError, ValueError):
+            self.failures += 1
+            return None
+        if not isinstance(result, _Payload):
+            return None
+        try:
+            program = parse(result.source)
+        except Exception:
+            self.failures += 1
+            return None
+        self.unwraps += 1
+        self.rewrites += 1 + len(program.body)
+        return list(program.body)
+
+
+class JsfuckDecodePass(DeobPass):
+    name = "jsfuck-decode"
+    techniques = ("no_alphanumeric",)
+
+    def rewrite(self, program: Node, ctx: PassContext) -> PassResult:
+        allowance = ctx.budget.max_eval_depth - ctx.eval_unwraps
+        if allowance <= 0:
+            return PassResult(program)
+        if not any(
+            _is_jsfuck_statement(statement) for statement in _iter_statements(program)
+        ):
+            return PassResult(program)
+        evaluator = _Evaluator(ctx.budget.max_eval_ops)
+        decoder = _Decoder(evaluator, allowance)
+        with _deep_recursion():
+            work = decoder.transform(clone(program))
+        if decoder.failures and not decoder.unwraps:
+            ctx.notes.append("jsfuck-decode: evaluation failed; left in place")
+        if decoder.unwraps == 0:
+            return PassResult(program)
+        ctx.eval_unwraps += decoder.unwraps
+        return PassResult(work, decoder.rewrites)
+
+
+def _iter_statements(program: Node):
+    for node in walk(program):
+        if node.type == "ExpressionStatement":
+            yield node

@@ -1,0 +1,93 @@
+"""Scope-aware identifier re-naming (inverts ``identifier_obfuscation``).
+
+Rebinds obfuscator-shaped names (``_0x1a2b3c`` hex names and — when the
+file is saturated with them — minifier-style one/two-character names) to
+readable sequential names derived from the binding kind: ``func1``,
+``arg2``, ``var3``.  Scope analysis guarantees capture-free renaming;
+globals the file never declares keep their names.
+
+This is a *late* pass: it only runs once the structural passes have
+reached fixpoint, so evidence keyed on names (string-array accessors,
+dispatcher state variables) is consumed before anything is renamed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.deob.base import DeobPass, PassContext, PassResult
+from repro.js.ast_nodes import Node, clone
+from repro.js.scope import analyze_scopes
+from repro.js.tokens import KEYWORDS
+from repro.transform.renaming import _UNSAFE_NAMES, expand_shorthand_properties
+
+_HEX_NAME_RE = re.compile(r"^_0x[0-9a-fA-F]+$")
+
+#: minimum population of short names before they are considered minified
+_SHORT_NAME_SATURATION = 8
+
+_KIND_PREFIX = {
+    "function": "func",
+    "class": "cls",
+    "param": "arg",
+    "catch": "err",
+    "import": "mod",
+}
+
+
+class RenamePass(DeobPass):
+    name = "rename"
+    techniques = ("identifier_obfuscation", "minification_simple")
+    late = True
+
+    def rewrite(self, program: Node, ctx: PassContext) -> PassResult:
+        work = clone(program)
+        expand_shorthand_properties(work)
+        scope = analyze_scopes(work)
+        bindings = list(scope.iter_all_bindings())
+
+        renameable = [
+            binding
+            for binding in bindings
+            if binding.kind != "global" and binding.name not in _UNSAFE_NAMES
+        ]
+        hex_named = [b for b in renameable if _HEX_NAME_RE.match(b.name)]
+        short_named = [b for b in renameable if len(b.name) <= 2]
+        candidates = list(hex_named)
+        if len(short_named) >= _SHORT_NAME_SATURATION:
+            candidates.extend(short_named)
+        if not candidates:
+            return PassResult(program)
+
+        taken = {binding.name for binding in bindings}
+        counters: dict[str, int] = {}
+        renamed = 0
+        for binding in candidates:
+            prefix = _KIND_PREFIX.get(binding.kind, "var")
+            while True:
+                counters[prefix] = counters.get(prefix, 0) + 1
+                new_name = f"{prefix}{counters[prefix]}"
+                if new_name not in taken and new_name not in KEYWORDS:
+                    break
+            taken.add(new_name)
+            for node in binding.declarations + binding.references + binding.assignments:
+                node.name = new_name
+            renamed += 1
+        _strip_scope_annotations(work)
+        return PassResult(work, renamed)
+
+
+def _strip_scope_annotations(root: Node) -> None:
+    """Drop the binding/scope annotations scope analysis left on the tree.
+
+    The pass contract is a plain AST out — annotations would leak stale
+    ``Binding`` objects into later clones and serialized comparisons.
+    """
+    from repro.js.visitor import walk
+
+    for node in walk(root):
+        for attribute in ("binding", "scope"):
+            try:
+                delattr(node, attribute)
+            except AttributeError:
+                pass

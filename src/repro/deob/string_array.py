@@ -1,0 +1,230 @@
+"""String-array inlining + rotation undo (inverts ``global_array``).
+
+Consumes the rules engine's typed :class:`StringArrayEvidence` (array
+name, accessor, offset, encoding) rather than re-deriving the shape.  For
+each evidenced array the pass:
+
+1. reads the stored strings from the array declaration,
+2. undoes the startup rotation by statically replaying the
+   ``(function(arr,n){while(n--){arr.push(arr.shift());}})(arr, n)``
+   rotator (rotate-left by ``n``),
+3. replaces every ``accessor(0x1f)`` call site with the recovered string
+   literal (base64-decoding when the accessor routes through ``atob``),
+4. drops the array declaration, the accessor function, and the rotator.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+
+from repro.deob.base import DeobPass, PassContext, PassResult
+from repro.js.ast_nodes import Node, clone
+from repro.js.builder import string
+from repro.js.visitor import NodeTransformer, walk
+
+
+def _literal_int(node: Node | None) -> int | None:
+    if (
+        node is not None
+        and node.type == "Literal"
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and float(node.value).is_integer()
+    ):
+        return int(node.value)
+    return None
+
+
+def _array_strings(declarator: Node) -> list[str] | None:
+    """The stored strings of ``var arr = ["a", "b", …]``, or None."""
+    init = declarator.get("init")
+    if init is None or init.type != "ArrayExpression":
+        return None
+    values: list[str] = []
+    for element in init.elements:
+        if element is None or element.type != "Literal" or not isinstance(element.value, str):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _rotation_amount(statement: Node, array_name: str) -> int | None:
+    """Rotate-left count of a push/shift rotator IIFE over ``array_name``."""
+    if statement.type != "ExpressionStatement":
+        return None
+    call = statement.expression
+    if call.type != "CallExpression" or len(call.arguments) != 2:
+        return None
+    if call.callee.type != "FunctionExpression":
+        return None
+    target, amount = call.arguments
+    if target.type != "Identifier" or target.name != array_name:
+        return None
+    count = _literal_int(amount)
+    if count is None:
+        return None
+    has_push_shift = any(
+        node.type == "CallExpression"
+        and node.callee.type == "MemberExpression"
+        and node.callee.property.type == "Identifier"
+        and node.callee.property.name == "push"
+        and len(node.arguments) == 1
+        and node.arguments[0].type == "CallExpression"
+        and node.arguments[0].callee.type == "MemberExpression"
+        and node.arguments[0].callee.property.type == "Identifier"
+        and node.arguments[0].callee.property.name == "shift"
+        for node in walk(call.callee.body)
+    )
+    return count if has_push_shift else None
+
+
+def _decode_base64(value: str) -> str | None:
+    try:
+        return base64.b64decode(value.encode("ascii"), validate=True).decode("utf-8")
+    except (binascii.Error, UnicodeDecodeError, ValueError):
+        return None
+
+
+class _Plan:
+    """One fully-resolved array: strings by call-site index, dead names."""
+
+    def __init__(self, accessor: str, offset: int, values: dict[int, str], array: str):
+        self.accessor = accessor
+        self.offset = offset
+        self.values = values
+        self.array = array
+
+
+class _Inliner(NodeTransformer):
+    def __init__(self, plans: dict[str, _Plan], dead_arrays: set[str]):
+        self.plans = plans
+        self.dead_arrays = dead_arrays
+        self.rewrites = 0
+        self.unresolved: set[str] = set()
+
+    def visit_CallExpression(self, node: Node) -> Node | None:
+        callee = node.callee
+        if callee.type != "Identifier" or callee.name not in self.plans:
+            return None
+        plan = self.plans[callee.name]
+        if len(node.arguments) != 1:
+            self.unresolved.add(callee.name)
+            return None
+        index = _literal_int(node.arguments[0])
+        if index is None or index not in plan.values:
+            self.unresolved.add(callee.name)
+            return None
+        self.rewrites += 1
+        return string(plan.values[index])
+
+
+class _DeclDropper(NodeTransformer):
+    """Remove the array/accessor declarations and rotator statements."""
+
+    def __init__(self, arrays: set[str], accessors: set[str]):
+        self.arrays = arrays
+        self.accessors = accessors
+        self.removed = 0
+
+    def visit_FunctionDeclaration(self, node: Node) -> object | None:
+        identifier = node.get("id")
+        if identifier is not None and identifier.name in self.accessors:
+            self.removed += 1
+            return NodeTransformer.REMOVE
+        return None
+
+    def visit_VariableDeclaration(self, node: Node) -> object | None:
+        kept = [
+            declarator
+            for declarator in node.declarations
+            if not (
+                declarator.id.type == "Identifier"
+                and declarator.id.name in self.arrays
+                and declarator.get("init") is not None
+                and declarator.init.type == "ArrayExpression"
+            )
+        ]
+        if len(kept) == len(node.declarations):
+            return None
+        self.removed += len(node.declarations) - len(kept)
+        if not kept:
+            return NodeTransformer.REMOVE
+        node.declarations = kept
+        return None
+
+    def visit_ExpressionStatement(self, node: Node) -> object | None:
+        for array_name in self.arrays:
+            if _rotation_amount(node, array_name) is not None:
+                self.removed += 1
+                return NodeTransformer.REMOVE
+        return None
+
+
+class StringArrayInlinePass(DeobPass):
+    name = "string-array-inline"
+    techniques = ("global_array",)
+
+    def rewrite(self, program: Node, ctx: PassContext) -> PassResult:
+        plans: dict[str, _Plan] = {}
+        for evidence in ctx.string_array_evidence():
+            if evidence.accessor is None or evidence.offset is None:
+                continue
+            declarator = self._find_array_declarator(program, evidence.array)
+            if declarator is None:
+                continue
+            stored = _array_strings(declarator)
+            if stored is None:
+                continue
+            rotation = self._find_rotation(program, evidence.array)
+            if rotation and len(stored) > 1:
+                shift = rotation % len(stored)
+                stored = stored[shift:] + stored[:shift]
+            if evidence.encoded:
+                decoded = [_decode_base64(value) for value in stored]
+                if any(value is None for value in decoded):
+                    continue
+                stored = [value for value in decoded if value is not None]
+            values = {
+                index + evidence.offset: value for index, value in enumerate(stored)
+            }
+            plans[evidence.accessor] = _Plan(
+                evidence.accessor, evidence.offset, values, evidence.array
+            )
+        if not plans:
+            return PassResult(program)
+
+        work = clone(program)
+        inliner = _Inliner(plans, {plan.array for plan in plans.values()})
+        work = inliner.transform(work)
+        if inliner.rewrites == 0:
+            return PassResult(program)
+        # Only drop machinery whose every call site was resolved.
+        resolved = {
+            name: plan for name, plan in plans.items() if name not in inliner.unresolved
+        }
+        dropper = _DeclDropper(
+            arrays={plan.array for plan in resolved.values()},
+            accessors=set(resolved),
+        )
+        work = dropper.transform(work)
+        return PassResult(work, inliner.rewrites + dropper.removed)
+
+    @staticmethod
+    def _find_array_declarator(program: Node, array_name: str) -> Node | None:
+        for node in walk(program):
+            if (
+                node.type == "VariableDeclarator"
+                and node.id.type == "Identifier"
+                and node.id.name == array_name
+            ):
+                return node
+        return None
+
+    @staticmethod
+    def _find_rotation(program: Node, array_name: str) -> int:
+        for statement in program.body:
+            amount = _rotation_amount(statement, array_name)
+            if amount is not None:
+                return amount
+        return 0

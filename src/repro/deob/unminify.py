@@ -1,0 +1,107 @@
+"""Minifier-idiom expansion (inverts ``minification_advanced`` tells).
+
+Rewrites the Closure-class compression idioms back to readable form:
+``!0``/``!1`` → ``true``/``false``, ``void 0`` → ``undefined``, and
+statement-level sequence expressions back into separate statements.
+Layout normalization itself is free — the engine always emits pretty
+output — so this pass only has to undo the AST-level fingerprints.
+"""
+
+from __future__ import annotations
+
+from repro.deob.base import DeobPass, PassContext, PassResult
+from repro.js.ast_nodes import Node, clone
+from repro.js.builder import expr_statement, identifier, literal
+from repro.js.visitor import NodeTransformer, walk
+
+
+def _is_void_zero(node: Node) -> bool:
+    return (
+        node.type == "UnaryExpression"
+        and node.operator == "void"
+        and node.argument.type == "Literal"
+        and node.argument.value == 0
+    )
+
+
+def _bang_literal(node: Node) -> bool | None:
+    """``!0`` → True, ``!1`` → False, anything else → None."""
+    if (
+        node.type == "UnaryExpression"
+        and node.operator == "!"
+        and node.argument.type == "Literal"
+        and isinstance(node.argument.value, (int, float))
+        and not isinstance(node.argument.value, bool)
+        and node.argument.value in (0, 1)
+    ):
+        return node.argument.value == 0
+    return None
+
+
+class _Expander(NodeTransformer):
+    def __init__(self) -> None:
+        self.rewrites = 0
+
+    def visit_UnaryExpression(self, node: Node) -> Node | None:
+        bang = _bang_literal(node)
+        if bang is not None:
+            self.rewrites += 1
+            return literal(bang, raw="true" if bang else "false")
+        if _is_void_zero(node):
+            self.rewrites += 1
+            return identifier("undefined")
+        return None
+
+    def _split_sequences(self, body: list[Node]) -> list[Node]:
+        # Only statement-list positions can absorb the extra statements —
+        # an `if (x) (a, b);` consequent stays a single statement.
+        out: list[Node] = []
+        for statement in body:
+            if (
+                statement.type == "ExpressionStatement"
+                and statement.expression.type == "SequenceExpression"
+            ):
+                self.rewrites += 1
+                out.extend(
+                    expr_statement(expression)
+                    for expression in statement.expression.expressions
+                )
+            else:
+                out.append(statement)
+        return out
+
+    def visit_BlockStatement(self, node: Node) -> Node | None:
+        node.body = self._split_sequences(node.body)
+        return None
+
+    def visit_Program(self, node: Node) -> Node | None:
+        node.body = self._split_sequences(node.body)
+        return None
+
+
+def _would_expand(program: Node) -> bool:
+    for node in walk(program):
+        if node.type == "UnaryExpression" and (
+            _bang_literal(node) is not None or _is_void_zero(node)
+        ):
+            return True
+        if (
+            node.type == "ExpressionStatement"
+            and node.expression.type == "SequenceExpression"
+        ):
+            return True
+    return False
+
+
+class UnminifyPass(DeobPass):
+    name = "unminify"
+    techniques = ("minification_advanced", "minification_simple")
+
+    def rewrite(self, program: Node, ctx: PassContext) -> PassResult:
+        if not _would_expand(program):
+            return PassResult(program)
+        expander = _Expander()
+        work = expander.transform(clone(program))
+        if expander.rewrites == 0:
+            return PassResult(program)
+        return PassResult(work, expander.rewrites)

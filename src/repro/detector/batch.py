@@ -82,6 +82,14 @@ class BatchStats:
     rules_time: float = 0.0
     #: findings per rule id across the whole batch
     rule_hits: dict[str, int] = field(default_factory=dict)
+    #: files normalized through the deobfuscation pipeline (``deob=True``)
+    deob_files: int = 0
+    #: deob pass applications across the batch (pass fired and changed code)
+    deob_passes: int = 0
+    #: technique signatures removed by normalization across the batch
+    deob_removals: int = 0
+    #: wall time spent inside the deobfuscation engine
+    deob_time: float = 0.0
 
     @property
     def triage_rate(self) -> float:
@@ -247,6 +255,7 @@ class BatchInferenceEngine:
         self.rules = rule_engine or default_engine()
         self._cache: OrderedDict[str, _Outcome] = OrderedDict()
         self._token_extractor = None
+        self._deob_engine = None
 
     @property
     def token_extractor(self):
@@ -256,6 +265,15 @@ class BatchInferenceEngine:
 
             self._token_extractor = TokenFeatureExtractor()
         return self._token_extractor
+
+    @property
+    def deob_engine(self):
+        """Lazily-built shared :class:`~repro.deob.engine.DeobEngine`."""
+        if self._deob_engine is None:
+            from repro.deob import DeobEngine
+
+            self._deob_engine = DeobEngine(rules=self.rules)
+        return self._deob_engine
 
     # -- cache ---------------------------------------------------------------
 
@@ -465,13 +483,36 @@ class BatchInferenceEngine:
         sources: list[str],
         k: int = DEFAULT_K,
         threshold: float = DEFAULT_THRESHOLD,
+        deob: bool = False,
     ) -> BatchResult:
-        """Two-level classification of a batch with per-file fault isolation."""
+        """Two-level classification of a batch with per-file fault isolation.
+
+        ``deob=True`` first normalizes every script through the shared
+        :class:`~repro.deob.engine.DeobEngine` (never raises; a script the
+        deobfuscator cannot improve passes through unchanged), classifies
+        the normal forms, and attaches each
+        :class:`~repro.deob.engine.DeobResult` to its
+        :class:`DetectionResult`.
+        """
         from repro.detector.pipeline import DetectionResult
 
         t0 = time.perf_counter()
         stats = BatchStats(files=len(sources), n_workers=self.n_workers)
         results: list[Any] = [None] * len(sources)
+
+        deob_results = None
+        if deob:
+            t_deob = time.perf_counter()
+            deob_results = [self.deob_engine.run(source) for source in sources]
+            sources = [outcome.source for outcome in deob_results]
+            stats.deob_files = len(sources)
+            stats.deob_passes = sum(
+                len(outcome.report.passes_applied) for outcome in deob_results
+            )
+            stats.deob_removals = sum(
+                len(outcome.report.techniques_removed) for outcome in deob_results
+            )
+            stats.deob_time = time.perf_counter() - t_deob
 
         if self.triage != "off":
             t_rules = time.perf_counter()
@@ -527,6 +568,10 @@ class BatchInferenceEngine:
                         findings=findings,
                     )
             stats.predict_time = time.perf_counter() - t_predict
+
+        if deob_results is not None:
+            for result, outcome in zip(results, deob_results):
+                result.deob = outcome
 
         for result in results:
             if result.ok:

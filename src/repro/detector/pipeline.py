@@ -12,6 +12,7 @@ import pickle
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.detector.batch import BatchInferenceEngine, BatchResult, DetectionError
 from repro.detector.level1 import Level1Detector
@@ -19,6 +20,9 @@ from repro.detector.level2 import Level2Detector
 from repro.detector.training import TrainingData
 from repro.features.extractor import FeatureExtractor
 from repro.rules.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deob.engine import DeobResult
 
 #: Bump when the pickled artifact layout (or the feature spaces it embeds)
 #: changes incompatibly; ``load()`` refuses other versions up front.
@@ -48,7 +52,10 @@ class DetectionResult:
     not be classified — batch runs isolate per-file failures instead of
     raising.  ``findings`` carries the signature-engine evidence for the
     verdict (rule hits with locations); ``triaged`` marks results decided
-    by the rules-only path without model inference.
+    by the rules-only path without model inference.  When the batch ran
+    with ``deob=True``, ``deob`` carries the deobfuscation outcome
+    (normalized source plus report) and the verdict describes the
+    *normalized* script.
     """
 
     level1: set[str]
@@ -57,6 +64,7 @@ class DetectionResult:
     error: DetectionError | None = None
     findings: list[Finding] = field(default_factory=list)
     triaged: bool = False
+    deob: "DeobResult | None" = None
 
     @property
     def ok(self) -> bool:
@@ -131,9 +139,20 @@ class TransformationDetector:
 
     # -- inference -------------------------------------------------------------
 
-    def classify(self, source: str, k: int = 4, threshold: float = 0.10) -> DetectionResult:
-        """Two-stage classification of one script."""
-        return self.classify_many([source], k=k, threshold=threshold)[0]
+    def classify(
+        self,
+        source: str,
+        k: int = 4,
+        threshold: float = 0.10,
+        deob: bool = False,
+    ) -> DetectionResult:
+        """Two-stage classification of one script.
+
+        ``deob=True`` normalizes the script through the deobfuscation
+        pipeline first; the verdict then describes the normal form and
+        ``result.deob`` carries the normalized source and report.
+        """
+        return self.classify_many([source], k=k, threshold=threshold, deob=deob)[0]
 
     def classify_many(
         self,
@@ -141,6 +160,7 @@ class TransformationDetector:
         k: int = 4,
         threshold: float = 0.10,
         n_workers: int = 1,
+        deob: bool = False,
     ) -> list[DetectionResult]:
         """Classify a batch; level 2 runs only on level-1-flagged files.
 
@@ -150,7 +170,7 @@ class TransformationDetector:
         ``n_workers > 1`` extracts features across a process pool.
         """
         return self.classify_batch(
-            sources, k=k, threshold=threshold, n_workers=n_workers
+            sources, k=k, threshold=threshold, n_workers=n_workers, deob=deob
         ).results
 
     def classify_batch(
@@ -160,11 +180,12 @@ class TransformationDetector:
         threshold: float = 0.10,
         n_workers: int = 1,
         engine: BatchInferenceEngine | None = None,
+        deob: bool = False,
     ) -> BatchResult:
         """Like :meth:`classify_many` but also returns :class:`BatchStats`."""
         if engine is None:
             engine = BatchInferenceEngine(self, n_workers=n_workers)
-        return engine.classify(sources, k=k, threshold=threshold)
+        return engine.classify(sources, k=k, threshold=threshold, deob=deob)
 
     def batch_engine(self, n_workers: int = 1, **kwargs) -> BatchInferenceEngine:
         """A reusable engine bound to this detector (persistent LRU cache)."""

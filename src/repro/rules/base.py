@@ -12,7 +12,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.rules.context import RuleContext
-from repro.rules.findings import Finding, Location
+from repro.rules.findings import (
+    DispatcherEvidence,
+    Finding,
+    Location,
+    StringArrayEvidence,
+)
 
 STAGE_TEXT = "text"  #: raw source only — no lexing
 STAGE_TOKENS = "tokens"  #: token stream — no parsing
@@ -41,6 +46,8 @@ class Rule(ABC):
         locations: list[Location] | None = None,
         evidence: dict | None = None,
         confidence: float | None = None,
+        dispatcher: DispatcherEvidence | None = None,
+        string_array: StringArrayEvidence | None = None,
     ) -> Finding:
         """Build a finding stamped with this rule's identity."""
         return Finding(
@@ -52,6 +59,8 @@ class Rule(ABC):
             message=message,
             locations=locations or [],
             evidence=evidence or {},
+            dispatcher=dispatcher,
+            string_array=string_array,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

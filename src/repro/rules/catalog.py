@@ -25,7 +25,7 @@ from repro.rules.context import (
     prop_name,
     walk_subtree,
 )
-from repro.rules.findings import Finding
+from repro.rules.findings import DispatcherEvidence, Finding, StringArrayEvidence
 
 _HEX_NAME_RE = re.compile(r"^_0x[0-9a-fA-F]+$")
 _ESCAPE_RE = re.compile(r"\\x[0-9a-fA-F]{2}|\\u[0-9a-fA-F]{4}")
@@ -573,6 +573,14 @@ class StringArrayIndirectionRule(Rule):
                             "encoded": decoded,
                             "call_sites": call_sites,
                         },
+                        string_array=StringArrayEvidence(
+                            array=obj.name,
+                            accessor=accessor.name if accessor is not None else None,
+                            offset=int(offset) if offset is not None else None,
+                            encoded=decoded,
+                            string_count=strings,
+                            call_sites=call_sites,
+                        ),
                     )
                 )
                 break
@@ -703,6 +711,7 @@ class SwitchDispatcherRule(Rule):
                     else None
                 )
                 order_string = None
+                separator = "|"
                 if order_name is not None:
                     for declarator in ctx.nodes("VariableDeclarator"):
                         init = declarator.get("init")
@@ -717,6 +726,12 @@ class SwitchDispatcherRule(Rule):
                             and isinstance(init.callee.object.value, str)
                         ):
                             order_string = init.callee.object.value
+                            if (
+                                len(init.arguments) == 1
+                                and init.arguments[0].type == "Literal"
+                                and isinstance(init.arguments[0].value, str)
+                            ):
+                                separator = init.arguments[0].value
                             break
                 cases = len(statement.cases)
                 has_back_edge = any(
@@ -739,6 +754,12 @@ class SwitchDispatcherRule(Rule):
                         message,
                         locations=[ctx.location(loop), ctx.location(statement)],
                         evidence=evidence,
+                        dispatcher=DispatcherEvidence(
+                            state_variable=order_name,
+                            order_string=order_string,
+                            separator=separator,
+                            case_count=cases,
+                        ),
                     )
                 )
         return findings

@@ -35,6 +35,57 @@ class Location:
         return f"line {self.line}"
 
 
+@dataclass(frozen=True)
+class DispatcherEvidence:
+    """Typed evidence recovered from a control-flow-flattening dispatcher.
+
+    Promoted out of the human-readable message so deobfuscation passes can
+    replay the order string instead of re-deriving it from the AST.
+    """
+
+    state_variable: str | None  #: name bound to ``"2|0|1".split("|")``
+    order_string: str | None  #: the raw order string, e.g. ``"2|0|1"``
+    separator: str  #: split separator (``"|"`` for obfuscator.io shapes)
+    case_count: int  #: number of ``case`` arms in the dispatcher switch
+
+    @property
+    def order(self) -> list[str]:
+        """Case labels in execution order (empty when unrecovered)."""
+        if not self.order_string:
+            return []
+        return self.order_string.split(self.separator)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "state_variable": self.state_variable,
+            "order_string": self.order_string,
+            "separator": self.separator,
+            "case_count": self.case_count,
+        }
+
+
+@dataclass(frozen=True)
+class StringArrayEvidence:
+    """Typed evidence for a global string array behind an offset accessor."""
+
+    array: str  #: identifier bound to the string array
+    accessor: str | None  #: offset accessor function name (None if anonymous)
+    offset: int | None  #: index offset subtracted inside the accessor
+    encoded: bool  #: True when values route through atob()/unescape()
+    string_count: int  #: string literals stored in the array
+    call_sites: int  #: accessor call sites observed in the file
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "array": self.array,
+            "accessor": self.accessor,
+            "offset": self.offset,
+            "encoded": self.encoded,
+            "string_count": self.string_count,
+            "call_sites": self.call_sites,
+        }
+
+
 @dataclass
 class Finding:
     """One signature hit: rule identity, technique label, evidence.
@@ -42,6 +93,10 @@ class Finding:
     ``technique`` is a :class:`repro.transform.base.Technique` value (the
     level-2 vocabulary), which is what lets the triage path synthesise a
     :class:`~repro.detector.pipeline.DetectionResult` from findings alone.
+
+    ``dispatcher`` and ``string_array`` carry machine-consumable evidence
+    for the deobfuscation passes (``repro.deob``); the ``evidence`` dict
+    remains the free-form human-facing channel.
     """
 
     rule_id: str  #: stable identifier, e.g. "R003"
@@ -52,9 +107,11 @@ class Finding:
     message: str  #: one-line human-readable evidence summary
     locations: list[Location] = field(default_factory=list)
     evidence: dict[str, Any] = field(default_factory=dict)
+    dispatcher: DispatcherEvidence | None = None
+    string_array: StringArrayEvidence | None = None
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "rule_id": self.rule_id,
             "name": self.name,
             "technique": self.technique,
@@ -64,6 +121,11 @@ class Finding:
             "locations": [location.to_json() for location in self.locations],
             "evidence": self.evidence,
         }
+        if self.dispatcher is not None:
+            payload["dispatcher"] = self.dispatcher.to_json()
+        if self.string_array is not None:
+            payload["string_array"] = self.string_array.to_json()
+        return payload
 
     def __str__(self) -> str:
         where = f" ({self.locations[0]})" if self.locations else ""

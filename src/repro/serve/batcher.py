@@ -40,6 +40,21 @@ class _Item:
     source: str
     future: asyncio.Future
     enqueued_at: float
+    deob: bool = False
+
+
+def _classify_split(engine, plain: list[_Item], deob: list[_Item], k, threshold) -> dict:
+    """Run the plain and deob sub-batches; detections keyed by ``id(item)``."""
+    detections: dict[int, object] = {}
+    for items, normalize in ((plain, False), (deob, True)):
+        if not items:
+            continue
+        batch = engine.classify(
+            [item.source for item in items], k=k, threshold=threshold, deob=normalize
+        )
+        for item, detection in zip(items, batch.results):
+            detections[id(item)] = detection
+    return detections
 
 
 class MicroBatcher:
@@ -95,14 +110,19 @@ class MicroBatcher:
 
     # -- producer side ---------------------------------------------------------
 
-    def submit(self, source: str) -> asyncio.Future:
-        """Enqueue one script; resolves to ``(DetectionResult, model_version)``."""
+    def submit(self, source: str, deob: bool = False) -> asyncio.Future:
+        """Enqueue one script; resolves to ``(DetectionResult, model_version)``.
+
+        ``deob=True`` scripts are normalized through the deobfuscation
+        pipeline before classification (they still share the same queue
+        and batches with plain scripts).
+        """
         if self._closed:
             raise BatcherClosedError("service is draining")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         try:
-            self._queue.put_nowait(_Item(source, future, loop.time()))
+            self._queue.put_nowait(_Item(source, future, loop.time(), deob=deob))
         except asyncio.QueueFull:
             self.metrics.inc("queue_rejections_total")
             raise QueueFullError(
@@ -143,18 +163,25 @@ class MicroBatcher:
             model = self.registry.acquire()
             self.metrics.set_gauge("inference_busy", 1)
             try:
-                result = await loop.run_in_executor(
+                # One executor job classifies the whole batch; deob-flagged
+                # scripts run as their own sub-batch so the engine only
+                # pays for normalization where it was requested.
+                plain = [item for item in live if not item.deob]
+                deob = [item for item in live if item.deob]
+                detections = await loop.run_in_executor(
                     self._executor,
                     partial(
-                        model.engine.classify,
-                        [item.source for item in live],
-                        k=self.k,
-                        threshold=self.threshold,
+                        _classify_split,
+                        model.engine,
+                        plain,
+                        deob,
+                        self.k,
+                        self.threshold,
                     ),
                 )
-                for item, detection in zip(live, result.results):
+                for item in live:
                     if not item.future.done():
-                        item.future.set_result((detection, model.version))
+                        item.future.set_result((detections[id(item)], model.version))
                         self.metrics.observe(
                             "request_latency_s", loop.time() - item.enqueued_at
                         )

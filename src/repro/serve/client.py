@@ -85,11 +85,19 @@ class ServeClient:
 
     # -- API -------------------------------------------------------------------
 
-    def classify(self, scripts: list[str] | str) -> list[dict]:
-        """Classify one script or a list; returns per-script result dicts."""
+    def classify(self, scripts: list[str] | str, deob: bool = False) -> list[dict]:
+        """Classify one script or a list; returns per-script result dicts.
+
+        ``deob=True`` asks the service to normalize each script through
+        the deobfuscation pipeline first; each result then carries a
+        ``deob`` block (normalized source + report).
+        """
         if isinstance(scripts, str):
             scripts = [scripts]
-        return self._checked("POST", "/classify", {"scripts": scripts})["results"]
+        payload: dict = {"scripts": scripts}
+        if deob:
+            payload["deob"] = True
+        return self._checked("POST", "/classify", payload)["results"]
 
     def healthz(self) -> dict:
         return self._checked("GET", "/healthz")

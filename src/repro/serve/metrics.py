@@ -107,6 +107,9 @@ class MetricsRegistry:
                 ("cache_hits_total", stats.cache_hits),
                 ("df_timeouts_total", stats.df_timeouts),
                 ("triage_short_circuits_total", stats.triage_hits),
+                ("deob_files_total", stats.deob_files),
+                ("deob_passes_total", stats.deob_passes),
+                ("deob_removals_total", stats.deob_removals),
             ]
             # Per-rule hit counters from the signature engine, labelled in
             # the flat `name{label=value}` convention.
@@ -125,6 +128,7 @@ class MetricsRegistry:
                 ("extract_s", stats.extract_time),
                 ("predict_s", stats.predict_time),
                 ("rules_s", stats.rules_time),
+                ("deob_s", stats.deob_time),
             ):
                 histogram = self._histograms.get(name)
                 if histogram is None:

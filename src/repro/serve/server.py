@@ -6,6 +6,9 @@ Routes
 - ``POST /classify`` — ``{"script": "..."}`` or ``{"scripts": [...]}``;
   scripts join the shared micro-batch queue and the response carries one
   structured result (or structured error) per script, in order.
+  ``"deob": true`` normalizes each script through the deobfuscation
+  pipeline first; results then describe the normal form and carry a
+  ``deob`` block with the normalized source and pass report.
 - ``GET /model`` — version/provenance of the served model.
 - ``POST /admin/reload`` — atomic hot-reload (optional ``{"path": ...}``).
 - ``GET /healthz`` — liveness (503 while draining).
@@ -81,6 +84,12 @@ def _result_json(
     if explain:
         payload["triaged"] = result.triaged
         payload["findings"] = [finding.to_json() for finding in result.findings]
+    if result.deob is not None:
+        payload["deob"] = {
+            "source": result.deob.source,
+            "changed": result.deob.changed,
+            "report": result.deob.report.to_json(),
+        }
     return payload
 
 
@@ -244,11 +253,14 @@ class DetectionServer:
         explain = payload.get("explain", False)
         if not isinstance(explain, bool):
             raise ProtocolError(400, "bad_field", "'explain' must be a boolean")
+        deob = payload.get("deob", False)
+        if not isinstance(deob, bool):
+            raise ProtocolError(400, "bad_field", "'deob' must be a boolean")
 
         futures: list[asyncio.Future] = []
         try:
             for script in scripts:
-                futures.append(self.batcher.submit(script))
+                futures.append(self.batcher.submit(script, deob=deob))
         except QueueFullError as error:
             for future in futures:  # partially enqueued request: withdraw it
                 future.cancel()

@@ -177,6 +177,33 @@ class JSFuckEncoder:
         return self._function_constructor() + "(" + payload + ")()"
 
 
+def _truncate_at_parse_boundary(minified: str, limit: int) -> str:
+    """The longest prefix up to ``limit`` chars that is a valid program.
+
+    A bare ``rfind(";")`` cut can land inside a ``for(;;)`` header and
+    encode a payload that is not executable JS; candidate cuts are tried
+    longest-first and validated with a real parse.
+    """
+    from repro.js.parser import parse
+
+    cuts = sorted(
+        {
+            index + 1
+            for index, char in enumerate(minified[:limit])
+            if char in ";}"
+        },
+        reverse=True,
+    )
+    for cut in cuts[:25]:
+        prefix = minified[:cut]
+        try:
+            parse(prefix)
+        except Exception:
+            continue
+        return prefix
+    return minified[:limit]
+
+
 class NoAlphanumericObfuscator(Transformer):
     """JSFuck-style whole-script encoding into ``[]()!+``."""
 
@@ -192,8 +219,7 @@ class NoAlphanumericObfuscator(Transformer):
     def transform(self, source: str, rng: random.Random) -> str:
         minified = SimpleMinifier().transform(source, rng)
         if len(minified) > self.max_input_chars:
-            cut = minified.rfind(";", 0, self.max_input_chars)
-            minified = minified[: cut + 1] if cut > 0 else minified[: self.max_input_chars]
+            minified = _truncate_at_parse_boundary(minified, self.max_input_chars)
         encoder = JSFuckEncoder()
         return encoder.encode_program(minified)
 

@@ -1,10 +1,13 @@
 """Code generation tests: output shape and parse/generate round-trips."""
 
+import random
+
 import pytest
 
 from repro.js.ast_nodes import to_dict
 from repro.js.codegen import generate
 from repro.js.parser import parse
+from repro.transform.base import TECHNIQUES, get_transformer
 
 
 def strip_positions(data):
@@ -140,3 +143,22 @@ class TestOutputShape:
         reference = strip_positions(to_dict(parse(source)))
         regenerated = generate(parse(source))
         assert strip_positions(to_dict(parse(regenerated))) == reference
+
+
+class TestTransformedCorpusRoundTrip:
+    """Property test: every transformer's output survives parse→generate→parse.
+
+    The deobfuscation engine re-parses its own codegen output each fixpoint
+    iteration, so the generator must round-trip structurally on everything
+    the transformation corpus can produce — including JSFuck payloads and
+    aggressively minified one-liners.
+    """
+
+    @pytest.mark.parametrize(
+        "technique", list(TECHNIQUES), ids=[t.value for t in TECHNIQUES]
+    )
+    def test_transformed_corpus_roundtrips(self, technique, regular_corpus):
+        transformer = get_transformer(technique)
+        rng = random.Random(2024)
+        for source in regular_corpus[:4]:
+            assert_roundtrip(transformer.transform(source, rng))

@@ -1,0 +1,287 @@
+"""Deobfuscation engine: per-technique round-trips, fixpoint behaviour,
+safety budgets, pass purity, and the batch/CLI integration surface."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.deob import (
+    REMOVAL_THRESHOLD,
+    Budget,
+    DeobEngine,
+    default_passes,
+    deobfuscate,
+)
+from repro.deob.base import PassContext
+from repro.deob.score import round_trip, rules_classifier
+from repro.detector.batch import BatchInferenceEngine
+from repro.js.ast_nodes import to_dict
+from repro.js.codegen import generate
+from repro.js.parser import parse
+from repro.rules.engine import default_engine
+from repro.transform import TransformationPipeline
+from repro.transform.base import TECHNIQUES, Technique, get_transformer
+
+TECHNIQUE_IDS = [technique.value for technique in TECHNIQUES]
+
+
+@pytest.fixture(scope="module")
+def deob_source() -> str:
+    """One corpus script large enough for every signature rule to fire."""
+    return generate_corpus(1, seed=7, min_bytes=1200)[0]
+
+
+@pytest.fixture(scope="module")
+def engine() -> DeobEngine:
+    return DeobEngine()
+
+
+def _confidence(source: str, technique: Technique) -> float:
+    return rules_classifier()(source).get(technique.value, 0.0)
+
+
+class TestTechniqueRoundTrips:
+    """transform → deob → re-classify for every monitored technique."""
+
+    @pytest.mark.parametrize("technique", list(TECHNIQUES), ids=TECHNIQUE_IDS)
+    def test_technique_removed(self, technique, deob_source, engine):
+        transformed = get_transformer(technique).transform(
+            deob_source, random.Random(99)
+        )
+        assert _confidence(transformed, technique) >= REMOVAL_THRESHOLD, (
+            "precondition: the transformed sample must be evidenced"
+        )
+        result = engine.run(transformed)
+        assert result.report.error is None
+        assert technique.value in result.report.techniques_removed
+        assert _confidence(result.source, technique) < REMOVAL_THRESHOLD
+
+    @pytest.mark.parametrize("technique", list(TECHNIQUES), ids=TECHNIQUE_IDS)
+    def test_normal_form_is_stable(self, technique, deob_source, engine):
+        """The emitted source re-parses, and regenerating is bit-identical."""
+        transformed = get_transformer(technique).transform(
+            deob_source, random.Random(99)
+        )
+        normalized = engine.run(transformed).source
+        assert generate(parse(normalized)) == normalized
+
+    def test_score_module_round_trip(self, deob_source):
+        report = round_trip(
+            [deob_source],
+            techniques=[Technique.GLOBAL_ARRAY, Technique.DEAD_CODE_INJECTION],
+            seed=5,
+        )
+        entry = report.techniques["global_array"]
+        assert entry.samples == 1
+        assert entry.removal_rate == 1.0
+        assert entry.reparse_rate == 1.0
+        assert entry.mean_lift > 0
+        payload = report.to_json()
+        assert payload["mean_removal_rate"] == 1.0
+        assert set(payload["techniques"]) == {"global_array", "dead_code_injection"}
+
+
+class TestFixpoint:
+    def test_stacked_techniques_terminate_and_normalize(self, deob_source, engine):
+        """Pass interaction: three stacked techniques converge to fixpoint."""
+        pipeline = TransformationPipeline(
+            [
+                "dead_code_injection",
+                "string_obfuscation",
+                "identifier_obfuscation",
+            ]
+        )
+        transformed = pipeline.transform(deob_source, random.Random(31))
+        result = engine.run(transformed)
+        assert result.report.error is None
+        assert result.report.bailed is None
+        assert result.report.iterations <= engine.budget.max_iterations
+        assert result.report.techniques_removed  # at least one layer peeled
+        assert generate(parse(result.source)) == result.source
+
+    def test_idempotent_on_normal_form(self, deob_source, engine):
+        """Running deob on its own output is a no-op."""
+        transformed = get_transformer(Technique.GLOBAL_ARRAY).transform(
+            deob_source, random.Random(99)
+        )
+        normalized = engine.run(transformed).source
+        again = engine.run(normalized)
+        assert again.source == normalized
+        assert not again.changed
+
+    def test_plain_code_passes_through(self, engine):
+        source = "function add(a, b) {\n  return a + b;\n}\n"
+        result = engine.run(source)
+        assert result.report.error is None
+        assert result.report.techniques_removed == []
+
+
+class TestBudgets:
+    def test_node_budget_leaves_input_unchanged(self, deob_source):
+        result = DeobEngine(budget=Budget(max_nodes=5)).run(deob_source)
+        assert result.report.bailed == "node-budget"
+        assert result.source == deob_source
+        assert not result.changed
+
+    def test_time_budget_runs_no_passes(self, deob_source):
+        result = DeobEngine(budget=Budget(max_seconds=0.0)).run(deob_source)
+        assert result.report.bailed == "time-budget"
+        assert result.report.passes_applied == []
+
+    def test_eval_depth_budget_blocks_unwrap(self, deob_source, engine):
+        transformed = get_transformer(Technique.NO_ALPHANUMERIC).transform(
+            deob_source, random.Random(99)
+        )
+        blocked = DeobEngine(budget=Budget(max_eval_depth=0)).run(transformed)
+        assert blocked.report.eval_unwraps == 0
+        assert "no_alphanumeric" not in blocked.report.techniques_removed
+        # sanity: with the default depth the same input does unwrap
+        assert engine.run(transformed).report.eval_unwraps >= 1
+
+    def test_iteration_budget_reports_bail(self, deob_source):
+        transformed = get_transformer(Technique.GLOBAL_ARRAY).transform(
+            deob_source, random.Random(99)
+        )
+        result = DeobEngine(budget=Budget(max_iterations=1)).run(transformed)
+        assert result.report.bailed == "iteration-budget"
+        assert result.report.error is None
+
+
+class TestAdversarialInputs:
+    def test_unparseable_input_is_returned_verbatim(self, engine):
+        broken = "function ((( not javascript"
+        result = engine.run(broken)
+        assert result.report.error is not None
+        assert result.source == broken
+        assert not result.changed
+
+    def test_malformed_eval_payload_left_in_place(self, engine):
+        source = 'eval("function ((( {");\nvar keep = 1;\n'
+        result = engine.run(source)
+        assert result.report.error is None
+        assert any("did not re-parse" in note for note in result.report.notes)
+        assert "eval" in result.source
+        assert "keep" in result.source
+
+    def test_empty_and_trivial_inputs(self, engine):
+        for source in ("", ";", "// only a comment\n"):
+            result = engine.run(source)
+            assert result.report.error is None
+
+
+class TestPassPurity:
+    """Passes must never mutate the input AST (`scripts/lint.sh` gate)."""
+
+    @pytest.mark.parametrize("technique", list(TECHNIQUES), ids=TECHNIQUE_IDS)
+    def test_passes_return_fresh_trees(self, technique, sample_source):
+        transformed = get_transformer(technique).transform(
+            sample_source, random.Random(3)
+        )
+        program = parse(transformed)
+        snapshot = to_dict(program)
+        findings = default_engine().analyze_source(transformed, data_flow=False)
+        ctx = PassContext(source=transformed, findings=findings)
+        for deob_pass in default_passes():
+            deob_pass.rewrite(program, ctx)
+            assert to_dict(program) == snapshot, (
+                f"{deob_pass.name} mutated its input AST"
+            )
+
+
+class TestTypedEvidence:
+    """Satellite: dispatcher/string-array evidence as typed Finding fields."""
+
+    def test_dispatcher_evidence_fields(self, deob_source):
+        transformed = get_transformer(Technique.CONTROL_FLOW_FLATTENING).transform(
+            deob_source, random.Random(99)
+        )
+        findings = default_engine().analyze_source(transformed, data_flow=False)
+        evidence = [f.dispatcher for f in findings if f.dispatcher is not None]
+        assert evidence, "R009 should expose typed dispatcher evidence"
+        dispatcher = evidence[0]
+        assert dispatcher.state_variable
+        assert dispatcher.order == dispatcher.order_string.split(dispatcher.separator)
+        assert dispatcher.case_count == len(set(dispatcher.order))
+        assert dispatcher.to_json()["order_string"] == dispatcher.order_string
+
+    def test_string_array_evidence_fields(self, deob_source):
+        transformed = get_transformer(Technique.GLOBAL_ARRAY).transform(
+            deob_source, random.Random(99)
+        )
+        findings = default_engine().analyze_source(transformed, data_flow=False)
+        evidence = [f.string_array for f in findings if f.string_array is not None]
+        assert evidence, "R006 should expose typed string-array evidence"
+        array = evidence[0]
+        assert array.array
+        assert array.string_count > 0
+        assert array.to_json()["array"] == array.array
+
+
+class TestIntegration:
+    def test_batch_engine_deob_flag(self, deob_source):
+        """Model-free batch classify with deob=True attaches DeobResults."""
+        transformed = get_transformer(Technique.CONTROL_FLOW_FLATTENING).transform(
+            deob_source, random.Random(5)
+        )
+        engine = BatchInferenceEngine(None, triage="only")
+        batch = engine.classify([transformed, deob_source], deob=True)
+        flagged, plain = batch.results
+        assert flagged.deob is not None
+        assert "control_flow_flattening" in flagged.deob.report.techniques_removed
+        # the verdict describes the normal form, so the dispatcher rule is gone
+        assert all(name != "control_flow_flattening" for name, _ in flagged.techniques)
+        assert plain.deob is not None
+        assert batch.stats.deob_files == 2
+        assert batch.stats.deob_removals >= 1
+        assert batch.stats.deob_time > 0
+
+    def test_batch_engine_without_deob_has_no_results(self, deob_source):
+        engine = BatchInferenceEngine(None, triage="only")
+        batch = engine.classify([deob_source])
+        assert batch.results[0].deob is None
+        assert batch.stats.deob_files == 0
+
+    def test_deobfuscate_convenience(self, deob_source):
+        transformed = get_transformer(Technique.DEAD_CODE_INJECTION).transform(
+            deob_source, random.Random(99)
+        )
+        result = deobfuscate(transformed)
+        assert "dead_code_injection" in result.report.techniques_removed
+        payload = result.to_json()
+        assert payload["changed"] is True
+        assert payload["report"]["techniques_removed"] == (
+            result.report.techniques_removed
+        )
+
+    def test_cli_deob_command(self, deob_source, tmp_path, capsys):
+        from repro.__main__ import main
+
+        transformed = get_transformer(Technique.GLOBAL_ARRAY).transform(
+            deob_source, random.Random(99)
+        )
+        script = tmp_path / "obf.js"
+        script.write_text(transformed)
+        out = tmp_path / "normalized.js"
+        assert main(["deob", str(script), "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "techniques removed" in captured.err
+        normalized = out.read_text()
+        assert generate(parse(normalized)) == normalized
+
+    def test_cli_classify_deob_flag(self, deob_source, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        transformed = get_transformer(Technique.CONTROL_FLOW_FLATTENING).transform(
+            deob_source, random.Random(5)
+        )
+        script = tmp_path / "obf.js"
+        script.write_text(transformed)
+        assert main(["classify", "--rules-only", "--deob", "--jsonl", str(script)]) == 0
+        record = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert record["deob"]["changed"] is True
+        assert "control_flow_flattening" in record["deob"]["techniques_removed"]

@@ -46,9 +46,9 @@ class GatedEngine(BatchInferenceEngine):
         super().__init__(detector, **kwargs)
         self.gate = gate
 
-    def classify(self, sources, k=4, threshold=0.10):
+    def classify(self, sources, k=4, threshold=0.10, deob=False):
         assert self.gate.wait(timeout=30), "test gate never opened"
-        return super().classify(sources, k=k, threshold=threshold)
+        return super().classify(sources, k=k, threshold=threshold, deob=deob)
 
 
 @pytest.fixture()
@@ -111,6 +111,38 @@ class TestClassify:
         assert results[1]["ok"] is False
         assert results[1]["error"]["kind"] == "parse"
         assert "message" in results[1]["error"]
+
+    def test_deob_flag_returns_normalized_source(self, client):
+        import random
+
+        from repro.corpus.generator import generate_corpus
+        from repro.transform.base import Technique, get_transformer
+
+        source = generate_corpus(1, seed=7, min_bytes=1200)[0]
+        obfuscated = get_transformer(Technique.CONTROL_FLOW_FLATTENING).transform(
+            source, random.Random(5)
+        )
+        plain, deobbed = client.classify([obfuscated, obfuscated]), client.classify(
+            [obfuscated], deob=True
+        )
+        assert "deob" not in plain[0]
+        result = deobbed[0]
+        assert result["ok"] is True
+        block = result["deob"]
+        assert block["changed"] is True
+        assert "control_flow_flattening" in block["report"]["techniques_removed"]
+        assert block["source"] != obfuscated
+        metrics = client.metrics()
+        assert metrics["counters"]["deob_files_total"] >= 1
+        assert metrics["counters"]["deob_removals_total"] >= 1
+        assert "deob_s" in metrics["histograms"]
+
+    def test_deob_flag_must_be_boolean(self, client):
+        status, payload = client.request(
+            "POST", "/classify", {"scripts": [VALID], "deob": "yes"}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad_field"
 
     def test_concurrent_clients_are_microbatched(self, trained_detector):
         gate = threading.Event()
