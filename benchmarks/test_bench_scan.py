@@ -1,0 +1,74 @@
+"""Crawl-scale scan benchmarks: cold throughput vs. incremental hit rate.
+
+Two numbers feed the ``BENCH_scan.json`` history.  ``files_per_sec`` on
+a cold store is the end-to-end pipeline rate — ingest, hash, triage
+classification, and one atomic store put per unit — the number that
+decides how long a crawl-sized corpus takes on first contact.
+``hit_rate`` on the second pass is the content-addressed store's answer
+rate over an unchanged corpus: the acceptance criterion is ≥99%, which
+turns a re-crawl into a hash-probe loop with near-zero classification
+work (the ``incremental_files_per_sec`` speedup is the payoff).
+"""
+
+import shutil
+
+import pytest
+
+from repro.scan import ScanConfig, ScanCoordinator
+
+N_FILES = 1500
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """Synthetic minified-shaped corpus: what crawl triage mostly sees."""
+    corpus = tmp_path_factory.mktemp("bench_scan") / "corpus"
+    corpus.mkdir()
+    for index in range(N_FILES):
+        (corpus / f"u{index:05d}.js").write_text(
+            f"var v{index}=7;function g{index}(x){{return x?x+{index}:0}};" * 24
+        )
+    return corpus
+
+
+def _config(corpus, store) -> ScanConfig:
+    return ScanConfig(
+        roots=[str(corpus)],
+        store=str(store),
+        shard_size=256,
+        fingerprint=False,
+    )
+
+
+def _throughput(benchmark, n_files: int, key: str = "files_per_sec") -> None:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is not None and mean.mean:
+        benchmark.extra_info[key] = round(n_files / mean.mean, 2)
+
+
+def test_bench_scan_cold(benchmark, corpus_dir, tmp_path):
+    """First-contact scan into an empty store (ingest + classify + persist)."""
+    counter = [0]
+
+    def run():
+        store = tmp_path / f"cold-{counter[0]}"
+        counter[0] += 1
+        shutil.rmtree(store, ignore_errors=True)
+        return ScanCoordinator(_config(corpus_dir, store)).run()
+
+    stats = benchmark(run)
+    assert stats.scanned == N_FILES
+    assert stats.errors == 0
+    _throughput(benchmark, N_FILES)
+
+
+def test_bench_scan_incremental(benchmark, corpus_dir, tmp_path):
+    """Re-scan of an unchanged corpus: the store answers, workers idle."""
+    store = tmp_path / "warm"
+    primed = ScanCoordinator(_config(corpus_dir, store)).run()
+    assert primed.scanned == N_FILES
+
+    stats = benchmark(lambda: ScanCoordinator(_config(corpus_dir, store)).run())
+    assert stats.skip_rate >= 0.99
+    _throughput(benchmark, N_FILES, key="incremental_files_per_sec")
+    benchmark.extra_info["hit_rate"] = round(stats.skip_rate, 4)

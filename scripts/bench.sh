@@ -5,6 +5,7 @@
 #   BENCH_rules.json — benchmarks/test_bench_rules.py (signature engine / triage)
 #   BENCH_parse.json — benchmarks/test_bench_parse.py (lexer / single-pass features)
 #   BENCH_deob.json  — benchmarks/test_bench_deob.py (deob throughput / removal rate)
+#   BENCH_scan.json  — benchmarks/test_bench_scan.py (crawl-scale scan pipeline)
 #   BENCH_train.json — everything else
 #
 # Usage:
@@ -14,6 +15,7 @@
 #   scripts/bench.sh benchmarks/test_bench_rules.py   # signature-engine suite only
 #   scripts/bench.sh benchmarks/test_bench_parse.py   # parse-layer suite only
 #   scripts/bench.sh benchmarks/test_bench_deob.py    # deobfuscation suite only
+#   scripts/bench.sh benchmarks/test_bench_scan.py    # scan-pipeline suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +47,7 @@ suites = {
     "BENCH_rules.json": [],
     "BENCH_parse.json": [],
     "BENCH_deob.json": [],
+    "BENCH_scan.json": [],
     "BENCH_train.json": [],
 }
 for bench in raw.get("benchmarks", []):
@@ -63,6 +66,8 @@ for bench in raw.get("benchmarks", []):
         out = "BENCH_parse.json"
     elif "test_bench_deob" in bench["fullname"]:
         out = "BENCH_deob.json"
+    elif "test_bench_scan" in bench["fullname"]:
+        out = "BENCH_scan.json"
     else:
         out = "BENCH_train.json"
     suites[out].append(entry)

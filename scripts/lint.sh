@@ -45,6 +45,16 @@ if grep -rnE 'Node\("' src/repro/js --include='*.py' \
   exit 1
 fi
 
+# Scan/serve isolation gate: the crawl-scale scan workers must stay
+# importable (and shippable to worker hosts) without dragging in the
+# serving layer — scan progress counters are deliberately reimplemented
+# in repro/scan/progress.py instead of importing repro.serve.metrics.
+if grep -rnE '^[[:space:]]*(from|import)[[:space:]]+repro\.serve' src/repro/scan \
+    --include='*.py'; then
+  echo "[lint] repro.scan must never import the serve layer (see matches above)" >&2
+  exit 1
+fi
+
 # Deob purity gate: deobfuscation passes must never mutate the AST they
 # are handed — they scan read-only and rewrite a clone().  A pass that
 # edits in place corrupts the engine's fixpoint bookkeeping (and any

@@ -5,6 +5,7 @@ Usage::
     python -m repro train --out detector.pkl [--n-regular 60] [--seed 0]
     python -m repro classify --model detector.pkl file1.js [file2.js ...]
     python -m repro serve --model detector.pkl --port 8377
+    python -m repro scan corpus/ bundle.tar.gz --store .scan --merge
     python -m repro transform --technique minification_simple file.js
     python -m repro deob file.js [--json] [--out normalized.js]
     python -m repro experiments [--scale small]
@@ -188,6 +189,85 @@ def _cmd_deob(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scan import ResultStore, ScanConfig, ScanCoordinator, merge_scan, write_report
+
+    if not args.roots and not args.merge:
+        print("scan: pass roots to scan, --merge to fold the store, or both",
+              file=sys.stderr)
+        return 2
+
+    stats = None
+    if args.roots:
+        model_path = args.model
+        if model_path is None and not args.rules_only:
+            detector = _load_or_train(None)
+            model_path = str(Path(args.store) / "throwaway-model.pkl")
+            Path(args.store).mkdir(parents=True, exist_ok=True)
+            detector.save(model_path)
+
+        def on_shard(outcome, metrics) -> None:
+            done = metrics.counter("scan_shards_done_total")
+            total = metrics.counter("scan_shards_total")
+            print(
+                f"[scan] shard {outcome.index} done "
+                f"({outcome.ok} ok, {outcome.errors} errors) — {done}/{total} shards",
+                file=sys.stderr,
+            )
+
+        config = ScanConfig(
+            roots=args.roots,
+            store=args.store,
+            model_path=model_path,
+            triage=args.triage,
+            deob=args.deob,
+            fingerprint=not args.no_fingerprint,
+            n_workers=args.workers,
+            shard_size=args.shard_size,
+            incremental=not args.no_incremental,
+            k=args.k,
+            threshold=args.threshold,
+            checkpoint_every=args.checkpoint_every,
+            on_shard=on_shard,
+        )
+        coordinator = ScanCoordinator(config)
+        stats = coordinator.run()
+        print(f"[scan] {stats}", file=sys.stderr)
+        print(
+            f"[scan] skip rate {stats.skip_rate:.1%}, "
+            f"{stats.files_per_sec:.1f} files/s",
+            file=sys.stderr,
+        )
+        if args.stats_out:
+            payload = {
+                "units_seen": stats.units_seen,
+                "unique": stats.unique,
+                "duplicates": stats.duplicates,
+                "skipped_store": stats.skipped_store,
+                "scanned": stats.scanned,
+                "ok": stats.ok,
+                "errors": stats.errors,
+                "triaged": stats.triaged,
+                "external_refs": stats.external_refs,
+                "ingest_errors": stats.ingest_errors,
+                "shards": stats.shards,
+                "skip_rate": stats.skip_rate,
+                "wall_time": stats.wall_time,
+                "error_kinds": stats.error_kinds,
+            }
+            Path(args.stats_out).write_text(json.dumps(payload, sort_keys=True))
+
+    if args.merge:
+        store = ResultStore(args.store)
+        report = merge_scan(store)
+        report_path = args.report or str(Path(args.store) / "report.json")
+        write_report(report, report_path)
+        print(f"[scan] merged report written to {report_path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.registry import ModelRegistry
     from repro.serve.server import ServeConfig, serve_forever
@@ -316,6 +396,75 @@ def main(argv: list[str] | None = None) -> int:
         help="wall-clock budget for the whole run (default 20s)",
     )
     deob.set_defaults(func=_cmd_deob)
+
+    scan = commands.add_parser(
+        "scan",
+        help="crawl-scale sharded scan: dirs/tarballs/HTML into a resumable store",
+    )
+    scan.add_argument(
+        "roots",
+        nargs="*",
+        help="directories, tarballs, HTML pages, or JS files to ingest",
+    )
+    scan.add_argument(
+        "--store",
+        required=True,
+        help="content-addressed result store directory (created if missing)",
+    )
+    scan.add_argument("--model", default=None, help="detector artifact (from `train`)")
+    scan.add_argument(
+        "--rules-only",
+        action="store_true",
+        help="model-free scan from staged rule triage alone (no training)",
+    )
+    scan.add_argument(
+        "--workers", type=int, default=1, help="shard worker process count"
+    )
+    scan.add_argument(
+        "--shard-size", type=int, default=256, help="units per dispatched shard"
+    )
+    scan.add_argument(
+        "--triage",
+        default="off",
+        choices=("off", "prefilter"),
+        help="rule-engine pre-filter when scanning with a model",
+    )
+    scan.add_argument(
+        "--deob",
+        action="store_true",
+        help="normalize each unit through the deobfuscation pipeline first",
+    )
+    scan.add_argument(
+        "--no-fingerprint",
+        action="store_true",
+        help="skip structural fingerprints (disables wave recovery in --merge)",
+    )
+    scan.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="re-scan every unit even when the store already has its hash",
+    )
+    scan.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=32,
+        help="units between checkpoint records in the shard logs",
+    )
+    scan.add_argument(
+        "--merge",
+        action="store_true",
+        help="fold the store into the prevalence report after scanning "
+        "(alone: merge-only over the existing manifest)",
+    )
+    scan.add_argument(
+        "--report", default=None, help="merged report path (default <store>/report.json)"
+    )
+    scan.add_argument(
+        "--stats-out", default=None, help="write run statistics JSON here"
+    )
+    scan.add_argument("--k", type=int, default=DEFAULT_K)
+    scan.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    scan.set_defaults(func=_cmd_scan)
 
     serve = commands.add_parser(
         "serve", help="serve /classify over HTTP with micro-batched inference"

@@ -48,17 +48,21 @@ class WaveCluster:
         return self.size > 1
 
 
-def cluster_waves(sources: list[str], min_size: int = 2) -> list[WaveCluster]:
-    """Cluster scripts by structural fingerprint; largest clusters first.
+def cluster_waves_from_fingerprints(
+    fingerprints: list[str | None], min_size: int = 2
+) -> list[WaveCluster]:
+    """Cluster precomputed fingerprints; largest clusters first.
 
-    Unparseable scripts are skipped (they cannot be fingerprinted), exactly
-    as the paper's static pipeline skips unparseable malware.
+    This is the substrate the crawl-scale scan pipeline merges on: scan
+    workers record each script's structural fingerprint next to its
+    verdict, so wave recovery over millions of files never re-parses —
+    it folds the persisted fingerprint column.  ``None`` entries
+    (unparseable scripts) are skipped, exactly as the paper's static
+    pipeline skips unparseable malware.
     """
     clusters: dict[str, WaveCluster] = {}
-    for index, source in enumerate(sources):
-        try:
-            fingerprint = structural_fingerprint(source)
-        except (SyntaxError, ValueError, RecursionError):
+    for index, fingerprint in enumerate(fingerprints):
+        if fingerprint is None:
             continue
         cluster = clusters.get(fingerprint)
         if cluster is None:
@@ -66,18 +70,38 @@ def cluster_waves(sources: list[str], min_size: int = 2) -> list[WaveCluster]:
             clusters[fingerprint] = cluster
         cluster.indices.append(index)
     waves = [cluster for cluster in clusters.values() if cluster.size >= min_size]
-    waves.sort(key=lambda cluster: -cluster.size)
+    waves.sort(key=lambda cluster: (-cluster.size, cluster.fingerprint))
     return waves
+
+
+def _fingerprints(sources: list[str]) -> list[str | None]:
+    fingerprints: list[str | None] = []
+    for source in sources:
+        try:
+            fingerprints.append(structural_fingerprint(source))
+        except (SyntaxError, ValueError, RecursionError):
+            fingerprints.append(None)
+    return fingerprints
+
+
+def cluster_waves(sources: list[str], min_size: int = 2) -> list[WaveCluster]:
+    """Cluster scripts by structural fingerprint; largest clusters first."""
+    return cluster_waves_from_fingerprints(_fingerprints(sources), min_size=min_size)
+
+
+def wave_statistics_from_fingerprints(fingerprints: list[str | None]) -> dict:
+    """Summary statistics over a precomputed fingerprint column."""
+    waves = cluster_waves_from_fingerprints(fingerprints)
+    in_waves = sum(cluster.size for cluster in waves)
+    return {
+        "n_scripts": len(fingerprints),
+        "n_waves": len(waves),
+        "scripts_in_waves": in_waves,
+        "wave_fraction": in_waves / len(fingerprints) if fingerprints else 0.0,
+        "largest_wave": waves[0].size if waves else 0,
+    }
 
 
 def wave_statistics(sources: list[str]) -> dict:
     """Summary statistics: how much of a corpus is wave-generated."""
-    waves = cluster_waves(sources)
-    in_waves = sum(cluster.size for cluster in waves)
-    return {
-        "n_scripts": len(sources),
-        "n_waves": len(waves),
-        "scripts_in_waves": in_waves,
-        "wave_fraction": in_waves / len(sources) if sources else 0.0,
-        "largest_wave": waves[0].size if waves else 0,
-    }
+    return wave_statistics_from_fingerprints(_fingerprints(sources))

@@ -2,13 +2,25 @@
 
 The paper statically scraped the start pages of Alexa sites "also
 including external scripts" (§IV-A).  This module implements the
-page-processing half of that crawler: given HTML text, return every inline
-``<script>`` body plus the ``src`` URLs of external scripts, skipping
-non-JavaScript script types (JSON data blocks, templates).
+page-processing half of that crawler: given HTML text, return every
+piece of JavaScript the page carries —
+
+- inline ``<script>`` bodies (skipping non-JavaScript script types:
+  JSON data blocks, templates),
+- the ``src`` URLs of external scripts (provenance records for the
+  crawler's fetch frontier; the page itself does not contain their code),
+- inline event-handler attributes (``onclick=...`` and friends), which
+  real-world droppers use to smuggle code past script-tag scanners.
+
+Each extracted unit carries a provenance ``detail`` string
+(``script[2]``, ``a@onclick[0]``) so crawl-scale scanning
+(``repro.scan``) can point a verdict back into the page.
 
 A small state machine is used rather than a full HTML parser: script
-element extraction only needs tag boundaries, and real-world pages are too
-broken for strict parsing anyway.
+element extraction only needs tag boundaries, and real-world pages are
+too broken for strict parsing anyway.  Event-handler scanning runs only
+over the regions *between* script elements, so JavaScript string
+literals that happen to contain markup are never re-extracted.
 """
 
 from __future__ import annotations
@@ -20,6 +32,37 @@ _SCRIPT_OPEN_RE = re.compile(r"<script\b([^>]*)>", re.IGNORECASE | re.DOTALL)
 _SCRIPT_CLOSE_RE = re.compile(r"</script\s*>", re.IGNORECASE)
 _ATTR_RE = re.compile(
     r"""([a-zA-Z-]+)\s*=\s*("([^"]*)"|'([^']*)'|([^\s>]+))""", re.DOTALL
+)
+_TAG_RE = re.compile(r"<([a-zA-Z][a-zA-Z0-9-]*)\b([^>]*)>", re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+
+#: standard HTML event-handler content attributes (the ``on*`` family).
+#: A curated set rather than an ``on[a-z]+`` prefix match: attributes
+#: like ``once`` or framework-specific ``on-click`` are not inline
+#: JavaScript and must not become scan units.
+EVENT_HANDLER_ATTRIBUTES = frozenset(
+    {
+        "onabort", "onafterprint", "onauxclick", "onbeforeinput",
+        "onbeforeprint", "onbeforeunload", "onblur", "oncanplay",
+        "oncanplaythrough", "onchange", "onclick", "onclose",
+        "oncontextmenu", "oncopy", "oncuechange", "oncut", "ondblclick",
+        "ondrag", "ondragend", "ondragenter", "ondragleave", "ondragover",
+        "ondragstart", "ondrop", "ondurationchange", "onemptied",
+        "onended", "onerror", "onfocus", "onfocusin", "onfocusout",
+        "onformdata", "onhashchange", "oninput", "oninvalid", "onkeydown",
+        "onkeypress", "onkeyup", "onload", "onloadeddata",
+        "onloadedmetadata", "onloadstart", "onmessage", "onmousedown",
+        "onmouseenter", "onmouseleave", "onmousemove", "onmouseout",
+        "onmouseover", "onmouseup", "onmousewheel", "onoffline",
+        "ononline", "onpagehide", "onpageshow", "onpaste", "onpause",
+        "onplay", "onplaying", "onpopstate", "onprogress", "onratechange",
+        "onreset", "onresize", "onscroll", "onsearch", "onseeked",
+        "onseeking", "onselect", "onselectionchange", "onselectstart",
+        "onstalled", "onstorage", "onsubmit", "onsuspend", "ontimeupdate",
+        "ontoggle", "ontouchcancel", "ontouchend", "ontouchmove",
+        "ontouchstart", "ontransitionend", "onunload", "onvolumechange",
+        "onwaiting", "onwheel",
+    }
 )
 
 #: script types that contain executable JavaScript (or no type at all).
@@ -50,8 +93,40 @@ def _parse_attributes(raw: str) -> dict[str, str]:
 
 
 @dataclass
+class ScriptUnit:
+    """One piece of inline JavaScript with its page provenance."""
+
+    code: str
+    kind: str  #: "inline" | "event_handler"
+    detail: str  #: e.g. "script[2]" or "a@onclick[0]"
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ExternalScript:
+    """A ``<script src=...>`` reference: provenance only, no code."""
+
+    url: str
+    detail: str  #: e.g. "script[4]"
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class PageExtraction:
+    """Everything one HTML document contributes to a scan manifest."""
+
+    units: list[ScriptUnit] = field(default_factory=list)
+    external: list[ExternalScript] = field(default_factory=list)
+    skipped_types: list[str] = field(default_factory=list)
+
+    @property
+    def script_count(self) -> int:
+        return len(self.units) + len(self.external)
+
+
+@dataclass
 class ExtractedScripts:
-    """Result of scanning one HTML document."""
+    """Result of scanning one HTML document (legacy flat view)."""
 
     inline: list[str] = field(default_factory=list)
     external: list[str] = field(default_factory=list)
@@ -62,30 +137,84 @@ class ExtractedScripts:
         return len(self.inline) + len(self.external)
 
 
-def extract_scripts(html: str) -> ExtractedScripts:
-    """All JavaScript of an HTML page: inline bodies + external src URLs."""
-    result = ExtractedScripts()
+def _extract_handlers(
+    segment: str, page: PageExtraction, counter: list[int]
+) -> None:
+    """Scan one between-scripts HTML segment for ``on*`` attributes."""
+    segment = _COMMENT_RE.sub("", segment)
+    for match in _TAG_RE.finditer(segment):
+        tag = match.group(1).lower()
+        if tag == "script":  # defensive: segments should not contain these
+            continue
+        attributes = _parse_attributes(match.group(2))
+        for name, value in attributes.items():
+            if name not in EVENT_HANDLER_ATTRIBUTES or not value.strip():
+                continue
+            page.units.append(
+                ScriptUnit(
+                    code=value.strip(),
+                    kind="event_handler",
+                    detail=f"{tag}@{name}[{counter[0]}]",
+                    attributes={"tag": tag, "attribute": name},
+                )
+            )
+            counter[0] += 1
+
+
+def extract_units(html: str) -> PageExtraction:
+    """Full provenance-carrying extraction of one HTML document."""
+    page = PageExtraction()
+    handler_counter = [0]
     position = 0
+    script_index = 0
     while True:
         open_match = _SCRIPT_OPEN_RE.search(html, position)
         if open_match is None:
+            _extract_handlers(html[position:], page, handler_counter)
             break
+        _extract_handlers(html[position : open_match.start()], page, handler_counter)
         attributes = _parse_attributes(open_match.group(1))
         close_match = _SCRIPT_CLOSE_RE.search(html, open_match.end())
         body_end = close_match.start() if close_match else len(html)
         body = html[open_match.end() : body_end]
         position = close_match.end() if close_match else len(html)
+        detail = f"script[{script_index}]"
+        script_index += 1
 
         script_type = attributes.get("type", "").strip().lower()
         if script_type not in _JS_TYPES:
-            result.skipped_types.append(script_type)
+            page.skipped_types.append(script_type)
             continue
         src = attributes.get("src", "").strip()
         if src:
-            result.external.append(src)
+            page.external.append(
+                ExternalScript(url=src, detail=detail, attributes=attributes)
+            )
         elif body.strip():
-            result.inline.append(body.strip())
-    return result
+            page.units.append(
+                ScriptUnit(
+                    code=body.strip(),
+                    kind="inline",
+                    detail=detail,
+                    attributes=attributes,
+                )
+            )
+    return page
+
+
+def extract_scripts(html: str) -> ExtractedScripts:
+    """All JavaScript of an HTML page: inline bodies + external src URLs.
+
+    Legacy flat view over :func:`extract_units` — event-handler units are
+    intentionally excluded to keep the historical contract (inline
+    ``<script>`` bodies only).
+    """
+    page = extract_units(html)
+    return ExtractedScripts(
+        inline=[unit.code for unit in page.units if unit.kind == "inline"],
+        external=[external.url for external in page.external],
+        skipped_types=page.skipped_types,
+    )
 
 
 def extract_inline_javascript(html: str) -> list[str]:

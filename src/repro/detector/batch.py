@@ -189,6 +189,25 @@ def _extract_chunk(
     return [_extract_one(paired, max_bytes, source) for source in chunk]
 
 
+#: per-process deob engine for pool workers (built once, reused per chunk).
+_POOL_DEOB_ENGINE = None
+
+
+def _deob_chunk(chunk: list[str]) -> list:
+    """Worker entry point: normalize a chunk through a process-local engine.
+
+    The engine is constructed lazily inside the worker (the default
+    catalog engine — custom rule engines keep the serial path) so the
+    expensive pass pipeline never crosses the pickle boundary.
+    """
+    global _POOL_DEOB_ENGINE
+    if _POOL_DEOB_ENGINE is None:
+        from repro.deob import DeobEngine
+
+        _POOL_DEOB_ENGINE = DeobEngine()
+    return [_POOL_DEOB_ENGINE.run(source) for source in chunk]
+
+
 class BatchInferenceEngine:
     """Classify many scripts through both detector levels, at corpus scale.
 
@@ -252,6 +271,7 @@ class BatchInferenceEngine:
         self.chunk_size = chunk_size
         self.observer = observer
         self.triage = triage
+        self._default_rules = rule_engine is None
         self.rules = rule_engine or default_engine()
         self._cache: OrderedDict[str, _Outcome] = OrderedDict()
         self._token_extractor = None
@@ -444,6 +464,28 @@ class BatchInferenceEngine:
         stats.extract_time = stats.wall_time
         return TokenBatchFeatures(X=X, ok_indices=ok_indices, errors=errors, stats=stats)
 
+    def _run_deob(self, sources: list[str]) -> list:
+        """Normalize a batch, fanning out across the worker pool when it pays.
+
+        Deobfuscation used to serialize on the calling (inference)
+        thread; with ``n_workers > 1`` it now runs inside the same
+        process-pool workers as feature extraction, with bit-identical
+        results to the serial path (gated in tests).  Engines built with
+        a custom rule engine keep the serial path — pool workers use the
+        shared default catalog.
+        """
+        if self.n_workers == 1 or len(sources) < 2 or not self._default_rules:
+            return [self.deob_engine.run(source) for source in sources]
+        chunk_size = self.chunk_size or max(1, -(-len(sources) // (self.n_workers * 4)))
+        chunks = [
+            sources[i : i + chunk_size] for i in range(0, len(sources), chunk_size)
+        ]
+        results: list = []
+        with ProcessPoolExecutor(max_workers=self.n_workers) as executor:
+            for chunk_results in executor.map(_deob_chunk, chunks):
+                results.extend(chunk_results)
+        return results
+
     # -- rules-only triage ------------------------------------------------------
 
     def _result_from_triage(
@@ -487,12 +529,14 @@ class BatchInferenceEngine:
     ) -> BatchResult:
         """Two-level classification of a batch with per-file fault isolation.
 
-        ``deob=True`` first normalizes every script through the shared
+        ``deob=True`` first normalizes every script through the
         :class:`~repro.deob.engine.DeobEngine` (never raises; a script the
         deobfuscator cannot improve passes through unchanged), classifies
         the normal forms, and attaches each
         :class:`~repro.deob.engine.DeobResult` to its
-        :class:`DetectionResult`.
+        :class:`DetectionResult`.  With ``n_workers > 1`` normalization
+        fans out across the process pool instead of serializing on the
+        calling thread (bit-identical to the serial path).
         """
         from repro.detector.pipeline import DetectionResult
 
@@ -503,7 +547,7 @@ class BatchInferenceEngine:
         deob_results = None
         if deob:
             t_deob = time.perf_counter()
-            deob_results = [self.deob_engine.run(source) for source in sources]
+            deob_results = self._run_deob(sources)
             sources = [outcome.source for outcome in deob_results]
             stats.deob_files = len(sources)
             stats.deob_passes = sum(

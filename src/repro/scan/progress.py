@@ -1,0 +1,52 @@
+"""Serve-style metrics counters for scan progress.
+
+The serving stack's :class:`repro.serve.metrics.MetricsRegistry` set the
+house convention — named counters and gauges behind one lock, a
+JSON-ready ``snapshot()`` — and scan progress follows it.  It is
+*reimplemented* here rather than imported: the scan workers must stay
+importable without dragging in the serving layer (a lint gate in
+``scripts/lint.sh`` enforces that ``repro.scan`` never imports
+``repro.serve``), and scan needs only the counter/gauge subset.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class ScanMetrics:
+    """Named counters and gauges behind one lock (scan progress view)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._started_at = time.time()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if not amount:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view (mirrors the serve ``/metrics`` shape)."""
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+            }

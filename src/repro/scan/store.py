@@ -1,0 +1,158 @@
+"""Content-addressed result store: the scan pipeline's durable memory.
+
+Every classified unit persists as one JSON object file keyed by the
+SHA-256 of its source text, sharded on the first two hex digits of the
+hash so no single directory grows unbounded::
+
+    <store>/objects/ab/abcdef....json
+    <store>/manifest.jsonl          # latest run's provenance stream
+    <store>/shards/run-0001/        # append-only shard logs + checkpoints
+
+Two properties make crashes and re-runs cheap:
+
+- **atomic puts** — records are written to a temp file and
+  ``os.replace``d into place, so a killed process never leaves a
+  half-written object; whatever finished before the kill is durable and
+  a resumed run skips it;
+- **engine-keyed records** — each record carries the ``engine_key`` of
+  the configuration that produced it (model vs. rules-only, deob on or
+  off, ...), so changing the engine invalidates stale results instead
+  of silently reusing them.
+
+The store is safe for concurrent writers (shard workers write disjoint
+hashes in practice; identical hashes write identical bytes, and
+``os.replace`` is atomic either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+
+class ResultStore:
+    """Directory-sharded, hash-keyed persistence for scan records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    # -- object layout ---------------------------------------------------------
+
+    def path_for(self, sha256: str) -> Path:
+        return self.objects / sha256[:2] / f"{sha256}.json"
+
+    def has(self, sha256: str, engine_key: str | None = None) -> bool:
+        """Is a record present (and, if asked, produced by this engine)?"""
+        if engine_key is None:
+            return self.path_for(sha256).exists()
+        record = self.get(sha256)
+        return record is not None and record.get("engine_key") == engine_key
+
+    def get(self, sha256: str) -> dict | None:
+        path = self.path_for(sha256)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # A corrupt object (e.g. torn by a hard power cut) reads as
+            # absent: the unit is simply re-scanned and overwritten.
+            return None
+
+    def put(self, sha256: str, record: dict) -> None:
+        """Atomically persist one record (tmp file + ``os.replace``)."""
+        path = self.path_for(sha256)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_hashes())
+
+    def iter_hashes(self) -> Iterator[str]:
+        """All persisted hashes (startup probe / diagnostics)."""
+        if not self.objects.is_dir():
+            return
+        for prefix in sorted(self.objects.iterdir()):
+            if not prefix.is_dir():
+                continue
+            for path in sorted(prefix.glob("*.json")):
+                yield path.stem
+
+    # -- manifest --------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.jsonl"
+
+    def open_manifest_writer(self):
+        """Streaming manifest writer; atomically replaces on close."""
+        return _ManifestWriter(self.manifest_path)
+
+    def read_manifest(self) -> Iterator[dict]:
+        """Provenance lines of the latest completed-or-killed run."""
+        try:
+            handle = open(self.manifest_path, encoding="utf-8")
+        except FileNotFoundError:
+            return
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line of a killed run
+
+    # -- shard logs ------------------------------------------------------------
+
+    def next_run_dir(self) -> Path:
+        """Fresh ``shards/run-NNNN`` directory for this run's shard logs."""
+        shards = self.root / "shards"
+        shards.mkdir(parents=True, exist_ok=True)
+        existing = [
+            int(path.name.split("-", 1)[1])
+            for path in shards.glob("run-*")
+            if path.name.split("-", 1)[1].isdigit()
+        ]
+        run_dir = shards / f"run-{(max(existing, default=0) + 1):04d}"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        return run_dir
+
+
+class _ManifestWriter:
+    """Append provenance lines to ``manifest.jsonl`` as ingestion streams.
+
+    The manifest is written *in place* (not tmp+rename): a killed run
+    leaves the prefix it ingested, which is exactly what a resumed run
+    wants to extend — and the next run rewrites the file from scratch
+    anyway (``truncate`` on open).
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def write(self, line: dict) -> None:
+        self._handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "_ManifestWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

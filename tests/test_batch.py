@@ -102,6 +102,42 @@ class TestParallelEquivalence:
             assert a.transformed == b.transformed
             assert a.techniques == b.techniques
 
+    def test_pool_deob_bit_identical_to_serial(self, trained_detector, mixed_sources):
+        """Deob in the process-pool workers must match the inference-thread path.
+
+        ``wall_time_ms`` is the only report field allowed to differ — it
+        measures the host, not the normalization.
+        """
+        serial = trained_detector.batch_engine(n_workers=1, cache_size=0)
+        parallel = trained_detector.batch_engine(n_workers=2, cache_size=0)
+        rs = serial.classify(mixed_sources, deob=True)
+        rp = parallel.classify(mixed_sources, deob=True)
+        assert rs.stats.deob_files == rp.stats.deob_files == len(mixed_sources)
+        for a, b in zip(rs.results, rp.results):
+            assert a.deob is not None and b.deob is not None
+            assert a.deob.source == b.deob.source
+            assert a.deob.changed == b.deob.changed
+            report_a = a.deob.report.to_json()
+            report_b = b.deob.report.to_json()
+            report_a.pop("wall_time_ms")
+            report_b.pop("wall_time_ms")
+            assert report_a == report_b
+            assert a.level1 == b.level1
+            assert a.techniques == b.techniques
+
+    def test_custom_rule_engine_keeps_serial_deob(self, trained_detector):
+        """Pool workers rebuild the default catalog; a custom engine must
+        not silently swap to it — those batches stay on the serial path."""
+        from repro.rules.engine import RuleEngine
+
+        engine = BatchInferenceEngine(
+            trained_detector, n_workers=2, rule_engine=RuleEngine()
+        )
+        assert engine._default_rules is False
+        sources = ["var x = 1;", "var y = 2;"]
+        batch = engine.classify(sources, deob=True)
+        assert batch.stats.deob_files == len(sources)
+
 
 class TestFaultIsolation:
     @pytest.fixture()

@@ -84,3 +84,64 @@ class TestExtraction:
         second = extract_scripts("<script>two();</script>")
         assert first.inline == ["one();"]
         assert second.inline == ["two();"]
+
+
+class TestExtractUnits:
+    """Provenance-carrying extraction: event handlers, external refs."""
+
+    def test_inline_units_carry_script_index_details(self):
+        from repro.corpus.html_extract import extract_units
+
+        page = extract_units(
+            "<script>one();</script><script src='x.js'></script><script>two();</script>"
+        )
+        inline = [unit for unit in page.units if unit.kind == "inline"]
+        assert [(unit.code, unit.detail) for unit in inline] == [
+            ("one();", "script[0]"),
+            ("two();", "script[2]"),
+        ]
+        assert [(ext.url, ext.detail) for ext in page.external] == [
+            ("x.js", "script[1]")
+        ]
+
+    def test_event_handlers_extracted_with_tag_provenance(self):
+        from repro.corpus.html_extract import extract_units
+
+        page = extract_units(
+            "<body onload='init()'>"
+            "<a href='#' onclick=\"track(1)\">go</a>"
+            "<div onmouseover='hover();' data-x='notjs'>d</div>"
+            "</body>"
+        )
+        handlers = [unit for unit in page.units if unit.kind == "event_handler"]
+        assert [unit.code for unit in handlers] == ["init()", "track(1)", "hover();"]
+        assert handlers[0].detail == "body@onload[0]"
+        assert handlers[1].attributes == {"tag": "a", "attribute": "onclick"}
+
+    def test_markup_inside_script_bodies_is_not_rescanned(self):
+        from repro.corpus.html_extract import extract_units
+
+        html = (
+            "<script>var s = \"<div onclick='evil()'>\";</script>"
+            "<p onclick='real()'>x</p>"
+        )
+        page = extract_units(html)
+        handlers = [unit for unit in page.units if unit.kind == "event_handler"]
+        assert [unit.code for unit in handlers] == ["real()"]
+
+    def test_handlers_in_comments_are_ignored(self):
+        from repro.corpus.html_extract import extract_units
+
+        page = extract_units("<!-- <b onclick='dead()'>x</b> --><i onclick='live()'>y</i>")
+        assert [unit.code for unit in page.units] == ["live()"]
+
+    def test_empty_and_non_on_attributes_skipped(self):
+        from repro.corpus.html_extract import extract_units
+
+        page = extract_units("<div onclick='' once='x' on='y'>z</div>")
+        assert page.units == []
+
+    def test_legacy_extract_scripts_excludes_event_handlers(self):
+        result = extract_scripts("<div onclick='h()'>x</div><script>s();</script>")
+        assert result.inline == ["s();"]
+        assert result.script_count == 1
