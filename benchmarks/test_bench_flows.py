@@ -1,0 +1,91 @@
+"""Interprocedural value-flow throughput: summaries, decoders, degrade.
+
+The interproc layer is lazy and budgeted: rules-only triage never pays
+for it, AST-stage rules pay only when the decoder-shape pre-gate fires,
+and a blown budget must cost no more than the work done before the
+deadline.  These benches pin all three prices in BENCH_flows.json —
+absolute summary throughput over decoder-shaped output, the decoder
+recovery rate (``extra_info``), and the cost of the degrade path.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_corpus
+from repro.flows.interproc import InterprocBudget, analyze_program
+from repro.js.parser import parse
+from repro.transform.global_array import GlobalArrayObfuscator
+
+
+@pytest.fixture(scope="module")
+def decoder_sources() -> list[str]:
+    """Self-referencing and RC4 decoder output: the worst (richest) case."""
+    base = generate_corpus(6, seed=1405)
+    rng = random.Random(29)
+    selfref = GlobalArrayObfuscator(encoding="base64", decoder="selfref")
+    rc4 = GlobalArrayObfuscator(encoding="rc4", rotate=True)
+    return [selfref.transform(s, rng) for s in base[:3]] + [
+        rc4.transform(s, rng) for s in base[3:]
+    ]
+
+
+@pytest.fixture(scope="module")
+def decoder_programs(decoder_sources):
+    return [parse(source) for source in decoder_sources]
+
+
+def _throughput(benchmark, n_files: int) -> None:
+    mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if mean is not None and mean.mean:
+        benchmark.extra_info["files_per_sec"] = round(n_files / mean.mean, 2)
+
+
+def test_bench_flows_summaries(benchmark, decoder_programs):
+    """Whole-program summarisation over pre-parsed decoder-shaped files.
+
+    ``extra_info["decoders_recovered"]`` is the acceptance number: every
+    file carries exactly one decoder, and the analysis must find it.
+    """
+
+    def run():
+        return [analyze_program(program) for program in decoder_programs]
+
+    results = benchmark(run)
+    recovered = sum(len(result.decoders) for result in results)
+    assert recovered == len(decoder_programs)
+    assert not any(result.degraded for result in results)
+    benchmark.extra_info["decoders_recovered"] = recovered
+    ratios = [result.resolved_ratio for result in results]
+    benchmark.extra_info["resolved_call_ratio_mean"] = round(
+        sum(ratios) / len(ratios), 4
+    )
+    _throughput(benchmark, len(decoder_programs))
+
+
+def test_bench_flows_end_to_end(benchmark, decoder_sources):
+    """Parse + scope + summarise from source: what a feature extraction
+    or AST-stage rule pays the first time it touches ``.interproc()``."""
+
+    def run():
+        return [analyze_program(parse(source)) for source in decoder_sources]
+
+    results = benchmark(run)
+    assert sum(len(result.decoders) for result in results) == len(decoder_sources)
+    _throughput(benchmark, len(decoder_sources))
+
+
+def test_bench_flows_budget_degrade(benchmark, decoder_programs):
+    """A starved budget must degrade to empty summaries almost for free —
+    this is the guarantee that lets the scan pipeline cap per-file cost."""
+    starved = InterprocBudget(max_functions=1)
+
+    def run():
+        return [
+            analyze_program(program, budget=starved) for program in decoder_programs
+        ]
+
+    results = benchmark(run)
+    assert all(result.degraded for result in results)
+    assert all(not result.summaries for result in results)
+    _throughput(benchmark, len(decoder_programs))

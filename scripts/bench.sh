@@ -6,6 +6,7 @@
 #   BENCH_parse.json — benchmarks/test_bench_parse.py (lexer / single-pass features)
 #   BENCH_deob.json  — benchmarks/test_bench_deob.py (deob throughput / removal rate)
 #   BENCH_scan.json  — benchmarks/test_bench_scan.py (crawl-scale scan pipeline)
+#   BENCH_flows.json — benchmarks/test_bench_flows.py (interprocedural value flow)
 #   BENCH_train.json — everything else
 #
 # Usage:
@@ -16,6 +17,7 @@
 #   scripts/bench.sh benchmarks/test_bench_parse.py   # parse-layer suite only
 #   scripts/bench.sh benchmarks/test_bench_deob.py    # deobfuscation suite only
 #   scripts/bench.sh benchmarks/test_bench_scan.py    # scan-pipeline suite only
+#   scripts/bench.sh benchmarks/test_bench_flows.py   # interproc value-flow suite only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +50,7 @@ suites = {
     "BENCH_parse.json": [],
     "BENCH_deob.json": [],
     "BENCH_scan.json": [],
+    "BENCH_flows.json": [],
     "BENCH_train.json": [],
 }
 for bench in raw.get("benchmarks", []):
@@ -68,6 +71,8 @@ for bench in raw.get("benchmarks", []):
         out = "BENCH_deob.json"
     elif "test_bench_scan" in bench["fullname"]:
         out = "BENCH_scan.json"
+    elif "test_bench_flows" in bench["fullname"]:
+        out = "BENCH_flows.json"
     else:
         out = "BENCH_train.json"
     suites[out].append(entry)

@@ -55,6 +55,16 @@ if grep -rnE '^[[:space:]]*(from|import)[[:space:]]+repro\.serve' src/repro/scan
   exit 1
 fi
 
+# Flow-layer layering gate: repro.flows is analysis substrate consumed by
+# the rules, detector and deob layers — it must never import back up into
+# its consumers, or the interprocedural analysis becomes unusable from a
+# worker that ships without them (and the import graph grows a cycle).
+if grep -rnE '^[[:space:]]*(from|import)[[:space:]]+repro\.(rules|detector|deob)' \
+    src/repro/flows --include='*.py'; then
+  echo "[lint] repro.flows must never import repro.rules/repro.detector/repro.deob" >&2
+  exit 1
+fi
+
 # Deob purity gate: deobfuscation passes must never mutate the AST they
 # are handed — they scan read-only and rewrite a clone().  A pass that
 # edits in place corrupts the engine's fixpoint bookkeeping (and any

@@ -86,6 +86,8 @@ def _result_jsonl(name: str, result) -> str:
             for technique, confidence in result.techniques
         ]
     record["triaged"] = result.triaged
+    if result.flow_timeout:
+        record["flow_timeout"] = True
     record["findings"] = [finding.to_json() for finding in result.findings]
     if result.deob is not None:
         report = result.deob.report

@@ -72,6 +72,14 @@ class PassContext:
             if finding.string_array is not None
         ]
 
+    def decoder_evidence(self) -> list[Any]:
+        """Every typed decoder evidence record (R013/R014) in the findings."""
+        return [
+            finding.decoder
+            for finding in self.findings
+            if finding.decoder is not None
+        ]
+
 
 @dataclass
 class PassResult:

@@ -11,6 +11,16 @@ each evidenced array the pass:
 3. replaces every ``accessor(0x1f)`` call site with the recovered string
    literal (base64-decoding when the accessor routes through ``atob``),
 4. drops the array declaration, the accessor function, and the rotator.
+
+When the findings carry :class:`DecoderEvidence` (R013/R014), the pass
+additionally runs the interprocedural summary analysis
+(``repro.flows.interproc``) and inlines decoder **calls** — accessors the
+direct path cannot see because the table hides behind a self-memoizing
+function or the entries need an RC4 keystream replay.  The decoded
+string for ``dec(0x25, 'key')`` comes from
+:func:`repro.flows.values.decode_table_entry` over the summary's
+resolved table; the decoder, its table function, the array, and the
+rotator are dropped once every call site resolved.
 """
 
 from __future__ import annotations
@@ -119,6 +129,51 @@ class _Inliner(NodeTransformer):
         return string(plan.values[index])
 
 
+class _DecoderInliner(NodeTransformer):
+    """Inline calls to summarised decoders (index/base64/rc4 kinds)."""
+
+    def __init__(self, plans: dict[str, object]):
+        self.plans = plans  #: decoder name → DecoderSummary-like plan
+        self.rewrites = 0
+        self.unresolved: set[str] = set()
+
+    def visit_CallExpression(self, node: Node) -> Node | None:
+        callee = node.callee
+        if callee.type != "Identifier" or callee.name not in self.plans:
+            return None
+        decoder = self.plans[callee.name]
+        arguments = node.get("arguments") or []
+        index = _literal_int(arguments[0]) if arguments else None
+        key = None
+        if decoder.kind == "rc4":
+            if (
+                len(arguments) != 2
+                or arguments[1].type != "Literal"
+                or not isinstance(arguments[1].value, str)
+            ):
+                self.unresolved.add(callee.name)
+                return None
+            key = arguments[1].value
+        elif len(arguments) != 1:
+            self.unresolved.add(callee.name)
+            return None
+        if index is None:
+            self.unresolved.add(callee.name)
+            return None
+        position = index - decoder.offset
+        if not 0 <= position < len(decoder.table):
+            self.unresolved.add(callee.name)
+            return None
+        from repro.flows.values import decode_table_entry
+
+        decoded = decode_table_entry(decoder.kind, decoder.table[position], key)
+        if decoded is None:
+            self.unresolved.add(callee.name)
+            return None
+        self.rewrites += 1
+        return string(decoded)
+
+
 class _DeclDropper(NodeTransformer):
     """Remove the array/accessor declarations and rotator statements."""
 
@@ -191,24 +246,77 @@ class StringArrayInlinePass(DeobPass):
             plans[evidence.accessor] = _Plan(
                 evidence.accessor, evidence.offset, values, evidence.array
             )
-        if not plans:
+        decoder_names = {
+            evidence.decoder
+            for evidence in ctx.decoder_evidence()
+            if evidence.decoder is not None
+        }
+        if not plans and not decoder_names:
             return PassResult(program)
 
         work = clone(program)
-        inliner = _Inliner(plans, {plan.array for plan in plans.values()})
+        rewrites = 0
+        if plans:
+            inliner = _Inliner(plans, {plan.array for plan in plans.values()})
+            work = inliner.transform(work)
+            if inliner.rewrites:
+                rewrites += inliner.rewrites
+                # Only drop machinery whose every call site was resolved.
+                resolved = {
+                    name: plan
+                    for name, plan in plans.items()
+                    if name not in inliner.unresolved
+                }
+                dropper = _DeclDropper(
+                    arrays={plan.array for plan in resolved.values()},
+                    accessors=set(resolved),
+                )
+                work = dropper.transform(work)
+                rewrites += dropper.removed
+        if decoder_names:
+            work, decoder_rewrites = self._inline_decoder_calls(work, decoder_names)
+            rewrites += decoder_rewrites
+        if rewrites == 0:
+            return PassResult(program)
+        return PassResult(work, rewrites)
+
+    @staticmethod
+    def _inline_decoder_calls(
+        work: Node, decoder_names: set[str]
+    ) -> tuple[Node, int]:
+        """Summary-driven path: replay evidenced decoders over their tables.
+
+        Re-derives the summaries on the working clone (the evidence only
+        carries names — the resolved tables live in the interprocedural
+        analysis), inlines every constant-argument call, and drops the
+        decoder, its table function, the array, and the rotator once all
+        call sites resolved.  A degraded (budget-capped) analysis yields
+        no summaries and the clone is returned unchanged.
+        """
+        from repro.flows.interproc import analyze_program
+
+        result = analyze_program(work)
+        plans = {
+            summary.name: summary.decoder
+            for summary in result.decoders
+            if summary.name in decoder_names
+        }
+        if not plans:
+            return work, 0
+        inliner = _DecoderInliner(plans)
         work = inliner.transform(work)
         if inliner.rewrites == 0:
-            return PassResult(program)
-        # Only drop machinery whose every call site was resolved.
-        resolved = {
-            name: plan for name, plan in plans.items() if name not in inliner.unresolved
-        }
-        dropper = _DeclDropper(
-            arrays={plan.array for plan in resolved.values()},
-            accessors=set(resolved),
-        )
+            return work, 0
+        dead_functions: set[str] = set()
+        dead_arrays: set[str] = set()
+        for name, decoder in plans.items():
+            if name in inliner.unresolved:
+                continue
+            dead_functions.update(decoder.chain[:-1])
+            dead_arrays.add(decoder.chain[-1])
+        dropper = _DeclDropper(arrays=dead_arrays, accessors=dead_functions)
         work = dropper.transform(work)
-        return PassResult(work, inliner.rewrites + dropper.removed)
+        return work, inliner.rewrites + dropper.removed
 
     @staticmethod
     def _find_array_declarator(program: Node, array_name: str) -> Node | None:

@@ -45,7 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
     from repro.detector.pipeline import DetectionResult, TransformationDetector
 
 #: outcome tuples:
-#: ("ok", vec1, vec2, df_available, findings) | ("err", kind, message)
+#: ("ok", vec1, vec2, df_available, flow_timeout, findings) | ("err", kind, message)
 _Outcome = tuple
 
 #: Triage modes accepted by :class:`BatchInferenceEngine`.
@@ -72,6 +72,8 @@ class BatchStats:
     errors: int = 0
     cache_hits: int = 0
     df_timeouts: int = 0
+    #: files whose flow analysis (DFG timeout or interproc budget) degraded
+    flow_timeouts: int = 0
     wall_time: float = 0.0
     extract_time: float = 0.0
     predict_time: float = 0.0
@@ -129,6 +131,8 @@ class BatchFeatures:
     df_available: list[bool]
     stats: BatchStats
     findings: list[list[Finding]] = field(default_factory=list)
+    #: per-ok-file flag: some flow analysis degraded (aligned with ok_indices)
+    flow_timeout: list[bool] = field(default_factory=list)
 
 
 @dataclass
@@ -172,14 +176,14 @@ def _extract_one(
         if size > max_bytes:
             return ("err", "oversize", f"{size} bytes exceeds limit of {max_bytes}")
     try:
-        v1, v2, df_available, findings = paired.extract_pair(source)
+        v1, v2, df_available, flow_timeout, findings = paired.extract_pair(source)
     except RecursionError:
         return ("err", "recursion", "AST nesting exceeds the recursion limit")
     except (SyntaxError, ValueError) as error:  # ParseError / LexerError
         return ("err", "parse", str(error) or type(error).__name__)
     except Exception as error:  # noqa: BLE001 - one file must not kill a batch
         return ("err", "internal", f"{type(error).__name__}: {error}")
-    return ("ok", v1, v2, df_available, findings)
+    return ("ok", v1, v2, df_available, flow_timeout, findings)
 
 
 def _extract_chunk(
@@ -374,6 +378,7 @@ class BatchInferenceEngine:
         ok_indices: list[int] = []
         errors: dict[int, DetectionError] = {}
         df_available: list[bool] = []
+        flow_timeout: list[bool] = []
         findings: list[list[Finding]] = []
         rows1: list[np.ndarray] = []
         rows2: list[np.ndarray] = []
@@ -383,9 +388,12 @@ class BatchInferenceEngine:
                 rows1.append(outcome[1])
                 rows2.append(outcome[2])
                 df_available.append(outcome[3])
-                findings.append(outcome[4])
+                flow_timeout.append(outcome[4])
+                findings.append(outcome[5])
                 if not outcome[3]:
                     stats.df_timeouts += 1
+                if outcome[4]:
+                    stats.flow_timeouts += 1
             else:
                 errors[index] = DetectionError(kind=outcome[1], message=outcome[2])
         stats.ok = len(ok_indices)
@@ -411,6 +419,7 @@ class BatchInferenceEngine:
             df_available=df_available,
             stats=stats,
             findings=findings,
+            flow_timeout=flow_timeout,
         )
 
     def extract_token_features(self, sources: list[str]) -> TokenBatchFeatures:
@@ -575,6 +584,7 @@ class BatchInferenceEngine:
             sub = features.stats
             stats.cache_hits += sub.cache_hits
             stats.df_timeouts += sub.df_timeouts
+            stats.flow_timeouts += sub.flow_timeouts
             stats.extract_time += sub.extract_time
             for position, error in features.errors.items():
                 results[remaining[position]] = DetectionResult(
@@ -598,11 +608,12 @@ class BatchInferenceEngine:
                         proba2, k=k, threshold=threshold
                     )
                 techniques_iter = iter(technique_lists)
-                for position, labels, transformed, findings in zip(
+                for position, labels, transformed, findings, flow_timeout in zip(
                     features.ok_indices,
                     label_sets,
                     transformed_mask,
                     features.findings,
+                    features.flow_timeout,
                 ):
                     techniques = next(techniques_iter) if transformed else []
                     results[remaining[position]] = DetectionResult(
@@ -610,6 +621,7 @@ class BatchInferenceEngine:
                         transformed=bool(transformed),
                         techniques=techniques,
                         findings=findings,
+                        flow_timeout=flow_timeout,
                     )
             stats.predict_time = time.perf_counter() - t_predict
 

@@ -28,8 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: changes incompatibly; ``load()`` refuses other versions up front.
 #: v2: the ``RuleFeatures`` block (signature-engine evidence) joined the
 #: static feature vector of both levels.
+#: v3: the ``FlowFeatures`` block (interprocedural call-graph/decoder
+#: signals) joined the static feature vector of both levels.
 MODEL_FORMAT = "repro-detector"
-MODEL_FORMAT_VERSION = 2
+MODEL_FORMAT_VERSION = 3
 
 
 class ModelFormatError(ValueError):
@@ -65,6 +67,9 @@ class DetectionResult:
     findings: list[Finding] = field(default_factory=list)
     triaged: bool = False
     deob: "DeobResult | None" = None
+    #: a flow analysis (DFG timeout or interproc budget cap) silently
+    #: degraded while extracting this file's features
+    flow_timeout: bool = False
 
     @property
     def ok(self) -> bool:

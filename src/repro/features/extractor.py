@@ -14,6 +14,7 @@ from repro.features.fastpath import (  # noqa: F401 - fast-path re-export
     TOKEN_STATIC_FEATURES,
     TokenFeatureExtractor,
 )
+from repro.features.flow_features import FLOW_FEATURES, compute_flow_features
 from repro.features.ngrams import ast_ngram_vector, hashed_ngram_vector
 from repro.features.rule_features import RULE_FEATURES, compute_rule_features
 from repro.features.static_features import compute_static_features
@@ -68,6 +69,9 @@ GENERIC_FEATURES = [
     # Signature-engine block (repro.rules): both levels see the rule
     # evidence, so it lives in the generic list.
     *RULE_FEATURES,
+    # Interprocedural block (repro.flows.interproc): call-graph shape and
+    # decoder counts — zeros when the analysis degrades under budget.
+    *FLOW_FEATURES,
 ]
 
 # Additional per-technique indicators for the level-2 detector.
@@ -175,6 +179,7 @@ class FeatureExtractor:
 
         static = compute_static_features(enhanced)
         static.update(compute_rule_features(default_engine().analyze(enhanced)))
+        static.update(compute_flow_features(enhanced.interproc()))
         return self.project(enhanced, static)
 
     def extract(self, source: str) -> np.ndarray:
@@ -221,6 +226,9 @@ class PairedFeatureExtractor:
         findings = default_engine().analyze(enhanced)
         static = compute_static_features(enhanced)
         static.update(compute_rule_features(findings))
+        # The decoder rules may already have paid for the summaries; the
+        # per-AST cache makes this second read free in that case.
+        static.update(compute_flow_features(enhanced.interproc()))
         ngrams1 = self.level1.ngram_block(enhanced)
         shares_ngrams = (
             self.level1.ngram_dims == self.level2.ngram_dims
@@ -235,8 +243,8 @@ class PairedFeatureExtractor:
 
     def extract_pair(
         self, source: str
-    ) -> tuple[np.ndarray, np.ndarray, bool, list[Finding]]:
-        """One-pass extraction: (v1, v2, df_available, rule findings)."""
+    ) -> tuple[np.ndarray, np.ndarray, bool, bool, list[Finding]]:
+        """One-pass extraction: (v1, v2, df_available, flow_timeout, findings)."""
         enhanced = enhance(source, data_flow_timeout=self.data_flow_timeout)
         v1, v2, findings = self.extract_pair_from_enhanced(enhanced)
-        return v1, v2, enhanced.data_flow_available, findings
+        return v1, v2, enhanced.data_flow_available, enhanced.flow_timeout, findings

@@ -1,0 +1,51 @@
+"""The ``FlowFeatures`` block: interprocedural call-graph signals.
+
+Folds the :mod:`repro.flows.interproc` summaries into the static feature
+dictionary: call-graph shape (fan-out, resolved-call ratio) and decoder
+counts the per-file lexical/AST features cannot express.  Like the rule
+block, it rides at the end of ``GENERIC_FEATURES`` — adding it bumped
+``MODEL_FORMAT_VERSION`` so older artifacts are refused at load time
+instead of mis-projecting.
+
+A degraded (budget-capped) analysis contributes all zeros, identical to
+a file with no functions — detectors treat "could not afford the pass"
+the same as "nothing interprocedural to see".
+"""
+
+from __future__ import annotations
+
+#: Feature names contributed by the interprocedural pass, in vector order.
+FLOW_FEATURES: list[str] = [
+    "flow_functions",
+    "flow_call_fanout_max",
+    "flow_call_fanout_mean",
+    "flow_resolved_call_ratio",
+    "flow_decoder_count",
+    "flow_selfref_functions",
+    "flow_pure_ratio",
+]
+
+
+def compute_flow_features(result) -> dict[str, float]:
+    """Fold an :class:`~repro.flows.interproc.InterprocResult` into features.
+
+    Accepts ``None`` (analysis skipped) or a degraded result; both yield
+    the all-zeros block so projection stays well-defined everywhere.
+    """
+    values = {name: 0.0 for name in FLOW_FEATURES}
+    if result is None or not result.summaries:
+        return values
+    fanouts = [summary.fanout for summary in result.summaries]
+    functions = len(result.summaries)
+    values["flow_functions"] = float(functions)
+    values["flow_call_fanout_max"] = float(max(fanouts))
+    values["flow_call_fanout_mean"] = sum(fanouts) / functions
+    values["flow_resolved_call_ratio"] = result.resolved_ratio
+    values["flow_decoder_count"] = float(len(result.decoders))
+    values["flow_selfref_functions"] = float(
+        sum(1 for summary in result.summaries if summary.self_referencing)
+    )
+    values["flow_pure_ratio"] = (
+        sum(1 for summary in result.summaries if summary.pure) / functions
+    )
+    return values

@@ -32,11 +32,36 @@ class EnhancedAST:
     #: parents, depths).  ``None`` for hand-assembled instances; feature
     #: extraction falls back to tree traversal in that case.
     flat: FlatIndex | None = None
+    #: True when a flow analysis (DFG timeout or interproc budget breach)
+    #: silently degraded for this file.  Threaded through
+    #: ``DetectionResult``, scan store records, and serve ``/metrics``.
+    flow_timeout: bool = False
+    _interproc: "object | None" = field(default=None, init=False, repr=False)
 
     @property
     def data_flow_available(self) -> bool:
         """False when the data-flow pass hit its timeout (CF-only fallback)."""
         return self.data_flow is not None
+
+    def interproc(self, budget=None):
+        """Lazily computed interprocedural summaries (cached per instance).
+
+        The first call pays for the whole-program analysis; budget caps
+        degrade to empty summaries and flip :attr:`flow_timeout` instead
+        of raising.  Passing an explicit ``budget`` bypasses the cache.
+        """
+        from repro.flows.interproc import analyze_program
+
+        if budget is not None:
+            result = analyze_program(self.program, budget=budget)
+            if result.degraded:
+                self.flow_timeout = True
+            return result
+        if self._interproc is None:
+            self._interproc = analyze_program(self.program)
+            if self._interproc.degraded:
+                self.flow_timeout = True
+        return self._interproc
 
     @property
     def node_count(self) -> int:
@@ -69,4 +94,5 @@ def enhance(source: str, data_flow_timeout: float = 120.0) -> EnhancedAST:
         control_flow=control_flow,
         data_flow=data_flow,
         flat=flat,
+        flow_timeout=data_flow is None,
     )

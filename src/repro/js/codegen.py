@@ -35,8 +35,21 @@ _PRECEDENCE = {
     "TaggedTemplateExpression": 18,
 }
 
+def _is_and_or(node) -> bool:
+    """Is ``node`` a bare ``&&``/``||`` expression (illegal beside ``??``)?"""
+    return (
+        getattr(node, "type", None) == "LogicalExpression"
+        and node.operator in ("&&", "||")
+    )
+
+
 _OPERATOR_PRECEDENCE = {
-    "??": 4,
+    # ``??`` binds looser than ``||`` for the *parser* (precedence 1 vs 2
+    # in repro.js.parser), so the generator must parenthesise
+    # ``(a ?? b) || c`` — at the old value of 4 the parens vanished and
+    # the output reparsed as ``a ?? (b || c)``.  3.5 keeps it above
+    # ConditionalExpression (3) so ``(a ? b : c) ?? d`` stays wrapped.
+    "??": 3.5,
     "||": 4,
     "&&": 5,
     "|": 6,
@@ -665,14 +678,26 @@ class CodeGenerator:
         # Right operand needs higher precedence for left-associative ops;
         # ** is right-associative, so the *left* operand needs it instead.
         left_min = precedence + 1 if operator == "**" else precedence
-        self._expression(node.left, left_min)
+        if operator == "??" and _is_and_or(node.left):
+            # The spec forbids unparenthesised ``&&``/``||`` mixed with
+            # ``??`` on either side — precedence alone cannot express that.
+            self._emit("(")
+            self._expression(node.left, 0)
+            self._emit(")")
+        else:
+            self._expression(node.left, left_min)
         if operator in ("in", "instanceof"):
             self._emit(f" {operator} ")
         else:
             self._emit(self.space + operator + self.space)
         right_min = precedence + 1 if operator != "**" else precedence
         before = len(self.parts)
-        self._expression(node.right, right_min)
+        if operator == "??" and _is_and_or(node.right):
+            self._emit("(")
+            self._expression(node.right, 0)
+            self._emit(")")
+        else:
+            self._expression(node.right, right_min)
         # `a - -b` must not merge into `a--b` in compact mode.
         if self.compact and operator in ("+", "-"):
             emitted = "".join(self.parts[before:])

@@ -143,9 +143,19 @@ _PUNCT_FAMILY_ORDER = "=.+-<>!*&|?%^/"
 assert set(_PUNCT_FAMILY_ORDER) == {
     p[0] for p in PUNCTUATORS if p not in _PUNCT_SAFE_SINGLE
 }
+def _punct_regex(punct: str) -> str:
+    # ``?.`` is only optional chaining when no decimal digit follows —
+    # ``a?.5:0`` is a ternary over ``.5`` (spec: OptionalChainingPunctuator
+    # lookahead).  The lookahead survives the flat-tier group rewrite
+    # because ``(?!`` is exempt from the capture-group substitution.
+    if punct == "?.":
+        return r"\?\.(?![0-9])"
+    return re.escape(punct)
+
+
 _PUNCT_PATTERN = "[" + "".join(re.escape(p) for p in _PUNCT_SAFE_SINGLE) + "]|" + "|".join(
     "|".join(
-        re.escape(p)
+        _punct_regex(p)
         for p in sorted(_PUNCT_TABLE[first], key=len, reverse=True)
     )
     for first in _PUNCT_FAMILY_ORDER
@@ -1194,6 +1204,12 @@ class Lexer:
         tokens = self.tokens
         for punct in candidates:
             if len(punct) == 1 or src.startswith(punct, start):
+                if (
+                    punct == "?."
+                    and start + 2 < len(src)
+                    and "0" <= src[start + 2] <= "9"
+                ):
+                    continue  # ``a?.5:0`` is a ternary over ``.5``, not chaining
                 if punct == "(":
                     prev = tokens[-1] if tokens else None
                     self._paren_stack.append(

@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 
 from repro.rules.context import RuleContext
 from repro.rules.findings import (
+    DecoderEvidence,
     DispatcherEvidence,
     Finding,
     Location,
@@ -48,6 +49,7 @@ class Rule(ABC):
         confidence: float | None = None,
         dispatcher: DispatcherEvidence | None = None,
         string_array: StringArrayEvidence | None = None,
+        decoder: DecoderEvidence | None = None,
     ) -> Finding:
         """Build a finding stamped with this rule's identity."""
         return Finding(
@@ -61,6 +63,7 @@ class Rule(ABC):
             evidence=evidence or {},
             dispatcher=dispatcher,
             string_array=string_array,
+            decoder=decoder,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,7 +25,12 @@ from repro.rules.context import (
     prop_name,
     walk_subtree,
 )
-from repro.rules.findings import DispatcherEvidence, Finding, StringArrayEvidence
+from repro.rules.findings import (
+    DecoderEvidence,
+    DispatcherEvidence,
+    Finding,
+    StringArrayEvidence,
+)
 
 _HEX_NAME_RE = re.compile(r"^_0x[0-9a-fA-F]+$")
 _ESCAPE_RE = re.compile(r"\\x[0-9a-fA-F]{2}|\\u[0-9a-fA-F]{4}")
@@ -929,6 +934,146 @@ class SelfDefendingGuardRule(Rule):
 
 
 #: The default catalog, in rule-id order.
+def _has_decoder_shape(ctx: RuleContext) -> bool:
+    """Cheap structural pre-gate for the interprocedural decoder rules.
+
+    The whole-program summary pass only runs when the file contains at
+    least one function *and* one array of ≥3 string literals — the raw
+    materials of every string-table decoder.  Clean and minified files
+    that lack the shape skip the pass entirely, keeping triage cheap.
+    """
+    if not ctx.nodes("FunctionDeclaration", "FunctionExpression"):
+        return False
+    for candidate in ctx.nodes("ArrayExpression"):
+        strings = sum(
+            1
+            for element in candidate.elements
+            if element is not None
+            and element.type == "Literal"
+            and isinstance(element.value, str)
+        )
+        if strings >= 3:
+            return True
+    return False
+
+
+class SelfReferencingDecoderRule(Rule):
+    """R013 — string decoder reaching its table through a memoizing function.
+
+    The hardened obfuscator.io shape R006 cannot see: the string array is
+    only reachable through ``function t() { t = function () { return arr;
+    }; return t(); }``, and every use site calls a decoder that *calls*
+    ``t()`` before indexing.  The interprocedural summaries resolve the
+    whole chain statically; the evidence carries it.
+    """
+
+    rule_id = "R013"
+    name = "self-referencing-string-decoder"
+    technique = "global_array"
+    stage = STAGE_AST
+    confidence = 0.93
+    severity = "high"
+
+    def evaluate(self, ctx: RuleContext) -> list[Finding]:
+        if not _has_decoder_shape(ctx):
+            return []
+        result = ctx.interproc
+        self_referencing = {
+            summary.name for summary in result.summaries if summary.self_referencing
+        }
+        findings: list[Finding] = []
+        for summary in result.decoders:
+            decoder = summary.decoder
+            if decoder.kind == "rc4":
+                continue  # R014's signature
+            # chain = decoder → table function → array: the table must be
+            # reached through a call, and that callee must memoize itself.
+            if len(decoder.chain) < 3 or decoder.chain[1] not in self_referencing:
+                continue
+            findings.append(
+                self.finding(
+                    f"string decoder {decoder.chain[0]!r} resolves its "
+                    f"{len(decoder.table)}-string table through "
+                    f"self-referencing {decoder.chain[1]!r}",
+                    locations=[ctx.location(summary.node)],
+                    evidence={
+                        "chain": " -> ".join(decoder.chain),
+                        "kind": decoder.kind,
+                        "offset": decoder.offset,
+                        "strings": len(decoder.table),
+                    },
+                    decoder=DecoderEvidence(
+                        decoder=summary.name,
+                        kind=decoder.kind,
+                        chain=decoder.chain,
+                        offset=decoder.offset,
+                        string_count=len(decoder.table),
+                        call_sites=summary.call_sites,
+                        self_referencing=True,
+                    ),
+                )
+            )
+        return findings
+
+
+class Rc4DecoderRule(Rule):
+    """R014 — RC4/keyed string decoding over a resolved string table.
+
+    obfuscator.io's ``stringArrayEncoding: rc4``: the decoder takes an
+    index *and* a per-call-site key, base64-decodes the table entry, and
+    mixes it through a charCodeAt/fromCharCode XOR keystream.  The
+    summary proves the table resolves statically, so the deobfuscator can
+    replay the cipher without executing anything.
+    """
+
+    rule_id = "R014"
+    name = "rc4-string-decoding"
+    technique = "global_array"
+    stage = STAGE_AST
+    confidence = 0.95
+    severity = "high"
+
+    def evaluate(self, ctx: RuleContext) -> list[Finding]:
+        if not _has_decoder_shape(ctx):
+            return []
+        result = ctx.interproc
+        self_referencing = {
+            summary.name for summary in result.summaries if summary.self_referencing
+        }
+        findings: list[Finding] = []
+        for summary in result.decoders:
+            decoder = summary.decoder
+            if decoder.kind != "rc4":
+                continue
+            findings.append(
+                self.finding(
+                    f"keyed RC4 string decoder {decoder.chain[0]!r} over a "
+                    f"{len(decoder.table)}-string table "
+                    f"(key parameter {decoder.key_param})",
+                    locations=[ctx.location(summary.node)],
+                    evidence={
+                        "chain": " -> ".join(decoder.chain),
+                        "offset": decoder.offset,
+                        "strings": len(decoder.table),
+                        "key_param": decoder.key_param,
+                    },
+                    decoder=DecoderEvidence(
+                        decoder=summary.name,
+                        kind="rc4",
+                        chain=decoder.chain,
+                        offset=decoder.offset,
+                        string_count=len(decoder.table),
+                        call_sites=summary.call_sites,
+                        self_referencing=(
+                            len(decoder.chain) >= 3
+                            and decoder.chain[1] in self_referencing
+                        ),
+                    ),
+                )
+            )
+        return findings
+
+
 DEFAULT_RULES: tuple[Rule, ...] = (
     MinifiedDensityRule(),
     AdvancedMinificationRule(),
@@ -942,4 +1087,6 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     OpaqueFalseBranchRule(),
     DebuggerTrapRule(),
     SelfDefendingGuardRule(),
+    SelfReferencingDecoderRule(),
+    Rc4DecoderRule(),
 )

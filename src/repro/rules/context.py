@@ -114,9 +114,20 @@ class RuleContext:
                 scope=scope,
                 control_flow=control_flow,
                 data_flow=data_flow,
+                flow_timeout=self._data_flow and data_flow is None,
             )
             self._tokens = self._enhanced.tokens
         return self._enhanced
+
+    @property
+    def interproc(self):
+        """Interprocedural summaries (lazy, budgeted, cached on the AST).
+
+        Only the AST-stage decoder rules touch this, and they pre-gate on
+        cheap structural checks first — rules-only triage never pays for
+        the whole-program pass unless a candidate decoder shape exists.
+        """
+        return self.enhanced.interproc()
 
     @property
     def program(self) -> Node:

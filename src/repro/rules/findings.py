@@ -86,6 +86,35 @@ class StringArrayEvidence:
         }
 
 
+@dataclass(frozen=True)
+class DecoderEvidence:
+    """Typed evidence for an interprocedurally recovered string decoder.
+
+    Emitted by the summary-backed rules (self-referencing decoder, RC4
+    decoding); ``chain`` is the resolved name path from the decoder call
+    down to the string table, e.g. ``decoder → table function → array``.
+    """
+
+    decoder: str | None  #: decoder function name (None if anonymous)
+    kind: str  #: "index" | "base64" | "rc4"
+    chain: tuple[str, ...]  #: decoder → (table fn →) array name path
+    offset: int  #: amount subtracted from call-site indices
+    string_count: int  #: entries in the resolved string table
+    call_sites: int  #: resolved calls targeting the decoder
+    self_referencing: bool  #: table reached through a memoizing function
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "decoder": self.decoder,
+            "kind": self.kind,
+            "chain": list(self.chain),
+            "offset": self.offset,
+            "string_count": self.string_count,
+            "call_sites": self.call_sites,
+            "self_referencing": self.self_referencing,
+        }
+
+
 @dataclass
 class Finding:
     """One signature hit: rule identity, technique label, evidence.
@@ -94,9 +123,10 @@ class Finding:
     level-2 vocabulary), which is what lets the triage path synthesise a
     :class:`~repro.detector.pipeline.DetectionResult` from findings alone.
 
-    ``dispatcher`` and ``string_array`` carry machine-consumable evidence
-    for the deobfuscation passes (``repro.deob``); the ``evidence`` dict
-    remains the free-form human-facing channel.
+    ``dispatcher``, ``string_array``, and ``decoder`` carry
+    machine-consumable evidence for the deobfuscation passes
+    (``repro.deob``); the ``evidence`` dict remains the free-form
+    human-facing channel.
     """
 
     rule_id: str  #: stable identifier, e.g. "R003"
@@ -109,6 +139,7 @@ class Finding:
     evidence: dict[str, Any] = field(default_factory=dict)
     dispatcher: DispatcherEvidence | None = None
     string_array: StringArrayEvidence | None = None
+    decoder: DecoderEvidence | None = None
 
     def to_json(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -125,13 +156,18 @@ class Finding:
             payload["dispatcher"] = self.dispatcher.to_json()
         if self.string_array is not None:
             payload["string_array"] = self.string_array.to_json()
+        if self.decoder is not None:
+            payload["decoder"] = self.decoder.to_json()
         return payload
 
     def __str__(self) -> str:
         where = f" ({self.locations[0]})" if self.locations else ""
+        chain = ""
+        if self.decoder is not None and self.decoder.chain:
+            chain = f" [chain: {' → '.join(self.decoder.chain)}]"
         return (
             f"[{self.rule_id} {self.name} → {self.technique} "
-            f"{self.confidence:.0%}] {self.message}{where}"
+            f"{self.confidence:.0%}] {self.message}{chain}{where}"
         )
 
 

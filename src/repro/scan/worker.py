@@ -136,6 +136,8 @@ def build_record(
             sorted(result.level1) if result.transformed else ["regular"]
         )
         record["transformed"] = result.transformed
+        if result.flow_timeout:
+            record["flow_timeout"] = True
         record["techniques"] = [
             {"technique": technique, "confidence": round(confidence, 4)}
             for technique, confidence in result.techniques

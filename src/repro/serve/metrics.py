@@ -106,6 +106,7 @@ class MetricsRegistry:
                 ("script_errors_total", stats.errors),
                 ("cache_hits_total", stats.cache_hits),
                 ("df_timeouts_total", stats.df_timeouts),
+                ("flow_timeouts_total", stats.flow_timeouts),
                 ("triage_short_circuits_total", stats.triage_hits),
                 ("deob_files_total", stats.deob_files),
                 ("deob_passes_total", stats.deob_passes),

@@ -81,6 +81,8 @@ def _result_json(
             ],
             "model_version": model_version,
         }
+        if result.flow_timeout:
+            payload["flow_timeout"] = True
     if explain:
         payload["triaged"] = result.triaged
         payload["findings"] = [finding.to_json() for finding in result.findings]

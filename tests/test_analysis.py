@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.analysis import analyze_file, cluster_waves, structural_fingerprint
-from repro.analysis.waves import wave_statistics
+from repro.analysis.waves import (
+    cluster_waves_from_fingerprints,
+    wave_statistics,
+    wave_statistics_from_fingerprints,
+)
 from repro.detector.validation import compare_strategies, select_strategy
 from repro.features import FeatureExtractor
 from repro.features.ngrams import token_ngram_vector, token_unit_sequence
@@ -81,6 +85,76 @@ class TestWaveClustering:
     def test_empty_corpus(self):
         stats = wave_statistics([])
         assert stats["wave_fraction"] == 0.0
+
+
+class TestFingerprintColumnAPIs:
+    """The precomputed-fingerprint entry points the scan pipeline merges on."""
+
+    def test_clusters_preserve_original_indices(self):
+        fingerprints = ["aa", None, "bb", "aa", None, "aa", "bb"]
+        waves = cluster_waves_from_fingerprints(fingerprints)
+        assert [(w.fingerprint, w.indices) for w in waves] == [
+            ("aa", [0, 3, 5]),
+            ("bb", [2, 6]),
+        ]
+
+    def test_ordering_largest_first_ties_by_fingerprint(self):
+        fingerprints = ["zz", "zz", "aa", "aa", "mm", "mm"]
+        waves = cluster_waves_from_fingerprints(fingerprints)
+        assert [w.size for w in waves] == [2, 2, 2]
+        assert [w.fingerprint for w in waves] == ["aa", "mm", "zz"]
+
+    def test_min_size_filter(self):
+        fingerprints = ["aa", "aa", "aa", "bb", "bb", "cc"]
+        assert len(cluster_waves_from_fingerprints(fingerprints, min_size=2)) == 2
+        assert len(cluster_waves_from_fingerprints(fingerprints, min_size=3)) == 1
+        assert cluster_waves_from_fingerprints(fingerprints, min_size=4) == []
+
+    def test_none_entries_skipped_but_counted_in_totals(self):
+        fingerprints = [None, "aa", "aa", None]
+        stats = wave_statistics_from_fingerprints(fingerprints)
+        assert stats["n_scripts"] == 4  # unparseable scripts still count
+        assert stats["n_waves"] == 1
+        assert stats["scripts_in_waves"] == 2
+        assert stats["wave_fraction"] == 0.5
+        assert stats["largest_wave"] == 2
+
+    def test_all_none_column(self):
+        stats = wave_statistics_from_fingerprints([None, None])
+        assert stats["n_waves"] == 0
+        assert stats["wave_fraction"] == 0.0
+        assert stats["largest_wave"] == 0
+
+    def test_empty_column(self):
+        stats = wave_statistics_from_fingerprints([])
+        assert stats == {
+            "n_scripts": 0,
+            "n_waves": 0,
+            "scripts_in_waves": 0,
+            "wave_fraction": 0.0,
+            "largest_wave": 0,
+        }
+
+    def test_matches_source_based_wrappers(self, sample_source):
+        """Folding a persisted fingerprint column must equal re-parsing."""
+        sources = [
+            get_transformer("identifier_obfuscation").transform(
+                sample_source, random.Random(seed)
+            )
+            for seed in range(3)
+        ] + ["function solo() {} solo();", "f(;"]
+        column = []
+        for source in sources:
+            try:
+                column.append(structural_fingerprint(source))
+            except (SyntaxError, ValueError):
+                column.append(None)
+        from_column = cluster_waves_from_fingerprints(column)
+        from_sources = cluster_waves(sources)
+        assert [(w.fingerprint, w.indices) for w in from_column] == [
+            (w.fingerprint, w.indices) for w in from_sources
+        ]
+        assert wave_statistics_from_fingerprints(column) == wave_statistics(sources)
 
 
 class TestFileReport:

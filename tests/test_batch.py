@@ -30,10 +30,11 @@ class TestPairedExtractor:
             trained_detector.level1.extractor, trained_detector.level2.extractor
         )
         for source in mixed_sources[:3]:
-            v1, v2, df_available, findings = paired.extract_pair(source)
+            v1, v2, df_available, flow_timeout, findings = paired.extract_pair(source)
             assert np.array_equal(v1, trained_detector.level1.extractor.extract(source))
             assert np.array_equal(v2, trained_detector.level2.extractor.extract(source))
             assert df_available is True
+            assert flow_timeout is False
             assert isinstance(findings, list)
 
     def test_distinct_ngram_dims_supported(self, sample_source):
@@ -41,7 +42,7 @@ class TestPairedExtractor:
             FeatureExtractor(level=1, ngram_dims=64),
             FeatureExtractor(level=2, ngram_dims=128),
         )
-        v1, v2, _df, _findings = paired.extract_pair(sample_source)
+        v1, v2, _df, _flow_timeout, _findings = paired.extract_pair(sample_source)
         assert v1.shape[0] == paired.level1.n_features
         assert v2.shape[0] == paired.level2.n_features
 

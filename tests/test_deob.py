@@ -220,6 +220,72 @@ class TestTypedEvidence:
         assert array.to_json()["array"] == array.array
 
 
+class TestDecoderInlining:
+    """Summary-driven inlining of decoder *calls* (selfref/base64/RC4
+    shapes where no call site ever indexes the array directly)."""
+
+    @pytest.mark.parametrize(
+        "encoding, rotate",
+        [("none", False), ("base64", False), ("base64", True), ("rc4", True)],
+        ids=["selfref-index", "selfref-base64", "selfref-rotated", "rc4"],
+    )
+    def test_decoder_calls_inlined_and_machinery_dropped(
+        self, encoding, rotate, deob_source, engine
+    ):
+        from repro.transform.global_array import GlobalArrayObfuscator
+
+        transformer = GlobalArrayObfuscator(
+            encoding=encoding,
+            rotate=rotate,
+            decoder=None if encoding == "rc4" else "selfref",
+        )
+        transformed = transformer.transform(deob_source, random.Random(42))
+        result = engine.run(transformed)
+        assert result.report.error is None
+        assert "global_array" in result.report.techniques_removed
+        # Every decoder call site was replaced by its decoded literal and
+        # the decoder/table-function/array chain dropped as dead code.
+        assert "atob" not in result.source
+        assert "charCodeAt" not in result.source
+        assert _confidence(result.source, Technique.GLOBAL_ARRAY) < REMOVAL_THRESHOLD
+
+    def test_removal_rate_over_decoder_corpus(self):
+        """Normalize-then-reclassify removal rate must be 1.0 on a corpus
+        of decoder-hardened global-array output."""
+        from repro.transform.global_array import GlobalArrayObfuscator
+
+        sources = generate_corpus(3, seed=23, min_bytes=800)
+        engine = DeobEngine()
+        removed = 0
+        for index, source in enumerate(sources):
+            encoding = ("base64", "rc4", "none")[index % 3]
+            transformer = GlobalArrayObfuscator(
+                encoding=encoding,
+                decoder=None if encoding == "rc4" else "selfref",
+            )
+            transformed = transformer.transform(source, random.Random(index))
+            assert _confidence(transformed, Technique.GLOBAL_ARRAY) >= REMOVAL_THRESHOLD
+            normalized = engine.run(transformed).source
+            if _confidence(normalized, Technique.GLOBAL_ARRAY) < REMOVAL_THRESHOLD:
+                removed += 1
+        assert removed == len(sources)
+
+    def test_unresolved_calls_left_untouched(self, engine):
+        """A call whose argument is not a provable constant survives —
+        the inliner never guesses."""
+        source = (
+            'var _0xab = ["aa", "bb", "cc"];\n'
+            "function _0xt() { _0xt = function () { return _0xab; }; return _0xt(); }\n"
+            "function _0xd(i) { var t = _0xt(); return t[i - 0x20]; }\n"
+            "console.log(_0xd(0x20));\n"
+            "console.log(_0xd(window.k));\n"
+        )
+        result = engine.run(source)
+        assert '"aa"' in result.source  # constant site inlined
+        assert "window.k" in result.source  # dynamic site preserved
+        assert "_0x" in result.source  # chain kept alive by the survivor
+
+
 class TestIntegration:
     def test_batch_engine_deob_flag(self, deob_source):
         """Model-free batch classify with deob=True attaches DeobResults."""

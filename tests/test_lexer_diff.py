@@ -87,6 +87,9 @@ ADVERSARIAL = [
     "a\xa0b",
     "...rest ?? x?.y ** 2",
     "`\\${not} ${yes}`",
+    "a?.b?.[0]?.(c);",
+    "x ??= y ?? z;",
+    "x ?? .5",
 ]
 
 
@@ -226,6 +229,54 @@ def test_keyword_slash_audit_agrees_with_reference():
         ), source
 
 
+def test_reference_misreads_ternary_before_fractional_number():
+    """Bug 4 (``?.`` maximal munch): per spec, ``?.`` is *not* optional
+    chaining when a decimal digit follows — ``a?.5:0`` is a ternary over
+    the literal ``.5``.  The reference munched ``?.`` unconditionally, so
+    the expression failed to parse downstream."""
+    source = "a?.5:0;"
+    new_types_values = [(t.type, t.value) for t in tokenize(source)][:3]
+    assert new_types_values == [
+        (TokenType.IDENTIFIER, "a"),
+        (TokenType.PUNCTUATOR, "?"),
+        (TokenType.NUMERIC, ".5"),
+    ]
+    old_types_values = [(t.type, t.value) for t in reference_lexer.tokenize(source)][:3]
+    assert old_types_values == [
+        (TokenType.IDENTIFIER, "a"),
+        (TokenType.PUNCTUATOR, "?."),  # frozen bug: chained into the digit
+        (TokenType.NUMERIC, "5"),
+    ]
+
+
+def test_optional_chain_digit_guard_in_every_tier():
+    """The digit lookahead must hold in all three scanner tiers: the flat
+    ``findall`` tier, the ``finditer`` master-regex tier, and the
+    per-character fallback."""
+    source = "a?.5:0;"
+    expected = ["a", "?", ".5", ":", "0", ";"]
+
+    # Tier 1+2 via the public entry point (flat handles this source).
+    assert [t.value for t in tokenize(source)][:-1] == expected
+
+    # Tier 2 explicitly: skip the flat tier.
+    exact = new_lexer.Lexer(source)
+    assert [t.value for t in exact._scan_iter()][:-1] == expected
+
+    # Tier 3 explicitly: the stateful fallback, one token at a time.
+    fallback = new_lexer.Lexer(source)
+    while fallback.pos < fallback.length:
+        fallback._scan_one()
+    assert [t.value for t in fallback.tokens] == expected
+
+    # And the chaining case still munches ``?.`` everywhere.
+    for scan in (
+        lambda: tokenize("a?.b;"),
+        lambda: new_lexer.Lexer("a?.b;")._scan_iter(),
+    ):
+        assert [t.value for t in scan()][:2] == ["a", "?."]
+
+
 def test_regex_after_if_paren_diverges_by_design():
     """The `)`-after-`if(...)` ambiguity: the reference always called the
     slash a division (``re`` became an Identifier); the new
@@ -247,7 +298,40 @@ ROUND_TRIP = [
     "var s = `head ${a + b} tail`;",
     "var re = /ab+c/gi;",
     "if (x) { y = a / b; }",
+    # optional chaining / nullish coalescing: parse + emit + reparse
+    "a?.b.c?.[i]?.(x, y);",
+    "x = a ?? b ?? c;",
+    "x ??= fallback();",
+    "x = (a ?? b) || c;",
+    "x = a ?? (b || c);",
+    "x = (a && b) ?? (c || d);",
+    "x = (a ? b : c) ?? d;",
+    "b = a ? .5 : 0;",
+    "a?.5:0;",
 ]
+
+
+@pytest.mark.parametrize(
+    "snippet, rendered",
+    [
+        # ``??`` binds looser than ``||``/``&&`` in the parser, and the
+        # spec forbids mixing them without parens: the generator must
+        # keep the parens on whichever side carries the ``&&``/``||``.
+        ("x = (a ?? b) || c;", "x=(a??b)||c;"),
+        ("x = (a || b) ?? c;", "x=(a||b)??c;"),
+        ("x = a ?? (b && c);", "x=a??(b&&c);"),
+        ("x = (a ? b : c) ?? d;", "x=(a?b:c)??d;"),
+        # Ternary over ``.5``: compact output must not fuse ``? .5`` into
+        # an optional chain (the lexer's digit guard keeps ``a?.5:0``
+        # meaning the same thing on re-parse).
+        ("b = a ? .5 : 0;", "b=a?.5:0;"),
+    ],
+)
+def test_nullish_and_optional_chain_compact_rendering(snippet, rendered):
+    tree = Parser(snippet).parse_program()
+    compact = generate(tree, compact=True)
+    assert compact == rendered
+    assert generate(Parser(compact).parse_program(), compact=True) == compact
 
 
 @pytest.mark.parametrize("index", range(len(CORPUS)))
